@@ -1,0 +1,85 @@
+//! Ablation of the paper's individual heuristics (§VI: "AVIV
+//! incorporates multiple heuristics that can be turned off if desired"):
+//! assignment pruning, the clique level window, lookahead, and the
+//! peephole pass, each toggled independently on a mid-size block.
+
+use aviv::{CodeGenerator, CodegenOptions};
+use aviv_bench::table_examples;
+use aviv_ir::MemLayout;
+use aviv_isdl::archs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, CodegenOptions)> {
+    let on = CodegenOptions::heuristics_on();
+    let mut no_window = on.clone();
+    no_window.clique_level_window = None;
+    let mut no_lookahead = on.clone();
+    no_lookahead.lookahead = false;
+    let mut no_peephole = on.clone();
+    no_peephole.peephole = false;
+    let mut strict_prune = on.clone();
+    strict_prune.prune_slack = 0;
+    strict_prune.assignments_to_explore = 4;
+    let mut pressure_aware = on.clone();
+    pressure_aware.pressure_aware_assignment = true;
+    vec![
+        ("all_on", on),
+        ("pressure_aware", pressure_aware),
+        ("no_level_window", no_window),
+        ("no_lookahead", no_lookahead),
+        ("no_peephole", no_peephole),
+        ("strict_prune", strict_prune),
+        ("thorough", CodegenOptions::thorough()),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // Ex4 is the largest block that stays fast under every variant.
+    let ex = &table_examples()[3];
+    let f = ex.function();
+    let mut group = c.benchmark_group("ablation_ex4");
+    for (name, opts) in variants() {
+        let gen = CodeGenerator::new(archs::example_arch(4)).options(opts);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut syms = f.syms.clone();
+                let mut layout = MemLayout::for_function(&f);
+                let r = gen
+                    .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+                    .unwrap();
+                black_box(r.report.instructions)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_small(c: &mut Criterion) {
+    // Heuristics fully off is only benchable on the smallest block.
+    let ex = &table_examples()[0];
+    let f = ex.function();
+    let mut group = c.benchmark_group("exhaustive_ex1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, opts) in [
+        ("heuristics_on", CodegenOptions::heuristics_on()),
+        ("heuristics_off", CodegenOptions::heuristics_off()),
+    ] {
+        let gen = CodeGenerator::new(archs::example_arch(4)).options(opts);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut syms = f.syms.clone();
+                let mut layout = MemLayout::for_function(&f);
+                let r = gen
+                    .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+                    .unwrap();
+                black_box(r.report.instructions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation, bench_exhaustive_small);
+criterion_main!(benches);

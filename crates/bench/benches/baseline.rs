@@ -1,0 +1,46 @@
+//! AVIV's concurrent engine vs the sequential phase-ordered baseline:
+//! compile-time cost of concurrency (code-quality numbers come from the
+//! `baseline_table` binary).
+
+use aviv::{CodeGenerator, CodegenOptions};
+use aviv_baseline::BaselineGenerator;
+use aviv_bench::table_examples;
+use aviv_ir::MemLayout;
+use aviv_isdl::archs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_baseline_vs_aviv(c: &mut Criterion) {
+    let ex = &table_examples()[3]; // Ex4
+    let f = ex.function();
+    let mut group = c.benchmark_group("generator_ex4");
+
+    let gen = CodeGenerator::new(archs::example_arch(4))
+        .options(CodegenOptions::heuristics_on());
+    group.bench_function("aviv_concurrent", |b| {
+        b.iter(|| {
+            let mut syms = f.syms.clone();
+            let mut layout = MemLayout::for_function(&f);
+            let r = gen
+                .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+                .unwrap();
+            black_box(r.report.instructions)
+        })
+    });
+
+    let base = BaselineGenerator::new(archs::example_arch(4));
+    group.bench_function("sequential_baseline", |b| {
+        b.iter(|| {
+            let mut syms = f.syms.clone();
+            let mut layout = MemLayout::for_function(&f);
+            let r = base
+                .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+                .unwrap();
+            black_box(r.size)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_vs_aviv);
+criterion_main!(benches);

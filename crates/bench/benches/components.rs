@@ -1,0 +1,71 @@
+//! Per-stage cost of the pipeline on a mid-size block: Split-Node-DAG
+//! construction, assignment exploration, cover-graph build, covering,
+//! register allocation, and simulation.
+
+use aviv::assign::explore;
+use aviv::covergraph::CoverGraph;
+use aviv::{CodeGenerator, CodegenOptions};
+use aviv_bench::table_examples;
+use aviv_ir::MemLayout;
+use aviv_isdl::{archs, Target};
+use aviv_splitdag::SplitNodeDag;
+use aviv_vm::Simulator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_components(c: &mut Criterion) {
+    let ex = &table_examples()[3]; // Ex4
+    let f = ex.function();
+    let dag = &f.blocks[0].dag;
+    let target = Target::new(archs::example_arch(4));
+    let options = CodegenOptions::heuristics_on();
+    let mut group = c.benchmark_group("stages_ex4");
+
+    group.bench_function("sndag_build", |b| {
+        b.iter(|| black_box(SplitNodeDag::build(dag, &target).unwrap().len()))
+    });
+
+    let sndag = SplitNodeDag::build(dag, &target).unwrap();
+    group.bench_function("assignment_explore", |b| {
+        b.iter(|| black_box(explore(dag, &sndag, &target, &options).assignments.len()))
+    });
+
+    let res = explore(dag, &sndag, &target, &options);
+    group.bench_function("covergraph_build", |b| {
+        b.iter(|| black_box(CoverGraph::build(dag, &sndag, &target, &res.assignments[0]).len()))
+    });
+
+    group.bench_function("cover_schedule", |b| {
+        b.iter(|| {
+            let mut graph = CoverGraph::build(dag, &sndag, &target, &res.assignments[0]);
+            let mut syms = f.syms.clone();
+            let s = aviv::cover::cover(&mut graph, &target, &mut syms, &options).unwrap();
+            black_box(s.len())
+        })
+    });
+
+    let mut graph = CoverGraph::build(dag, &sndag, &target, &res.assignments[0]);
+    let mut syms = f.syms.clone();
+    let schedule = aviv::cover::cover(&mut graph, &target, &mut syms, &options).unwrap();
+    group.bench_function("register_allocation", |b| {
+        b.iter(|| black_box(aviv::regalloc::allocate(&graph, &target, &schedule).unwrap().len()))
+    });
+
+    // Whole-function compile + simulate.
+    let gen = CodeGenerator::new(archs::example_arch(4)).options(options.clone());
+    let (program, _) = gen.compile_function(&f).unwrap();
+    group.bench_function("simulate", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(gen.target(), &program);
+            for (i, &p) in f.params.iter().enumerate() {
+                let layout = MemLayout::for_function(&f);
+                sim.poke(layout.addr(p), i as i64 + 1);
+            }
+            black_box(sim.run().unwrap().cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

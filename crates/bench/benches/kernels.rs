@@ -1,0 +1,46 @@
+//! Compile-time cost of the DSP kernel suite across machines.
+
+use aviv::{CodeGenerator, CodegenOptions};
+use aviv_bench::all_kernels;
+use aviv_ir::MemLayout;
+use aviv_isdl::archs;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_compile");
+    for kernel in all_kernels() {
+        let f = kernel.function();
+        for machine in [archs::wide_arch(4), archs::dsp_arch(4)] {
+            // Skip kernels the machine cannot implement.
+            let gen = CodeGenerator::new(machine.clone())
+                .options(CodegenOptions::heuristics_on());
+            let mut syms = f.syms.clone();
+            let mut layout = MemLayout::for_function(&f);
+            if gen
+                .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+                .is_err()
+            {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name, &machine.name),
+                &f,
+                |b, f| {
+                    b.iter(|| {
+                        let mut syms = f.syms.clone();
+                        let mut layout = MemLayout::for_function(f);
+                        let r = gen
+                            .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+                            .unwrap();
+                        black_box(r.report.instructions)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

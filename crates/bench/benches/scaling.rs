@@ -1,0 +1,55 @@
+//! End-to-end compile time vs basic-block size (the growth pattern
+//! behind the paper's CPU-time columns).
+
+use aviv::{CodeGenerator, CodegenOptions};
+use aviv_bench::compare::example_arch_rand_config;
+use aviv_ir::randdag::random_block;
+use aviv_ir::MemLayout;
+use aviv_isdl::archs;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_scaling");
+    for n_ops in [6usize, 10, 14, 18, 24, 32] {
+        let cfg = example_arch_rand_config(n_ops);
+        let f = random_block(&cfg, 42);
+        let gen = CodeGenerator::new(archs::example_arch(4))
+            .options(CodegenOptions::heuristics_on());
+        group.bench_with_input(BenchmarkId::new("heuristics_on", n_ops), &f, |b, f| {
+            b.iter(|| {
+                let mut syms = f.syms.clone();
+                let mut layout = MemLayout::for_function(f);
+                let r = gen
+                    .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+                    .unwrap();
+                black_box(r.report.instructions)
+            })
+        });
+    }
+    group.finish();
+    // Exhaustive mode only at the smallest sizes (n=10 already costs
+    // seconds per compile; the scaling *binary* covers larger sizes).
+    let mut group2 = c.benchmark_group("compile_scaling_off");
+    group2.sample_size(10);
+    for n_ops in [6usize, 8] {
+        let cfg = example_arch_rand_config(n_ops);
+        let f = random_block(&cfg, 42);
+        let gen = CodeGenerator::new(archs::example_arch(4))
+            .options(CodegenOptions::heuristics_off());
+        group2.bench_with_input(BenchmarkId::new("heuristics_off", n_ops), &f, |b, f| {
+            b.iter(|| {
+                let mut syms = f.syms.clone();
+                let mut layout = MemLayout::for_function(f);
+                let r = gen
+                    .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+                    .unwrap();
+                black_box(r.report.instructions)
+            })
+        });
+    }
+    group2.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

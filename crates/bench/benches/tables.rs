@@ -1,0 +1,52 @@
+//! Criterion benchmarks behind Tables I and II: compile time of each
+//! benchmark block on both architectures with the default heuristics.
+
+use aviv::{CodeGenerator, CodegenOptions};
+use aviv_bench::{table2_examples, table_examples};
+use aviv_ir::MemLayout;
+use aviv_isdl::archs;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_compile");
+    for ex in table_examples() {
+        let f = ex.function();
+        let gen = CodeGenerator::new(archs::example_arch(ex.regs))
+            .options(CodegenOptions::heuristics_on());
+        group.bench_function(ex.name, |b| {
+            b.iter(|| {
+                let mut syms = f.syms.clone();
+                let mut layout = MemLayout::for_function(&f);
+                let r = gen
+                    .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+                    .unwrap();
+                black_box(r.report.instructions)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_compile");
+    for ex in table2_examples() {
+        let f = ex.function();
+        let gen = CodeGenerator::new(archs::arch_two(ex.regs))
+            .options(CodegenOptions::heuristics_on());
+        group.bench_function(ex.name, |b| {
+            b.iter(|| {
+                let mut syms = f.syms.clone();
+                let mut layout = MemLayout::for_function(&f);
+                let r = gen
+                    .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+                    .unwrap();
+                black_box(r.report.instructions)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Concurrent vs sequential: AVIV against the phase-ordered baseline on
+//! the benchmark blocks and a set of random DSP-style blocks.
+
+use aviv_bench::{compare_examples, compare_random, render_compare};
+
+fn main() {
+    println!("AVIV (concurrent) vs sequential phase-ordered baseline");
+    println!("\nBenchmark blocks (example architecture):");
+    print!("{}", render_compare(&compare_examples()));
+    println!("\nRandom 12-op blocks (seeds 0..10):");
+    print!("{}", render_compare(&compare_random(12, 0..10)));
+    println!("\nRandom 20-op blocks (seeds 0..10):");
+    print!("{}", render_compare(&compare_random(20, 0..10)));
+}

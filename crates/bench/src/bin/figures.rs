@@ -1,0 +1,5 @@
+//! Regenerate the data behind the paper's figures (2, 3, 4, 6, 7, 8, 9).
+
+fn main() {
+    print!("{}", aviv_bench::figures::all_figures());
+}

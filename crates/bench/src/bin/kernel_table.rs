@@ -1,0 +1,40 @@
+//! Compile the DSP kernel suite for several machines and report code
+//! sizes — the workload family the paper's introduction motivates.
+
+use aviv::{CodeGenerator, CodegenOptions};
+use aviv_bench::all_kernels;
+use aviv_ir::MemLayout;
+use aviv_isdl::archs;
+
+fn main() {
+    let machines = [
+        archs::example_arch(4),
+        archs::arch_two(4),
+        archs::dsp_arch(4),
+        archs::wide_arch(4),
+        archs::single_alu(6),
+    ];
+    print!("{:12}", "kernel");
+    for m in &machines {
+        print!(" | {:>10}", m.name);
+    }
+    println!();
+    println!("{}", "-".repeat(12 + machines.len() * 13));
+    for k in all_kernels() {
+        let f = k.function();
+        print!("{:12}", k.name);
+        for machine in &machines {
+            let gen = CodeGenerator::new(machine.clone())
+                .options(CodegenOptions::heuristics_on());
+            let mut syms = f.syms.clone();
+            let mut layout = MemLayout::for_function(&f);
+            match gen.compile_block(&f.blocks[0].dag, &mut syms, &mut layout) {
+                Ok(r) => print!(" | {:>10}", r.report.instructions),
+                Err(_) => print!(" | {:>10}", "n/a"),
+            }
+        }
+        println!();
+    }
+    println!("\ncells: VLIW instructions for the kernel body (n/a = kernel uses");
+    println!("an operation the machine does not implement).");
+}

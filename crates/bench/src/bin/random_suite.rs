@@ -1,0 +1,57 @@
+//! Differential fuzzing driver: compile and simulate N random programs
+//! per architecture and report the pass rate. Exits nonzero on any
+//! mismatch — useful as a long-running soak test.
+//!
+//! ```sh
+//! cargo run --release -p aviv-bench --bin random_suite -- 200
+//! ```
+
+use aviv::CodegenOptions;
+use aviv_bench::compare::example_arch_rand_config;
+use aviv_ir::randdag::random_block;
+use aviv_isdl::archs;
+use aviv_vm::check_function;
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let mut failures = 0usize;
+    let mut runs = 0usize;
+    for seed in 0..n {
+        let n_ops = 3 + (seed % 18) as usize;
+        let mut cfg = example_arch_rand_config(n_ops);
+        cfg.const_prob = if seed % 3 == 0 { 0.3 } else { 0.0 };
+        let f = random_block(&cfg, seed);
+        let machines = [
+            archs::example_arch(4),
+            archs::example_arch(2),
+            archs::arch_two(4),
+            archs::dsp_arch(4),
+            archs::wide_arch(3),
+        ];
+        for machine in machines {
+            runs += 1;
+            let name = machine.name.clone();
+            let args = [seed as i64 % 100 - 50, 7, -3];
+            if let Err(e) = check_function(
+                &f,
+                machine,
+                CodegenOptions::heuristics_on(),
+                &args,
+                &[],
+            ) {
+                eprintln!("FAIL seed {seed} n_ops {n_ops} on {name}: {e}");
+                failures += 1;
+            }
+        }
+        if (seed + 1) % 50 == 0 {
+            println!("... {} seeds done", seed + 1);
+        }
+    }
+    println!("{runs} compile+simulate runs, {failures} failures");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

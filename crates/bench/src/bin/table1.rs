@@ -1,0 +1,25 @@
+//! Regenerate the paper's Table I: Ex1–Ex7 on the Fig. 3 example
+//! architecture, heuristics on and (parenthesized) off, plus the optimal
+//! "By Hand" column.
+//!
+//! Flags: `--fast` skips the heuristics-off and optimal columns.
+
+use aviv_bench::{render, table1, TableConfig};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let config = TableConfig {
+        run_off: !fast,
+        run_hand: !fast,
+        thorough: true,
+    };
+    let rows = table1(&config);
+    print!(
+        "{}",
+        render(
+            "Table I: code generation for the example target architecture (Fig. 3)",
+            &rows
+        )
+    );
+    println!("\nAviv column: heuristics on (heuristics off in parentheses).");
+}

@@ -1,0 +1,21 @@
+//! Regenerate the paper's Table II: Ex1–Ex5 on the reduced architecture
+//! (U1 without SUB, no U3).
+//!
+//! Flags: `--fast` skips the heuristics-off and optimal columns.
+
+use aviv_bench::{render, table2, TableConfig};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let config = TableConfig {
+        run_off: !fast,
+        run_hand: !fast,
+        thorough: true,
+    };
+    let rows = table2(&config);
+    print!(
+        "{}",
+        render("Table II: code generation for target architecture II", &rows)
+    );
+    println!("\nAviv column: heuristics on (heuristics off in parentheses).");
+}

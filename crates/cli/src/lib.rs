@@ -1,0 +1,477 @@
+//! # aviv-cli — command-line driver for the AVIV code generator
+//!
+//! The `avivc` binary ties the toolchain together the way the paper's
+//! Fig. 1 draws it: a machine description and a source program in, and —
+//! depending on the flags — assembly, a binary, Graphviz, statistics, or
+//! a simulation out.
+//!
+//! ```text
+//! avivc --machine fig3.isdl program.av              # print assembly
+//! avivc --machine fig3.isdl program.av --emit bin -o prog.bin
+//! avivc --machine fig3.isdl program.av --emit dot   # cover-graph graphviz
+//! avivc --machine fig3.isdl program.av --simulate a=3,b=4
+//! avivc --machine fig3.isdl program.av --stats --explain
+//! avivc --machine fig3.isdl program.av --baseline   # sequential codegen
+//! ```
+//!
+//! The argument parser is deliberately dependency-free; see
+//! [`Options::parse`] for the accepted grammar.
+
+#![warn(missing_docs)]
+
+use aviv::{CodeGenerator, CodegenOptions, VliwProgram};
+use aviv_ir::{parse_function, Function, MemLayout};
+use aviv_isdl::{parse_machine, Target};
+use std::fmt::Write as _;
+
+/// What the driver should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Emit {
+    /// Assembly text (default).
+    Asm,
+    /// Binary (byte-format container).
+    Bin,
+    /// Raw bit-packed ROM image (machine-derived field widths).
+    Rom,
+    /// Graphviz of the scheduled cover graph of the first block.
+    Dot,
+    /// Graphviz of the Split-Node DAG of the first block.
+    SndagDot,
+    /// ISDL echo of the parsed machine (round-trip check).
+    Isdl,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Path to the machine description.
+    pub machine_path: String,
+    /// Path to the source program.
+    pub program_path: String,
+    /// What to emit.
+    pub emit: Emit,
+    /// Output path (`-` or absent = stdout).
+    pub output: Option<String>,
+    /// Heuristic preset: "on" (default), "thorough", or "off".
+    pub preset: String,
+    /// Simulate with `name=value` bindings after compiling.
+    pub simulate: Option<Vec<(String, i64)>>,
+    /// Print utilization statistics.
+    pub stats: bool,
+    /// Print the per-block compilation explanation.
+    pub explain: bool,
+    /// Use the sequential baseline generator instead of AVIV.
+    pub baseline: bool,
+}
+
+/// A user-facing driver error.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: avivc --machine <file.isdl> <program.av> [options]
+
+options:
+  --emit asm|bin|rom|dot|sndag-dot|isdl
+                                      what to produce (default: asm)
+  -o, --output <path>                 write to a file instead of stdout
+  --preset on|thorough|off            heuristic preset (default: on)
+  --simulate k=v[,k=v...]             run the program with these inputs
+  --stats                             print utilization statistics
+  --explain                           print per-block decisions
+  --baseline                          use the sequential phase-ordered
+                                      generator instead of AVIV
+  -h, --help                          this text
+";
+
+impl Options {
+    /// Parse an argument vector (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] describing the first problem; `--help`
+    /// yields an error carrying the usage text.
+    pub fn parse(args: &[String]) -> Result<Options, CliError> {
+        let mut machine_path = None;
+        let mut program_path = None;
+        let mut emit = Emit::Asm;
+        let mut output = None;
+        let mut preset = "on".to_string();
+        let mut simulate = None;
+        let mut stats = false;
+        let mut explain = false;
+        let mut baseline = false;
+
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "-h" | "--help" => return Err(err(USAGE)),
+                "--machine" => {
+                    machine_path =
+                        Some(it.next().ok_or_else(|| err("--machine needs a path"))?.clone());
+                }
+                "--emit" => {
+                    let kind = it.next().ok_or_else(|| err("--emit needs a kind"))?;
+                    emit = match kind.as_str() {
+                        "asm" => Emit::Asm,
+                        "bin" => Emit::Bin,
+                        "rom" => Emit::Rom,
+                        "dot" => Emit::Dot,
+                        "sndag-dot" => Emit::SndagDot,
+                        "isdl" => Emit::Isdl,
+                        other => return Err(err(format!("unknown emit kind `{other}`"))),
+                    };
+                }
+                "-o" | "--output" => {
+                    output = Some(it.next().ok_or_else(|| err("--output needs a path"))?.clone());
+                }
+                "--preset" => {
+                    preset = it.next().ok_or_else(|| err("--preset needs a name"))?.clone();
+                    if !matches!(preset.as_str(), "on" | "thorough" | "off") {
+                        return Err(err(format!("unknown preset `{preset}`")));
+                    }
+                }
+                "--simulate" => {
+                    let spec = it.next().ok_or_else(|| err("--simulate needs k=v list"))?;
+                    let mut bindings = Vec::new();
+                    for pair in spec.split(',').filter(|s| !s.is_empty()) {
+                        let (k, v) = pair
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("bad binding `{pair}`")))?;
+                        let v: i64 = v
+                            .parse()
+                            .map_err(|_| err(format!("bad value in `{pair}`")))?;
+                        bindings.push((k.to_string(), v));
+                    }
+                    simulate = Some(bindings);
+                }
+                "--stats" => stats = true,
+                "--explain" => explain = true,
+                "--baseline" => baseline = true,
+                other if !other.starts_with('-') && program_path.is_none() => {
+                    program_path = Some(other.to_string());
+                }
+                other => return Err(err(format!("unknown argument `{other}`\n{USAGE}"))),
+            }
+        }
+        Ok(Options {
+            machine_path: machine_path.ok_or_else(|| err("missing --machine"))?,
+            program_path: program_path.ok_or_else(|| err("missing program path"))?,
+            emit,
+            output,
+            preset,
+            simulate,
+            stats,
+            explain,
+            baseline,
+        })
+    }
+}
+
+/// The driver's product: the bytes/text to write plus log lines for
+/// stderr-style reporting.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Primary output (respecting `--emit`).
+    pub output: Vec<u8>,
+    /// Human-readable report lines (stats, explanation, simulation).
+    pub report: String,
+}
+
+/// Run the driver on in-memory sources (the testable core of `main`).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a user-facing message.
+pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<Outcome, CliError> {
+    let machine =
+        parse_machine(machine_src).map_err(|e| err(format!("machine description: {e}")))?;
+    let function =
+        parse_function(program_src).map_err(|e| err(format!("program: {e}")))?;
+
+    if options.emit == Emit::Isdl {
+        return Ok(Outcome {
+            output: aviv_isdl::to_isdl(&machine).into_bytes(),
+            report: String::new(),
+        });
+    }
+
+    let preset = match options.preset.as_str() {
+        "thorough" => CodegenOptions::thorough(),
+        "off" => CodegenOptions::heuristics_off(),
+        _ => CodegenOptions::heuristics_on(),
+    };
+    let mut outcome = Outcome::default();
+    let generator = CodeGenerator::new(machine).options(preset);
+    let target = generator.target().clone();
+
+    if options.baseline {
+        return drive_baseline(options, &target, &function, outcome);
+    }
+
+    // Block-level emissions need the block artifacts.
+    match options.emit {
+        Emit::Dot | Emit::SndagDot => {
+            let sndag = aviv_splitdag::SplitNodeDag::build(&function.blocks[0].dag, &target)
+                .map_err(|e| err(format!("unsupported: {e}")))?;
+            if options.emit == Emit::SndagDot {
+                outcome.output =
+                    aviv_splitdag::sndag_to_dot(&sndag, &function.blocks[0].dag, &target)
+                        .into_bytes();
+                return Ok(outcome);
+            }
+            let mut syms = function.syms.clone();
+            let mut layout = MemLayout::for_function(&function);
+            let block = generator
+                .compile_block(&function.blocks[0].dag, &mut syms, &mut layout)
+                .map_err(|e| err(format!("compile: {e}")))?;
+            outcome.output = aviv::covergraph_to_dot(
+                &block.graph,
+                &target,
+                &syms,
+                Some(&block.schedule),
+            )
+            .into_bytes();
+            return Ok(outcome);
+        }
+        _ => {}
+    }
+
+    let (program, report) = generator
+        .compile_function(&function)
+        .map_err(|e| err(format!("compile: {e}")))?;
+
+    if options.explain {
+        let mut syms = function.syms.clone();
+        let mut layout = MemLayout::for_function(&function);
+        for (bi, block) in function.blocks.iter().enumerate() {
+            let r = generator
+                .compile_block(&block.dag, &mut syms, &mut layout)
+                .map_err(|e| err(format!("compile: {e}")))?;
+            let _ = writeln!(outcome.report, "--- block bb{bi} ---");
+            outcome.report.push_str(&r.explain(&target, &syms));
+        }
+    }
+    if options.stats {
+        let stats = aviv_vm::program_stats(&target, &program);
+        outcome.report.push_str(&stats.render(&target));
+        let _ = writeln!(
+            outcome.report,
+            "blocks: {}, total instructions: {}",
+            report.blocks.len(),
+            report.total_instructions
+        );
+    }
+    if let Some(bindings) = &options.simulate {
+        run_simulation(&target, &program, bindings, &mut outcome)?;
+    }
+
+    outcome.output = match options.emit {
+        Emit::Asm => program.render(&target).into_bytes(),
+        Emit::Bin => aviv_vm::assemble(&program),
+        Emit::Rom => {
+            let (bytes, bits) = aviv_vm::encode_packed(&target, &program)
+                .map_err(|e| err(format!("packed encoding: {e}")))?;
+            let _ = writeln!(
+                outcome.report,
+                "ROM image: {bits} bits ({} bytes, {} instructions)",
+                bytes.len(),
+                program.instructions.len()
+            );
+            bytes
+        }
+        _ => unreachable!("handled above"),
+    };
+    Ok(outcome)
+}
+
+fn drive_baseline(
+    options: &Options,
+    target: &Target,
+    function: &Function,
+    mut outcome: Outcome,
+) -> Result<Outcome, CliError> {
+    if function.blocks.len() != 1 {
+        return Err(err("--baseline supports single-block programs"));
+    }
+    let generator = aviv_baseline::BaselineGenerator::with_target(target.clone());
+    let mut syms = function.syms.clone();
+    let mut layout = MemLayout::for_function(function);
+    let r = generator
+        .compile_block(&function.blocks[0].dag, &mut syms, &mut layout)
+        .map_err(|e| err(format!("baseline compile: {e}")))?;
+    let _ = writeln!(
+        outcome.report,
+        "baseline: {} instructions, {} spill(s)",
+        r.size, r.spills
+    );
+    let program = VliwProgram {
+        machine_name: target.machine.name.clone(),
+        instructions: r.instructions,
+        block_starts: vec![0],
+        var_addrs: syms
+            .iter()
+            .map(|(s, n)| (n.to_string(), layout.addr(s)))
+            .collect(),
+    };
+    outcome.output = match options.emit {
+        Emit::Bin => aviv_vm::assemble(&program),
+        _ => program.render(target).into_bytes(),
+    };
+    Ok(outcome)
+}
+
+fn run_simulation(
+    target: &Target,
+    program: &VliwProgram,
+    bindings: &[(String, i64)],
+    outcome: &mut Outcome,
+) -> Result<(), CliError> {
+    let mut sim = aviv_vm::Simulator::new(target, program);
+    for (name, v) in bindings {
+        if program.var_addrs.iter().any(|(n, _)| n == name) {
+            sim.set_var(name, *v);
+        } else {
+            return Err(err(format!("unknown variable `{name}`")));
+        }
+    }
+    let result = sim.run().map_err(|e| err(format!("simulate: {e}")))?;
+    let _ = writeln!(
+        outcome.report,
+        "simulation: {} cycles, return {:?}",
+        result.cycles, result.return_value
+    );
+    // Report the final value of every named, non-internal variable.
+    let mut names: Vec<&str> = program
+        .var_addrs
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .filter(|n| !n.starts_with("__"))
+        .collect();
+    names.sort_unstable();
+    for name in names {
+        if let Some(v) = sim.read_var(name) {
+            let _ = writeln!(outcome.report, "  {name} = {v}");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MACHINE: &str = "machine M {
+        unit U1 { ops { add, sub, compl, cmpgt } regfile R1[4]; }
+        unit U2 { ops { add, mul } regfile R2[4]; }
+        memory DM;
+        bus DB capacity 1 connects { R1, R2, DM };
+    }";
+
+    const PROGRAM: &str = "func f(a, b) { x = a * b + 1; return x; }";
+
+    fn opts(extra: &[&str]) -> Options {
+        let mut args = vec![
+            "--machine".to_string(),
+            "m.isdl".to_string(),
+            "prog.av".to_string(),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        Options::parse(&args).unwrap()
+    }
+
+    #[test]
+    fn parse_rejects_bad_args() {
+        assert!(Options::parse(&["--emit".into()]).is_err());
+        assert!(Options::parse(&["prog.av".into()]).is_err());
+        assert!(
+            Options::parse(&["--machine".into(), "m".into(), "p".into(), "--emit".into(), "wat".into()])
+                .is_err()
+        );
+        let help = Options::parse(&["--help".into()]).unwrap_err();
+        assert!(help.0.contains("usage"));
+    }
+
+    #[test]
+    fn asm_emission_works() {
+        let out = drive(&opts(&[]), MACHINE, PROGRAM).unwrap();
+        let text = String::from_utf8(out.output).unwrap();
+        assert!(text.contains("mul"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+
+    #[test]
+    fn bin_emission_round_trips() {
+        let out = drive(&opts(&["--emit", "bin"]), MACHINE, PROGRAM).unwrap();
+        let program = aviv_vm::disassemble(&out.output).unwrap();
+        assert!(!program.instructions.is_empty());
+    }
+
+    #[test]
+    fn dot_emissions_are_graphviz() {
+        for kind in ["dot", "sndag-dot"] {
+            let out = drive(&opts(&["--emit", kind]), MACHINE, PROGRAM).unwrap();
+            let text = String::from_utf8(out.output).unwrap();
+            assert!(text.starts_with("digraph"), "{kind}: {text}");
+        }
+    }
+
+    #[test]
+    fn isdl_echo_round_trips() {
+        let out = drive(&opts(&["--emit", "isdl"]), MACHINE, PROGRAM).unwrap();
+        let text = String::from_utf8(out.output).unwrap();
+        assert!(aviv_isdl::parse_machine(&text).is_ok(), "{text}");
+    }
+
+    #[test]
+    fn simulation_reports_variables() {
+        let out = drive(&opts(&["--simulate", "a=6,b=7"]), MACHINE, PROGRAM).unwrap();
+        assert!(out.report.contains("return Some(43)"), "{}", out.report);
+        assert!(out.report.contains("x = 43"), "{}", out.report);
+        // Unknown variables are rejected.
+        assert!(drive(&opts(&["--simulate", "zz=1"]), MACHINE, PROGRAM).is_err());
+    }
+
+    #[test]
+    fn stats_and_explain_produce_reports() {
+        let out = drive(&opts(&["--stats", "--explain"]), MACHINE, PROGRAM).unwrap();
+        assert!(out.report.contains("instructions"), "{}", out.report);
+        assert!(out.report.contains("block bb0"), "{}", out.report);
+    }
+
+    #[test]
+    fn baseline_mode_compiles() {
+        let out = drive(&opts(&["--baseline"]), MACHINE, PROGRAM).unwrap();
+        assert!(out.report.contains("baseline:"), "{}", out.report);
+        let text = String::from_utf8(out.output).unwrap();
+        assert!(text.contains("mul"));
+    }
+
+    #[test]
+    fn rom_emission_reports_bits() {
+        let out = drive(&opts(&["--emit", "rom"]), MACHINE, PROGRAM).unwrap();
+        assert!(!out.output.is_empty());
+        assert!(out.report.contains("ROM image:"), "{}", out.report);
+    }
+
+    #[test]
+    fn presets_are_accepted() {
+        for preset in ["on", "thorough", "off"] {
+            let out = drive(&opts(&["--preset", preset]), MACHINE, PROGRAM).unwrap();
+            assert!(!out.output.is_empty(), "{preset}");
+        }
+    }
+}

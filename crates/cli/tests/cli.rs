@@ -1,0 +1,121 @@
+//! End-to-end tests of the `avivc` binary itself: real files, real
+//! process, real exit codes.
+
+use std::process::Command;
+
+fn avivc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_avivc"))
+}
+
+fn write_fixtures(dir: &std::path::Path) -> (String, String) {
+    let machine = dir.join("m.isdl");
+    let program = dir.join("p.av");
+    std::fs::write(
+        &machine,
+        "machine M {
+            unit U1 { ops { add, sub, compl, cmpge } regfile R1[4]; }
+            unit U2 { ops { add, mul } regfile R2[4]; }
+            memory DM;
+            bus DB capacity 1 connects { R1, R2, DM };
+        }",
+    )
+    .unwrap();
+    std::fs::write(
+        &program,
+        "func f(a, b) {
+            x = a * b;
+            if (x >= 10) goto big;
+            x = x + 100;
+        big:
+            return x;
+        }",
+    )
+    .unwrap();
+    (
+        machine.to_string_lossy().into_owned(),
+        program.to_string_lossy().into_owned(),
+    )
+}
+
+#[test]
+fn compiles_and_prints_assembly() {
+    let dir = std::env::temp_dir().join("avivc_test_asm");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (machine, program) = write_fixtures(&dir);
+    let out = avivc()
+        .args(["--machine", &machine, &program])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let asm = String::from_utf8_lossy(&out.stdout);
+    assert!(asm.contains("mul"), "{asm}");
+    assert!(asm.contains("bnz"), "{asm}");
+}
+
+#[test]
+fn simulates_with_bindings() {
+    let dir = std::env::temp_dir().join("avivc_test_sim");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (machine, program) = write_fixtures(&dir);
+    let out = avivc()
+        .args(["--machine", &machine, &program, "--simulate", "a=2,b=3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let report = String::from_utf8_lossy(&out.stderr);
+    // 2*3 = 6 < 10, so x = 106.
+    assert!(report.contains("return Some(106)"), "{report}");
+}
+
+#[test]
+fn writes_binary_to_file() {
+    let dir = std::env::temp_dir().join("avivc_test_bin");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (machine, program) = write_fixtures(&dir);
+    let bin_path = dir.join("out.bin");
+    let out = avivc()
+        .args([
+            "--machine",
+            &machine,
+            &program,
+            "--emit",
+            "bin",
+            "-o",
+            bin_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let bytes = std::fs::read(&bin_path).unwrap();
+    assert_eq!(&bytes[..4], b"AVIV");
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let dir = std::env::temp_dir().join("avivc_test_bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (machine, _) = write_fixtures(&dir);
+    let bad = dir.join("bad.av");
+    std::fs::write(&bad, "func f( { }").unwrap();
+    let out = avivc()
+        .args(["--machine", &machine, bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("program:"));
+
+    // Missing files fail with a message, not a panic.
+    let out = avivc()
+        .args(["--machine", "/nonexistent.isdl", "/nonexistent.av"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = avivc().arg("--help").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: avivc"));
+}

@@ -1,0 +1,319 @@
+//! Maximal groupings of parallel nodes (paper §IV-C).
+//!
+//! "The goal is to examine the nodes in a given assignment and merge them
+//! into groups of nodes that can be executed in parallel on the target
+//! processor. Each grouping corresponds to a VLIW instruction." Two nodes
+//! can execute in parallel when they occupy different resources and no
+//! directed dependency path connects them (Fig. 7's pairwise matrix);
+//! [`gen_max_cliques`] is the recursive generator of Fig. 8 including its
+//! `i < index` pruning condition; [`legalize`] enforces the ISDL
+//! constraints by splitting illegal cliques (§IV-C.3).
+
+use crate::covergraph::{CnKind, CoverGraph, Resource};
+use aviv_ir::BitSet;
+use aviv_isdl::{SlotPattern, Target};
+
+/// The pairwise-parallelism matrix over a set of cover nodes.
+///
+/// `conflict[i]` has bit `j` set when node `i` **cannot** execute in
+/// parallel with node `j` (the paper's matrix stores 1 there).
+#[derive(Debug, Clone)]
+pub struct ParallelismMatrix {
+    /// Matrix index → cover-graph node.
+    pub ids: Vec<crate::covergraph::CnId>,
+    conflict: Vec<BitSet>,
+}
+
+impl ParallelismMatrix {
+    /// Build the matrix for `nodes` of `graph`.
+    ///
+    /// Conflicts: a dependency path in either direction; two operations on
+    /// the same unit; two transfers on the same capacity-1 bus; and — when
+    /// `level_window` is set (§IV-C.2) — any pair whose levels from the
+    /// top or from the bottom differ by more than the window.
+    pub fn build(
+        graph: &CoverGraph,
+        target: &Target,
+        nodes: &[crate::covergraph::CnId],
+        level_window: Option<u32>,
+    ) -> ParallelismMatrix {
+        let n = nodes.len();
+        let mut conflict = vec![BitSet::new(n); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (nodes[i], nodes[j]);
+                let mut c = graph.dependent(a, b);
+                if !c {
+                    c = match (graph.node(a).resource(), graph.node(b).resource()) {
+                        (Resource::Unit(x), Resource::Unit(y)) => x == y,
+                        (Resource::Bus(x), Resource::Bus(y)) => {
+                            x == y && target.machine.bus(x).capacity == 1
+                        }
+                        _ => false,
+                    };
+                }
+                if !c {
+                    if let Some(w) = level_window {
+                        let dt = graph.level_top(a).abs_diff(graph.level_top(b));
+                        let db = graph.level_bottom(a).abs_diff(graph.level_bottom(b));
+                        c = dt > w || db > w;
+                    }
+                }
+                if c {
+                    conflict[i].insert(j);
+                    conflict[j].insert(i);
+                }
+            }
+        }
+        ParallelismMatrix {
+            ids: nodes.to_vec(),
+            conflict,
+        }
+    }
+
+    /// Build a matrix directly from conflict pairs over `n` abstract
+    /// nodes (ids become `CnId(0..n)`). Exists for property tests that
+    /// compare [`gen_max_cliques`] against a brute-force reference on
+    /// arbitrary graphs.
+    pub fn from_conflicts(n: usize, conflicts: &[(usize, usize)]) -> ParallelismMatrix {
+        let mut conflict = vec![BitSet::new(n); n];
+        for &(i, j) in conflicts {
+            if i != j && i < n && j < n {
+                conflict[i].insert(j);
+                conflict[j].insert(i);
+            }
+        }
+        ParallelismMatrix {
+            ids: (0..n as u32).map(crate::covergraph::CnId).collect(),
+            conflict,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the node set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Whether matrix rows `i` and `j` can execute in parallel.
+    pub fn compatible(&self, i: usize, j: usize) -> bool {
+        i != j && !self.conflict[i].contains(j)
+    }
+
+    /// Render as the paper's Fig. 7 0/1 matrix (0 = parallel).
+    pub fn render(&self) -> String {
+        let n = self.len();
+        let mut out = String::new();
+        out.push_str("      ");
+        for j in 0..n {
+            out.push_str(&format!("{:>5}", self.ids[j].to_string()));
+        }
+        out.push('\n');
+        for i in 0..n {
+            out.push_str(&format!("{:>5} ", self.ids[i].to_string()));
+            for j in 0..n {
+                let v = if i == j || !self.compatible(i, j) { 1 } else { 0 };
+                out.push_str(&format!("{v:>5}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Generate all maximal cliques of the compatibility graph, as bitsets of
+/// matrix indices — the recursive algorithm of the paper's Fig. 8.
+pub fn gen_max_cliques(m: &ParallelismMatrix) -> Vec<BitSet> {
+    let n = m.len();
+    let mut out: Vec<BitSet> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+    for start in 0..n {
+        let mut clique = BitSet::new(n);
+        clique.insert(start);
+        gen_rec(m, clique, start, &mut out, &mut seen);
+    }
+    out
+}
+
+/// One recursive step of Fig. 8's `gen_max_clique(clique, index)`.
+fn gen_rec(
+    m: &ParallelismMatrix,
+    mut clique: BitSet,
+    index: usize,
+    out: &mut Vec<BitSet>,
+    seen: &mut std::collections::HashSet<Vec<usize>>,
+) {
+    let n = m.len();
+    let compatible_with_clique =
+        |clique: &BitSet, i: usize| !clique.contains(i) && clique.iter().all(|c| m.compatible(c, i));
+
+    // First loop: add every node that can join and does not preclude any
+    // other candidate. The pruning condition: if such a node has a smaller
+    // id than `index`, this whole branch was already generated from that
+    // node's seed — terminate.
+    loop {
+        let candidates: Vec<usize> =
+            (0..n).filter(|&i| compatible_with_clique(&clique, i)).collect();
+        let mut grew = false;
+        for &i in &candidates {
+            if !compatible_with_clique(&clique, i) {
+                continue; // an earlier addition this round absorbed it
+            }
+            let precludes = candidates
+                .iter()
+                .any(|&j| j != i && compatible_with_clique(&clique, j) && !m.compatible(i, j));
+            if !precludes {
+                if i < index {
+                    return; // pruning condition of Fig. 8
+                }
+                clique.insert(i);
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Second loop: spawn a recursive call per remaining compatible node.
+    let mut spawned = false;
+    for i in 0..n {
+        if compatible_with_clique(&clique, i) {
+            let mut next = clique.clone();
+            next.insert(i);
+            gen_rec(m, next, index.max(i), out, seen);
+            spawned = true;
+        }
+    }
+    if !spawned {
+        let key: Vec<usize> = clique.iter().collect();
+        if seen.insert(key) {
+            out.push(clique);
+        }
+    }
+}
+
+/// Check every clique against the machine's constraints and bus
+/// capacities; split violators into smaller legal cliques (§IV-C.3).
+/// Returns the deduplicated legal clique set (every input node remains
+/// covered by at least one clique).
+pub fn legalize(
+    cliques: Vec<BitSet>,
+    m: &ParallelismMatrix,
+    graph: &CoverGraph,
+    target: &Target,
+) -> Vec<BitSet> {
+    let mut out: Vec<BitSet> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+    let mut work: Vec<BitSet> = cliques;
+    while let Some(c) = work.pop() {
+        if is_legal(&c, m, graph, target) {
+            let key: Vec<usize> = c.iter().collect();
+            if seen.insert(key) {
+                out.push(c);
+            }
+            continue;
+        }
+        // Greedy split: fill one legal sub-clique, push the remainder
+        // back for further processing.
+        let mut kept = BitSet::new(m.len());
+        let mut rest = BitSet::new(m.len());
+        for i in c.iter() {
+            let mut probe = kept.clone();
+            probe.insert(i);
+            if is_legal(&probe, m, graph, target) {
+                kept = probe;
+            } else {
+                rest.insert(i);
+            }
+        }
+        debug_assert!(!kept.is_empty(), "single nodes are always legal");
+        work.push(kept);
+        if !rest.is_empty() {
+            work.push(rest);
+        }
+    }
+    // Stable order for determinism.
+    out.sort_by_key(|c| c.iter().collect::<Vec<_>>());
+    out
+}
+
+/// Whether a clique satisfies bus capacities and all ISDL constraints.
+pub fn is_legal(
+    clique: &BitSet,
+    m: &ParallelismMatrix,
+    graph: &CoverGraph,
+    target: &Target,
+) -> bool {
+    // Bus capacity.
+    let mut bus_use = vec![0u32; target.machine.buses().len()];
+    for i in clique.iter() {
+        if let Resource::Bus(b) = graph.node(m.ids[i]).resource() {
+            bus_use[b.index()] += 1;
+            if bus_use[b.index()] > target.machine.bus(b).capacity {
+                return false;
+            }
+        }
+    }
+    // ISDL constraints.
+    for con in target.machine.constraints() {
+        let mut count = 0u32;
+        for i in clique.iter() {
+            let node = graph.node(m.ids[i]);
+            let matched = con.members.iter().any(|pat| match *pat {
+                SlotPattern::UnitOp { unit, op } => match &node.kind {
+                    CnKind::Op { unit: u, op: o, .. } => {
+                        *u == unit && op.is_none_or(|want| *o == want)
+                    }
+                    CnKind::Complex { unit: u, .. } => *u == unit && op.is_none(),
+                    _ => false,
+                },
+                SlotPattern::BusUse { bus } => {
+                    matches!(node.resource(), Resource::Bus(b) if b == bus)
+                }
+            });
+            if matched {
+                count += 1;
+                if count > con.at_most {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Reference implementation for property tests: brute-force maximal
+/// cliques by subset enumeration (only usable for small `n`).
+pub fn brute_force_max_cliques(m: &ParallelismMatrix) -> Vec<BitSet> {
+    let n = m.len();
+    assert!(n <= 20, "brute force is exponential");
+    let mut cliques: Vec<BitSet> = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let members: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        let ok = members
+            .iter()
+            .enumerate()
+            .all(|(k, &i)| members[k + 1..].iter().all(|&j| m.compatible(i, j)));
+        if !ok {
+            continue;
+        }
+        // Maximal: no outside node compatible with all members.
+        let maximal = (0..n).all(|o| {
+            members.contains(&o) || members.iter().any(|&i| !m.compatible(i, o))
+        });
+        if maximal {
+            let mut b = BitSet::new(n);
+            for i in members {
+                b.insert(i);
+            }
+            cliques.push(b);
+        }
+    }
+    cliques.sort_by_key(|c| c.iter().collect::<Vec<_>>());
+    cliques
+}

@@ -1,0 +1,376 @@
+//! The top-level code generator: Fig. 5's overall algorithm.
+//!
+//! ```text
+//! Explore possible split-node functional unit assignments
+//!   - Estimate cost of assignment
+//!   - Select several lowest cost assignments to explore in further detail
+//! Foreach selected assignment
+//!   - Insert required data transfers
+//!   - Generate all maximal groupings of nodes executable in parallel
+//!   - Select a minimal-cost set of maximal groupings covering all nodes
+//! Final solution is the lowest-cost solution found above
+//! ```
+//!
+//! followed by detailed register allocation (§IV-F), peephole
+//! optimization (§IV-G), and conventional lowering of control flow
+//! (§III-C).
+
+use crate::assign::{explore, ExploreResult};
+use crate::cover::{cover, CoverError, Schedule};
+use crate::covergraph::CoverGraph;
+use crate::emit::{
+    emit_block, live_out_operands, AsmOperand, ControlOp, VliwInstruction, VliwProgram,
+};
+use crate::options::CodegenOptions;
+use crate::peephole;
+use crate::regalloc::{allocate, Allocation, RegAllocError};
+use aviv_ir::{BlockDag, Function, MemLayout, NodeId, SymbolTable, Terminator};
+use aviv_isdl::{Machine, Target};
+use aviv_splitdag::{SplitDagError, SplitNodeDag};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Code-generation failure.
+#[derive(Debug, Clone)]
+pub enum CodegenError {
+    /// The block cannot be implemented on the machine at all.
+    Unsupported(SplitDagError),
+    /// Covering failed on every explored assignment.
+    Cover(CoverError),
+    /// Detailed allocation failed (indicates a covering bug; surfaced for
+    /// property tests rather than panicking).
+    RegAlloc(RegAllocError),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::Unsupported(e) => write!(f, "unsupported: {e}"),
+            CodegenError::Cover(e) => write!(f, "covering failed: {e}"),
+            CodegenError::RegAlloc(e) => write!(f, "register allocation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CodegenError {}
+
+impl From<SplitDagError> for CodegenError {
+    fn from(e: SplitDagError) -> Self {
+        CodegenError::Unsupported(e)
+    }
+}
+
+/// Statistics from compiling one basic block (feeds the paper's tables).
+#[derive(Debug, Clone)]
+pub struct BlockReport {
+    /// Original DAG node count (Table column 2).
+    pub orig_nodes: usize,
+    /// Split-Node DAG node count (Table column 3).
+    pub sndag_nodes: usize,
+    /// Size of the full assignment space.
+    pub assignment_space: u128,
+    /// Assignments that survived enumeration.
+    pub assignments_enumerated: usize,
+    /// Assignments explored in detail.
+    pub assignments_explored: usize,
+    /// Whether enumeration was truncated by the safety cap.
+    pub truncated: bool,
+    /// Spills inserted in the winning solution (Table column 5).
+    pub spills: usize,
+    /// Final instruction count for the block body (Table column 7).
+    pub instructions: usize,
+    /// Instructions removed by the peephole pass.
+    pub peephole_removed: usize,
+    /// Wall-clock compile time (Table column 8).
+    pub time: Duration,
+}
+
+/// Everything produced for one basic block.
+#[derive(Debug, Clone)]
+pub struct BlockResult {
+    /// The block body (control flow not included).
+    pub instructions: Vec<VliwInstruction>,
+    /// The winning cover graph.
+    pub graph: CoverGraph,
+    /// The winning schedule.
+    pub schedule: Schedule,
+    /// The register allocation.
+    pub alloc: Allocation,
+    /// Where live-out values (branch conditions, return values) reside.
+    pub live_out: HashMap<NodeId, AsmOperand>,
+    /// Statistics.
+    pub report: BlockReport,
+}
+
+/// Statistics from compiling a whole function.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionReport {
+    /// Per-block reports in block order.
+    pub blocks: Vec<BlockReport>,
+    /// Total instructions including control flow.
+    pub total_instructions: usize,
+}
+
+/// The retargetable code generator: construct once per machine, compile
+/// any number of blocks or functions.
+///
+/// ```
+/// use aviv::CodeGenerator;
+/// use aviv_ir::parse_function;
+/// use aviv_isdl::archs;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f = parse_function("func f(a, b) { x = a * b + 1; return x; }")?;
+/// let generator = CodeGenerator::new(archs::example_arch(4));
+/// let (program, report) = generator.compile_function(&f)?;
+/// assert!(report.total_instructions > 0);
+/// println!("{}", program.render(generator.target()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CodeGenerator {
+    target: Target,
+    options: CodegenOptions,
+}
+
+impl CodeGenerator {
+    /// Create a generator for `machine` with default options.
+    pub fn new(machine: Machine) -> Self {
+        CodeGenerator {
+            target: Target::new(machine),
+            options: CodegenOptions::default(),
+        }
+    }
+
+    /// Create a generator from a prebuilt [`Target`].
+    pub fn with_target(target: Target) -> Self {
+        CodeGenerator {
+            target,
+            options: CodegenOptions::default(),
+        }
+    }
+
+    /// Set the heuristic options.
+    pub fn options(mut self, options: CodegenOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The target in use.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// The options in use.
+    pub fn options_ref(&self) -> &CodegenOptions {
+        &self.options
+    }
+
+    /// Compile one basic block. `syms` and `layout` may gain spill slots.
+    ///
+    /// # Errors
+    ///
+    /// See [`CodegenError`].
+    pub fn compile_block(
+        &self,
+        dag: &BlockDag,
+        syms: &mut SymbolTable,
+        layout: &mut MemLayout,
+    ) -> Result<BlockResult, CodegenError> {
+        let start = Instant::now();
+        let sndag = SplitNodeDag::build(dag, &self.target)?;
+        let stats = sndag.stats(dag);
+        let ExploreResult {
+            assignments,
+            enumerated,
+            truncated,
+        } = explore(dag, &sndag, &self.target, &self.options);
+
+        // Explore each selected assignment in depth; keep the cheapest.
+        let mut best: Option<(CoverGraph, Schedule, SymbolTable)> = None;
+        let mut last_err: Option<CoverError> = None;
+        for assignment in &assignments {
+            let mut scratch_syms = syms.clone();
+            let mut graph = CoverGraph::build(dag, &sndag, &self.target, assignment);
+            debug_assert!(graph.verify(&self.target).is_ok());
+            let result = cover(&mut graph, &self.target, &mut scratch_syms, &self.options)
+                .map(|s| (graph, s))
+                .or_else(|_| {
+                    // Extreme register pressure can wedge the concurrent
+                    // engine; retry with the guaranteed-progress
+                    // sequential fallback on a fresh graph.
+                    let mut scratch = syms.clone();
+                    let mut g = CoverGraph::build(dag, &sndag, &self.target, assignment);
+                    let s = crate::cover::cover_sequential(&mut g, &self.target, &mut scratch)?;
+                    scratch_syms = scratch;
+                    Ok::<_, CoverError>((g, s))
+                });
+            match result {
+                Ok((graph, schedule)) => {
+                    let better = match &best {
+                        None => true,
+                        Some((_, s, _)) => schedule.len() < s.len(),
+                    };
+                    if better {
+                        best = Some((graph, schedule, scratch_syms));
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let (mut graph, mut schedule, winner_syms) = best.ok_or(CodegenError::Cover(
+            last_err.unwrap_or(CoverError::SpillLimit),
+        ))?;
+        *syms = winner_syms;
+
+        let mut alloc = allocate(&graph, &self.target, &schedule)
+            .map_err(CodegenError::RegAlloc)?;
+
+        // Peephole: try to undo pessimistic spills and recompact.
+        let before_peephole = schedule.len();
+        if self.options.peephole {
+            peephole::optimize(&mut graph, &self.target, &mut schedule, &mut alloc);
+        }
+        let peephole_removed = before_peephole - schedule.len();
+
+        // Register any new spill slots with the layout.
+        for (sym, _) in syms.iter() {
+            if sym.index() >= layout_len(layout) {
+                layout.reserve_slot(sym);
+            }
+        }
+
+        let instructions = emit_block(&graph, &self.target, &schedule, &alloc, syms, layout);
+        let live_out = live_out_operands(&graph, &alloc);
+        let report = BlockReport {
+            orig_nodes: stats.orig_nodes,
+            sndag_nodes: stats.sn_nodes,
+            assignment_space: stats.assignment_space,
+            assignments_enumerated: enumerated,
+            assignments_explored: assignments.len(),
+            truncated,
+            spills: schedule.spills.len(),
+            instructions: instructions.len(),
+            peephole_removed,
+            time: start.elapsed(),
+        };
+        Ok(BlockResult {
+            instructions,
+            graph,
+            schedule,
+            alloc,
+            live_out,
+            report,
+        })
+    }
+
+    /// Compile a whole function, lowering control flow conventionally
+    /// (§III-C) and resolving branch targets.
+    ///
+    /// # Errors
+    ///
+    /// See [`CodegenError`].
+    pub fn compile_function(
+        &self,
+        f: &Function,
+    ) -> Result<(VliwProgram, FunctionReport), CodegenError> {
+        let mut syms = f.syms.clone();
+        let mut layout = MemLayout::for_function(f);
+        let n_units = self.target.machine.units().len();
+
+        let mut instructions: Vec<VliwInstruction> = Vec::new();
+        let mut block_starts: Vec<usize> = Vec::new();
+        // Control targets encoded as block ids; fixed up afterwards.
+        let mut pending_targets: Vec<(usize, usize)> = Vec::new(); // (instr, block)
+        let mut report = FunctionReport::default();
+
+        for (bid, block) in f.iter() {
+            block_starts.push(instructions.len());
+            let result = self.compile_block(&block.dag, &mut syms, &mut layout)?;
+            report.blocks.push(result.report.clone());
+            instructions.extend(result.instructions.iter().cloned());
+
+            let next = bid.index() + 1;
+            match &block.term {
+                Terminator::Jump(t) => {
+                    if t.index() != next {
+                        let mut inst = VliwInstruction::nop(n_units);
+                        inst.control = Some(ControlOp::Jump(t.index()));
+                        pending_targets.push((instructions.len(), t.index()));
+                        instructions.push(inst);
+                    }
+                }
+                Terminator::Branch {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    let cond_op = *result
+                        .live_out
+                        .get(cond)
+                        .expect("branch condition is live-out");
+                    let mut inst = VliwInstruction::nop(n_units);
+                    inst.control = Some(ControlOp::BranchNz {
+                        cond: cond_op,
+                        target: if_true.index(),
+                    });
+                    pending_targets.push((instructions.len(), if_true.index()));
+                    instructions.push(inst);
+                    if if_false.index() != next {
+                        let mut j = VliwInstruction::nop(n_units);
+                        j.control = Some(ControlOp::Jump(if_false.index()));
+                        pending_targets.push((instructions.len(), if_false.index()));
+                        instructions.push(j);
+                    }
+                }
+                Terminator::Return(v) => {
+                    let val = v.map(|n| {
+                        *result
+                            .live_out
+                            .get(&n)
+                            .expect("return value is live-out")
+                    });
+                    let mut inst = VliwInstruction::nop(n_units);
+                    inst.control = Some(ControlOp::Return(val));
+                    instructions.push(inst);
+                }
+            }
+        }
+
+        // Resolve block-id targets to instruction indices.
+        for (ii, bid) in pending_targets {
+            let target = block_starts[bid];
+            match &mut instructions[ii].control {
+                Some(ControlOp::Jump(t)) => *t = target,
+                Some(ControlOp::BranchNz { target: t, .. }) => *t = target,
+                _ => unreachable!("pending target on non-branch"),
+            }
+        }
+
+        report.total_instructions = instructions.len();
+        let var_addrs = syms
+            .iter()
+            .map(|(s, name)| (name.to_string(), layout.addr(s)))
+            .collect();
+        Ok((
+            VliwProgram {
+                machine_name: self.target.machine.name.clone(),
+                instructions,
+                block_starts,
+                var_addrs,
+            },
+            report,
+        ))
+    }
+}
+
+/// Number of symbols the layout already knows addresses for.
+fn layout_len(layout: &MemLayout) -> usize {
+    // MemLayout has no direct length accessor; reserve_slot asserts
+    // in-order registration, so track via a probe: addresses are the
+    // symbol indices.
+    layout.known_symbols()
+}

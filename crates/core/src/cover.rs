@@ -1,0 +1,966 @@
+//! Covering the assignment with a minimum-cost set of cliques (§IV-D/E).
+//!
+//! "Our covering algorithm begins with an empty solution set. It then
+//! selects a maximal clique that covers the largest number of remaining
+//! uncovered nodes whose children have all been covered ... and whose
+//! register requirements do not exceed the available resources. ... After
+//! selecting the clique, the remaining cliques are shrunk so that they no
+//! longer include any of the covered nodes." Ties break on a lookahead
+//! estimate; when every candidate would blow a register bank, a value is
+//! spilled (Fig. 9) and the cliques are regenerated.
+//!
+//! The order in which cliques are selected **is** the schedule (§IV-E).
+
+use crate::cliques::{gen_max_cliques, legalize, ParallelismMatrix};
+use crate::covergraph::{CnId, CoverGraph, Operand};
+use crate::options::CodegenOptions;
+use aviv_ir::{BitSet, Sym, SymbolTable};
+use aviv_isdl::{BankId, Target};
+use std::error::Error;
+use std::fmt;
+
+/// A spill inserted during covering, with everything the peephole pass
+/// needs to try undoing it.
+#[derive(Debug, Clone)]
+pub struct SpillRecord {
+    /// The memory slot.
+    pub slot: Sym,
+    /// The spilled value.
+    pub victim: CnId,
+    /// The spill-store node (`None` for rematerialized loads).
+    pub spill: Option<CnId>,
+    /// Reload chain tails per destination bank (informational; the
+    /// peephole pass re-derives tails from the graph).
+    pub loads: Vec<(BankId, CnId)>,
+    /// Every node created for this spill (stores, moves, loads).
+    pub nodes: Vec<CnId>,
+}
+
+/// The covering solution: an ordered set of shrunk cliques.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// One entry per VLIW instruction, in execution order; each lists the
+    /// cover nodes grouped into that instruction.
+    pub steps: Vec<Vec<CnId>>,
+    /// Spills inserted along the way.
+    pub spills: Vec<SpillRecord>,
+}
+
+impl Schedule {
+    /// Number of instructions (the paper's cost function).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the block needed no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The step index of each node.
+    pub fn step_of(&self, graph_len: usize) -> Vec<Option<usize>> {
+        let mut out = vec![None; graph_len];
+        for (t, step) in self.steps.iter().enumerate() {
+            for &n in step {
+                out[n.index()] = Some(t);
+            }
+        }
+        out
+    }
+}
+
+/// Failure of the covering engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverError {
+    /// Register pressure could not be relieved (every live value is
+    /// pinned by a block live-out and no bank has room).
+    RegisterPressure {
+        /// The bank that could not be relieved.
+        bank: BankId,
+    },
+    /// Internal safety valve: the spill loop did not converge.
+    SpillLimit,
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::RegisterPressure { bank } => {
+                write!(f, "cannot relieve register pressure in bank {bank}")
+            }
+            CoverError::SpillLimit => write!(f, "spill loop failed to converge"),
+        }
+    }
+}
+
+impl Error for CoverError {}
+
+/// Dynamic covering state recomputed after every selection.
+struct State {
+    /// Scheduled nodes.
+    covered: BitSet,
+    /// Uncovered alive nodes whose predecessors are all covered.
+    ready: Vec<CnId>,
+    /// Remaining uncovered consumers per node (values only).
+    remaining: Vec<usize>,
+    /// Live register values per bank.
+    pressure: Vec<usize>,
+    /// Nodes pinned live to the end of the block.
+    pinned: BitSet,
+}
+
+impl State {
+    fn compute(graph: &CoverGraph, target: &Target, covered: &BitSet) -> State {
+        let n = graph.len();
+        let mut pinned = BitSet::new(n);
+        for &(_, operand) in graph.live_out() {
+            if let Operand::Cn(c) = operand {
+                pinned.insert(c.index());
+            }
+        }
+        let mut remaining = vec![0usize; n];
+        let mut ready = Vec::new();
+        for id in graph.alive() {
+            remaining[id.index()] = graph
+                .uses(id)
+                .iter()
+                .filter(|u| !covered.contains(u.index()))
+                .count();
+            if !covered.contains(id.index())
+                && graph
+                    .preds(id)
+                    .iter()
+                    .all(|p| covered.contains(p.index()))
+            {
+                ready.push(id);
+            }
+        }
+        let mut pressure = vec![0usize; target.machine.banks().len()];
+        for id in graph.alive() {
+            if !covered.contains(id.index()) {
+                continue;
+            }
+            if let Some(bank) = graph.node(id).dest_bank(target) {
+                if remaining[id.index()] > 0 || pinned.contains(id.index()) {
+                    pressure[bank.index()] += 1;
+                }
+            }
+        }
+        State {
+            covered: covered.clone(),
+            ready,
+            remaining,
+            pressure,
+            pinned,
+        }
+    }
+
+    /// Anti-wedge selection policy: scheduling `group` must not leave any
+    /// bank completely full unless at least one value live in that bank
+    /// will be consumable in the very next step (a consumer with every
+    /// other predecessor already covered). Greedy max-cover otherwise
+    /// parks far-future values in the last registers of scarce banks,
+    /// which wedges the covering loop into spill thrashing.
+    fn policy_ok(&self, graph: &CoverGraph, target: &Target, group: &[CnId]) -> bool {
+        let Some(p_after) = self.pressure_after(graph, target, group) else {
+            return false;
+        };
+        let done = |id: CnId| self.covered.contains(id.index()) || group.contains(&id);
+        for (bi, &load) in p_after.iter().enumerate() {
+            if load < target.machine.banks()[bi].size as usize {
+                continue;
+            }
+            // The bank is full after this step: some live value there must
+            // have a consumer that is ready right afterwards.
+            let mut consumable = false;
+            'values: for id in graph.alive() {
+                if !done(id) {
+                    continue;
+                }
+                if graph.node(id).dest_bank(target) != Some(aviv_isdl::BankId(bi as u32)) {
+                    continue;
+                }
+                // Live after the group?
+                let live = self.pinned.contains(id.index())
+                    || graph.uses(id).iter().any(|u| !done(*u));
+                if !live {
+                    continue;
+                }
+                for &u in graph.uses(id) {
+                    if done(u) {
+                        continue;
+                    }
+                    if graph.preds(u).iter().all(|p| done(*p)) {
+                        consumable = true;
+                        break 'values;
+                    }
+                }
+            }
+            if !consumable {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Bank loads after scheduling `group`: returns `None` when any bank
+    /// would exceed its size.
+    fn pressure_after(
+        &self,
+        graph: &CoverGraph,
+        target: &Target,
+        group: &[CnId],
+    ) -> Option<Vec<usize>> {
+        let mut p = self.pressure.clone();
+        // Values dying: all remaining uses are inside `group`.
+        for id in graph.alive() {
+            if !self.covered.contains(id.index()) || self.pinned.contains(id.index()) {
+                continue;
+            }
+            let rem = self.remaining[id.index()];
+            if rem == 0 {
+                continue;
+            }
+            let uses_in_group = graph
+                .uses(id)
+                .iter()
+                .filter(|u| group.contains(u))
+                .count();
+            if uses_in_group >= rem {
+                if let Some(bank) = graph.node(id).dest_bank(target) {
+                    p[bank.index()] -= 1;
+                }
+            }
+        }
+        // New definitions.
+        for &g in group {
+            if let Some(bank) = graph.node(g).dest_bank(target) {
+                p[bank.index()] += 1;
+            }
+        }
+        for (bi, &load) in p.iter().enumerate() {
+            if load > target.machine.banks()[bi].size as usize {
+                return None;
+            }
+        }
+        Some(p)
+    }
+}
+
+/// Clique pool over the *current* uncovered node set.
+struct Pool {
+    matrix: ParallelismMatrix,
+    cliques: Vec<BitSet>,
+}
+
+impl Pool {
+    fn generate(
+        graph: &CoverGraph,
+        target: &Target,
+        covered: &BitSet,
+        options: &CodegenOptions,
+    ) -> Pool {
+        let nodes: Vec<CnId> = graph
+            .alive()
+            .into_iter()
+            .filter(|n| !covered.contains(n.index()))
+            .collect();
+        let matrix =
+            ParallelismMatrix::build(graph, target, &nodes, options.clique_level_window);
+        let raw = gen_max_cliques(&matrix);
+        let cliques = legalize(raw, &matrix, graph, target);
+        Pool { matrix, cliques }
+    }
+
+    /// The ready, uncovered members of clique `ci` (its shrunk form).
+    fn ready_members(&self, ci: usize, state: &State) -> Vec<CnId> {
+        self.cliques[ci]
+            .iter()
+            .map(|i| self.matrix.ids[i])
+            .filter(|id| {
+                !state.covered.contains(id.index()) && state.ready.contains(id)
+            })
+            .collect()
+    }
+}
+
+/// Cover `graph` with a minimal set of legal cliques, producing the
+/// schedule. May insert spills (mutating the graph and `syms`).
+///
+/// # Errors
+///
+/// See [`CoverError`]. On a validated machine with bank sizes ≥ 2 this
+/// only fails when live-out values alone exceed a bank.
+pub fn cover(
+    graph: &mut CoverGraph,
+    target: &Target,
+    syms: &mut SymbolTable,
+    options: &CodegenOptions,
+) -> Result<Schedule, CoverError> {
+    let mut covered = BitSet::new(graph.len());
+    let mut steps: Vec<Vec<CnId>> = Vec::new();
+    let mut spills: Vec<SpillRecord> = Vec::new();
+    let mut pool = Pool::generate(graph, target, &covered, options);
+    let spill_limit = 4 * graph.len().max(8);
+    // Deadlock breaker: once spilling starts, commit to one nearly-ready
+    // node and schedule only toward it (its uncovered predecessor
+    // closure) until it is covered.
+    let mut focus: Option<CnId> = None;
+    // Progress level of the previous spill: spilling twice at the same
+    // covered count means eviction alone is not advancing — take the best
+    // plain-feasible group instead (the anti-wedge policy is a
+    // preference, not a straitjacket).
+    let mut last_spill_progress: Option<usize> = None;
+
+    loop {
+        let total_alive = graph.alive().len();
+        if covered.count() >= total_alive {
+            break;
+        }
+        let state = State::compute(graph, target, &covered);
+        debug_assert!(
+            !state.ready.is_empty(),
+            "uncovered nodes but nothing ready: dependency cycle"
+        );
+
+        // Candidate groups: the shrunk-to-ready form of every clique.
+        let mut groups: Vec<Vec<CnId>> = Vec::new();
+        let mut seen: std::collections::HashSet<Vec<CnId>> = std::collections::HashSet::new();
+        for ci in 0..pool.cliques.len() {
+            let mut g = pool.ready_members(ci, &state);
+            if g.is_empty() {
+                continue;
+            }
+            g.sort_unstable();
+            if seen.insert(g.clone()) {
+                groups.push(g);
+            }
+        }
+        debug_assert!(!groups.is_empty(), "every node belongs to some clique");
+
+        // Focused mode: restrict selection to groups that advance the
+        // focus node's uncovered predecessor closure.
+        let focus_closure: Option<BitSet> = focus.and_then(|c| {
+            if covered.contains(c.index()) || graph.is_dead(c) {
+                None
+            } else {
+                let mut closure = BitSet::new(graph.len());
+                let mut stack = vec![c];
+                while let Some(n) = stack.pop() {
+                    if covered.contains(n.index()) || closure.contains(n.index()) {
+                        continue;
+                    }
+                    closure.insert(n.index());
+                    for p in graph.preds(n) {
+                        stack.push(p);
+                    }
+                }
+                Some(closure)
+            }
+        });
+        if focus_closure.is_none() {
+            focus = None;
+        }
+        if let Some(closure) = &focus_closure {
+            let filtered: Vec<Vec<CnId>> = groups
+                .iter()
+                .filter(|g| g.iter().any(|n| closure.contains(n.index())))
+                .cloned()
+                .collect();
+            // Use the focused subset only when it contains a feasible
+            // group — otherwise fall back to the full set (e.g. a pending
+            // spill store outside the closure may be the only way to
+            // relieve pressure).
+            let any_feasible = filtered
+                .iter()
+                .any(|g| state.pressure_after(graph, target, g).is_some());
+            if any_feasible {
+                groups = filtered;
+            }
+        }
+
+        // Feasible groups under the register bound; prefer those that
+        // also satisfy the anti-wedge policy.
+        let plain: Vec<usize> = (0..groups.len())
+            .filter(|&gi| state.pressure_after(graph, target, &groups[gi]).is_some())
+            .collect();
+        let feasible: Vec<usize> = plain
+            .iter()
+            .copied()
+            .filter(|&gi| state.policy_ok(graph, target, &groups[gi]))
+            .collect();
+
+        let chosen: Option<Vec<CnId>> = if !feasible.is_empty() {
+            let best_size = feasible.iter().map(|&gi| groups[gi].len()).max().unwrap();
+            let tied: Vec<usize> = feasible
+                .iter()
+                .copied()
+                .filter(|&gi| groups[gi].len() == best_size)
+                .collect();
+            let winner = if tied.len() > 1 && options.lookahead {
+                *tied
+                    .iter()
+                    .min_by_key(|&&gi| {
+                        (
+                            lookahead_estimate(graph, target, &covered, &pool, &groups[gi]),
+                            gi,
+                        )
+                    })
+                    .unwrap()
+            } else {
+                tied[0]
+            };
+            Some(groups[winner].clone())
+        } else {
+            // Shrink the biggest groups: drop value-defining members until
+            // the remainder fits.
+            let mut best: Option<Vec<CnId>> = None;
+            for g in &groups {
+                let mut g = g.clone();
+                while !g.is_empty() {
+                    if state.pressure_after(graph, target, &g).is_some() {
+                        break;
+                    }
+                    // Drop a member defining into the most-loaded bank.
+                    let drop_idx = g
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(k, &id)| {
+                            graph
+                                .node(id)
+                                .dest_bank(target)
+                                .map(|b| (k, state.pressure[b.index()]))
+                        })
+                        .max_by_key(|&(_, load)| load)
+                        .map(|(k, _)| k);
+                    match drop_idx {
+                        Some(k) => {
+                            g.remove(k);
+                        }
+                        None => break, // only stores left; must be feasible
+                    }
+                }
+                if !g.is_empty() && state.policy_ok(graph, target, &g)
+                    && best.as_ref().is_none_or(|b| g.len() > b.len()) {
+                        best = Some(g);
+                    }
+            }
+            best
+        };
+
+        match chosen {
+            Some(group) => {
+                for &id in &group {
+                    covered.insert(id.index());
+                }
+                steps.push(group);
+            }
+            None => {
+                // Spill: every ready node defines into a full bank and
+                // nothing dies. Pick the most-contended bank (§IV-D: "the
+                // most needed resource").
+                if spills.len() >= spill_limit {
+                    return Err(CoverError::SpillLimit);
+                }
+                if last_spill_progress == Some(covered.count()) {
+                    if let Some(&gi) = plain.iter().max_by_key(|&&gi| groups[gi].len()) {
+                        let group = groups[gi].clone();
+                        for &id in &group {
+                            covered.insert(id.index());
+                        }
+                        steps.push(group);
+                        last_spill_progress = None;
+                        continue;
+                    }
+                }
+                last_spill_progress = Some(covered.count());
+                let mut blocked: Vec<usize> = vec![0; target.machine.banks().len()];
+                for &r in &state.ready {
+                    if let Some(b) = graph.node(r).dest_bank(target) {
+                        if state.pressure[b.index()]
+                            >= target.machine.banks()[b.index()].size as usize
+                        {
+                            blocked[b.index()] += 1;
+                        }
+                    }
+                }
+                let bank = BankId(
+                    blocked
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|&(_, c)| c)
+                        .map(|(i, _)| i as u32)
+                        .expect("machine has banks"),
+                );
+                // Victim: a live, unpinned value in that bank. Belady's
+                // rule — evict the value whose next use is farthest away
+                // (proxied by the dependence depth of its earliest
+                // uncovered consumer) — with the paper's reload count
+                // ("the number of parent nodes that would later require
+                // the spilled value") as the tie-break. Evicting the
+                // farthest-needed value is what lets the blocked
+                // dependence chain advance and makes the spill loop
+                // converge.
+                // Belady keys: primary — whose *next* use is farthest;
+                // tie — whose *last* use is farthest (evicting the value
+                // with the most distant outstanding work frees the
+                // register for the longest stretch; the freshly staged
+                // operand of the very next op always loses this
+                // comparison).
+                let use_depths = |id: CnId| {
+                    let mut min_d = u32::MAX;
+                    let mut max_d = u32::MAX;
+                    let depths: Vec<u32> = graph
+                        .uses(id)
+                        .iter()
+                        .filter(|u| !covered.contains(u.index()))
+                        .map(|&u| graph.level_bottom(u))
+                        .collect();
+                    if !depths.is_empty() {
+                        min_d = *depths.iter().min().expect("nonempty");
+                        max_d = *depths.iter().max().expect("nonempty");
+                    }
+                    (min_d, max_d)
+                };
+                // Values consumed inside the focus closure are protected:
+                // evicting the operands of the very node we are trying to
+                // unblock would spin forever.
+                let is_protected = |id: CnId| {
+                    focus_closure.as_ref().is_some_and(|closure| {
+                        graph
+                            .uses(id)
+                            .iter()
+                            .any(|u| closure.contains(u.index()))
+                    })
+                };
+                let candidates: Vec<CnId> = graph
+                    .alive()
+                    .into_iter()
+                    .filter(|&id| {
+                        covered.contains(id.index())
+                            && !state.pinned.contains(id.index())
+                            && state.remaining[id.index()] > 0
+                            && graph.node(id).dest_bank(target) == Some(bank)
+                    })
+                    .collect();
+                let pick = |pool: &[CnId]| {
+                    pool.iter()
+                        .copied()
+                        .max_by_key(|&id| (use_depths(id), std::cmp::Reverse(id)))
+                };
+                let unprotected: Vec<CnId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| !is_protected(id))
+                    .collect();
+                let victim = pick(&unprotected).or_else(|| pick(&candidates));
+                let Some(victim) = victim else {
+                    // Nothing evictable. If some group was feasible under
+                    // the raw pressure bound (the anti-wedge policy vetoed
+                    // it), scheduling it is the only way forward.
+                    if let Some(&gi) = plain.iter().max_by_key(|&&gi| groups[gi].len()) {
+                        let group = groups[gi].clone();
+                        for &id in &group {
+                            covered.insert(id.index());
+                        }
+                        steps.push(group);
+                        continue;
+                    }
+                    return Err(CoverError::RegisterPressure { bank });
+                };
+                if focus.is_none() {
+                    // Commit to the node whose execution will actually
+                    // relieve the blocked bank: an uncovered consumer of a
+                    // currently-live value there, as nearly ready as
+                    // possible.
+                    focus = graph
+                        .alive()
+                        .into_iter()
+                        .filter(|&n| {
+                            !covered.contains(n.index())
+                                && graph.preds(n).iter().any(|&p| {
+                                    covered.contains(p.index())
+                                        && state.remaining[p.index()] > 0
+                                        && graph.node(p).dest_bank(target) == Some(bank)
+                                })
+                        })
+                        .min_by_key(|&n| {
+                            let missing = graph
+                                .preds(n)
+                                .iter()
+                                .filter(|p| !covered.contains(p.index()))
+                                .count();
+                            (missing, graph.level_bottom(n), n)
+                        });
+                }
+                let (slot, outcome) = graph.relieve_pressure(target, syms, victim, &covered);
+                covered.grow(graph.len());
+                spills.push(SpillRecord {
+                    slot,
+                    victim,
+                    spill: outcome.spill,
+                    loads: Vec::new(), // filled below from the outcome
+                    nodes: outcome.new_nodes.clone(),
+                });
+                // Reload tails: chain ends among the new nodes that some
+                // outside node consumes — recorded for reporting (the
+                // peephole pass re-derives them from the graph).
+                if let Some(rec) = spills.last_mut() {
+                    for &nn in &outcome.new_nodes {
+                        if Some(nn) == outcome.spill {
+                            continue;
+                        }
+                        if let Some(b) = graph.node(nn).dest_bank(target) {
+                            if graph
+                                .uses(nn)
+                                .iter()
+                                .any(|u| !outcome.new_nodes.contains(u))
+                            {
+                                rec.loads.push((b, nn));
+                            }
+                        }
+                    }
+                }
+                // "New maximal cliques are then generated for all the
+                // remaining uncovered nodes."
+                pool = Pool::generate(graph, target, &covered, options);
+            }
+        }
+    }
+
+    let schedule = Schedule { steps, spills };
+    debug_assert!(verify_schedule(graph, target, &schedule).is_ok());
+    Ok(schedule)
+}
+
+/// Greedy completion estimate used as the §IV-D lookahead: pretend we
+/// schedule `first`, then finish with plain max-cover selection under the
+/// register bound and count the steps. Futures that wedge on pressure get
+/// a heavy penalty — this is what steers the engine away from parking
+/// far-future values in scarce registers.
+fn lookahead_estimate(
+    graph: &CoverGraph,
+    target: &Target,
+    covered: &BitSet,
+    pool: &Pool,
+    first: &[CnId],
+) -> usize {
+    const STUCK_PENALTY: usize = 1000;
+    let mut covered = covered.clone();
+    for &id in first {
+        covered.insert(id.index());
+    }
+    let mut steps = 1usize;
+    let total = graph.alive().len();
+    while covered.count() < total {
+        let state = State::compute(graph, target, &covered);
+        if state.ready.is_empty() {
+            break;
+        }
+        let mut best: Vec<CnId> = Vec::new();
+        for ci in 0..pool.cliques.len() {
+            let g = pool.ready_members(ci, &state);
+            if g.len() > best.len()
+                && state.pressure_after(graph, target, &g).is_some()
+            {
+                best = g;
+            }
+        }
+        if best.is_empty() {
+            // Try any single feasible ready node before declaring the
+            // future stuck.
+            best = state
+                .ready
+                .iter()
+                .copied()
+                .find(|&r| state.pressure_after(graph, target, &[r]).is_some())
+                .map(|r| vec![r])
+                .unwrap_or_default();
+        }
+        if best.is_empty() {
+            // Wedged: this branch would need another spill.
+            return steps + STUCK_PENALTY + (total - covered.count());
+        }
+        for &id in &best {
+            covered.insert(id.index());
+        }
+        steps += 1;
+    }
+    steps
+}
+
+/// Validate a schedule against every constraint the covering step is
+/// supposed to maintain. This is the oracle for the property tests.
+///
+/// # Errors
+///
+/// Returns a description of the first violation: a node scheduled twice
+/// or never, a dependency scheduled out of order, a resource oversubscribed
+/// within one instruction, an ISDL constraint violated, or a register bank
+/// exceeding its size at some step.
+pub fn verify_schedule(
+    graph: &CoverGraph,
+    target: &Target,
+    schedule: &Schedule,
+) -> Result<(), String> {
+    let n = graph.len();
+    let step_of = schedule.step_of(n);
+    // Exactly-once coverage of alive nodes.
+    for id in graph.alive() {
+        if step_of[id.index()].is_none() {
+            return Err(format!("{id} never scheduled"));
+        }
+    }
+    let mut seen = BitSet::new(n);
+    for step in &schedule.steps {
+        for &id in step {
+            if graph.is_dead(id) {
+                return Err(format!("{id} is dead but scheduled"));
+            }
+            if seen.contains(id.index()) {
+                return Err(format!("{id} scheduled twice"));
+            }
+            seen.insert(id.index());
+        }
+    }
+    // Dependencies strictly precede.
+    for id in graph.alive() {
+        let t = step_of[id.index()].unwrap();
+        for p in graph.preds(id) {
+            let pt = step_of[p.index()].ok_or_else(|| format!("{p} unscheduled"))?;
+            if pt >= t {
+                return Err(format!("{p} (step {pt}) not before {id} (step {t})"));
+            }
+        }
+    }
+    // Per-step resources, constraints, legality.
+    for (t, step) in schedule.steps.iter().enumerate() {
+        let mut unit_used = vec![false; target.machine.units().len()];
+        let mut bus_used = vec![0u32; target.machine.buses().len()];
+        for &id in step {
+            match graph.node(id).resource() {
+                crate::covergraph::Resource::Unit(u) => {
+                    if unit_used[u.index()] {
+                        return Err(format!("step {t}: unit {u} used twice"));
+                    }
+                    unit_used[u.index()] = true;
+                }
+                crate::covergraph::Resource::Bus(b) => {
+                    bus_used[b.index()] += 1;
+                    if bus_used[b.index()] > target.machine.bus(b).capacity {
+                        return Err(format!("step {t}: bus {b} over capacity"));
+                    }
+                }
+            }
+        }
+        for (ci, con) in target.machine.constraints().iter().enumerate() {
+            let mut count = 0u32;
+            for &id in step {
+                let node = graph.node(id);
+                let matched = con.members.iter().any(|pat| match *pat {
+                    aviv_isdl::SlotPattern::UnitOp { unit, op } => match &node.kind {
+                        crate::covergraph::CnKind::Op { unit: u, op: o, .. } => {
+                            *u == unit && op.is_none_or(|want| *o == want)
+                        }
+                        crate::covergraph::CnKind::Complex { unit: u, .. } => {
+                            *u == unit && op.is_none()
+                        }
+                        _ => false,
+                    },
+                    aviv_isdl::SlotPattern::BusUse { bus } => matches!(
+                        node.resource(),
+                        crate::covergraph::Resource::Bus(b) if b == bus
+                    ),
+                });
+                if matched {
+                    count += 1;
+                }
+            }
+            if count > con.at_most {
+                return Err(format!("step {t}: constraint {ci} violated"));
+            }
+        }
+    }
+    // Register pressure at every step.
+    let mut pinned = BitSet::new(n);
+    for &(_, operand) in graph.live_out() {
+        if let Operand::Cn(c) = operand {
+            pinned.insert(c.index());
+        }
+    }
+    for t in 0..schedule.steps.len() {
+        let mut pressure = vec![0usize; target.machine.banks().len()];
+        for id in graph.alive() {
+            let Some(def_t) = step_of[id.index()] else {
+                continue;
+            };
+            if def_t > t {
+                continue;
+            }
+            let Some(bank) = graph.node(id).dest_bank(target) else {
+                continue;
+            };
+            let live = pinned.contains(id.index())
+                || graph
+                    .uses(id)
+                    .iter()
+                    .any(|u| step_of[u.index()].is_some_and(|ut| ut > t));
+            if live {
+                pressure[bank.index()] += 1;
+            }
+        }
+        for (bi, &load) in pressure.iter().enumerate() {
+            if load > target.machine.banks()[bi].size as usize {
+                return Err(format!(
+                    "step {t}: bank {} holds {load} > {}",
+                    target.machine.banks()[bi].name,
+                    target.machine.banks()[bi].size
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Guaranteed-progress fallback covering: one node per instruction,
+/// processed in dependence order, with *eager spilling* — every computed
+/// value is immediately stored to a slot and each consumer reloads it
+/// just in time. The register demand of this strategy is bounded by the
+/// widest operation arity (plus pinned live-outs) per bank, so it
+/// terminates whenever the machine can execute the block at all. Code
+/// quality is poor (that is the point of the concurrent engine); the
+/// driver only uses it when [`cover`] fails to converge under extreme
+/// register pressure.
+///
+/// # Errors
+///
+/// [`CoverError::RegisterPressure`] when even single-operation staging
+/// exceeds a bank (the block is genuinely unimplementable), or
+/// [`CoverError::SpillLimit`] as a final safety valve.
+pub fn cover_sequential(
+    graph: &mut CoverGraph,
+    target: &Target,
+    syms: &mut SymbolTable,
+) -> Result<Schedule, CoverError> {
+    let mut covered = BitSet::new(graph.len());
+    let mut steps: Vec<Vec<CnId>> = Vec::new();
+    let mut spills: Vec<SpillRecord> = Vec::new();
+    let spill_limit = 40 * graph.len().max(8);
+    // Nodes created by spill machinery are never eagerly evicted (their
+    // single consumer follows just-in-time); everything else is evicted
+    // right after computation.
+    let mut no_eager = BitSet::new(graph.len());
+
+    loop {
+        let alive = graph.alive();
+        if covered.count() >= alive.len() {
+            break;
+        }
+        let state = State::compute(graph, target, &covered);
+        debug_assert!(!state.ready.is_empty(), "dependency cycle");
+        // Stores (and other non-defining nodes) first — they only relieve
+        // pressure; then lowest id (dependence order).
+        let mut ready = state.ready.clone();
+        ready.sort_by_key(|&r| (graph.node(r).dest_bank(target).is_some(), r));
+        let pick = ready
+            .iter()
+            .copied()
+            .find(|&r| state.pressure_after(graph, target, &[r]).is_some());
+        match pick {
+            Some(r) => {
+                covered.insert(r.index());
+                steps.push(vec![r]);
+                // Eager eviction of the fresh value.
+                let has_pending_use =
+                    graph.uses(r).iter().any(|u| !covered.contains(u.index()));
+                if has_pending_use
+                    && graph.node(r).dest_bank(target).is_some()
+                    && !no_eager.contains(r.index())
+                    && !graph
+                        .live_out()
+                        .iter()
+                        .any(|&(_, op)| op == Operand::Cn(r))
+                {
+                    if spills.len() >= spill_limit {
+                        return Err(CoverError::SpillLimit);
+                    }
+                    let (slot, outcome) =
+                        graph.relieve_pressure(target, syms, r, &covered);
+                    covered.grow(graph.len());
+                    no_eager.grow(graph.len());
+                    for &nn in &outcome.new_nodes {
+                        no_eager.insert(nn.index());
+                    }
+                    spills.push(SpillRecord {
+                        slot,
+                        victim: r,
+                        spill: outcome.spill,
+                        loads: Vec::new(),
+                        nodes: outcome.new_nodes,
+                    });
+                }
+            }
+            None => {
+                // Staging conflict: evict the live value whose next use is
+                // farthest (never pinned ones).
+                if spills.len() >= spill_limit {
+                    return Err(CoverError::SpillLimit);
+                }
+                let mut blocked = vec![0usize; target.machine.banks().len()];
+                for &r in &state.ready {
+                    if let Some(b) = graph.node(r).dest_bank(target) {
+                        if state.pressure[b.index()]
+                            >= target.machine.banks()[b.index()].size as usize
+                        {
+                            blocked[b.index()] += 1;
+                        }
+                    }
+                }
+                let bank = BankId(
+                    (0..blocked.len())
+                        .max_by_key(|&b| (blocked[b], state.pressure[b]))
+                        .expect("machine has banks") as u32,
+                );
+                let victim = graph
+                    .alive()
+                    .into_iter()
+                    .filter(|&id| {
+                        covered.contains(id.index())
+                            && !state.pinned.contains(id.index())
+                            && state.remaining[id.index()] > 0
+                            && graph.node(id).dest_bank(target) == Some(bank)
+                    })
+                    .max_by_key(|&id| {
+                        let depths: Vec<u32> = graph
+                            .uses(id)
+                            .iter()
+                            .filter(|u| !covered.contains(u.index()))
+                            .map(|&u| graph.level_bottom(u))
+                            .collect();
+                        let min_d = depths.iter().min().copied().unwrap_or(u32::MAX);
+                        let max_d = depths.iter().max().copied().unwrap_or(u32::MAX);
+                        (min_d, max_d, std::cmp::Reverse(id))
+                    });
+                let Some(victim) = victim else {
+                    return Err(CoverError::RegisterPressure { bank });
+                };
+                let (slot, outcome) = graph.relieve_pressure(target, syms, victim, &covered);
+                covered.grow(graph.len());
+                no_eager.grow(graph.len());
+                for &nn in &outcome.new_nodes {
+                    no_eager.insert(nn.index());
+                }
+                spills.push(SpillRecord {
+                    slot,
+                    victim,
+                    spill: outcome.spill,
+                    loads: Vec::new(),
+                    nodes: outcome.new_nodes,
+                });
+            }
+        }
+    }
+    let schedule = Schedule { steps, spills };
+    debug_assert!(verify_schedule(graph, target, &schedule).is_ok());
+    Ok(schedule)
+}

@@ -1,0 +1,1257 @@
+//! The per-assignment cover graph.
+//!
+//! Once a functional-unit assignment is selected, "the data transfers
+//! required for the given functional unit assignment are added" (paper
+//! §IV-B): the Split-Node DAG collapses to a concrete graph whose nodes
+//! are the operation instances, data-transfer instances, memory accesses,
+//! and (later) loads and spills. This graph is what maximal cliques are
+//! generated over and what the covering step schedules.
+//!
+//! Spill insertion (§IV-D, Fig. 9) mutates the graph in place: a spill
+//! store is appended, pending transfers of the victim are replaced by
+//! loads from the spill slot, and obsolete transfer nodes are marked dead.
+
+use crate::assign::Assignment;
+use aviv_ir::{BitSet, BlockDag, NodeId, Op, Sym, SymbolTable};
+use aviv_isdl::{BankId, BusId, Location, Target, UnitId};
+use aviv_splitdag::{AltKind, SplitNodeDag};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node in a [`CoverGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CnId(pub u32);
+
+impl CnId {
+    /// Raw vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A value operand of a cover node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// The value produced by another cover node.
+    Cn(CnId),
+    /// An instruction immediate.
+    Imm(i64),
+}
+
+/// What a cover node does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CnKind {
+    /// An operation on a functional unit.
+    Op {
+        /// Original DAG node.
+        orig: NodeId,
+        /// Executing unit.
+        unit: UnitId,
+        /// Operation.
+        op: Op,
+    },
+    /// A complex instruction covering several original nodes.
+    Complex {
+        /// Original root node.
+        orig: NodeId,
+        /// Index into the machine's complex list.
+        index: usize,
+        /// Executing unit.
+        unit: UnitId,
+    },
+    /// A register-to-register transfer.
+    Move {
+        /// Bus used.
+        bus: BusId,
+        /// Source bank.
+        from: BankId,
+        /// Destination bank.
+        to: BankId,
+    },
+    /// A load of a named variable (or spill slot) from memory.
+    LoadVar {
+        /// The variable.
+        sym: Sym,
+        /// Bus used.
+        bus: BusId,
+        /// Destination bank.
+        to: BankId,
+    },
+    /// A store of a value (or immediate) to a named variable.
+    StoreVar {
+        /// The variable.
+        sym: Sym,
+        /// Bus used.
+        bus: BusId,
+        /// Source bank (`None` when storing an immediate).
+        from: Option<BankId>,
+    },
+    /// A dynamic load `mem[addr]` into `bank`.
+    LoadDyn {
+        /// Original DAG node.
+        orig: NodeId,
+        /// Bus used.
+        bus: BusId,
+        /// Destination bank (address must also reside here).
+        bank: BankId,
+    },
+    /// A dynamic store `mem[addr] = value` from `bank`.
+    StoreDyn {
+        /// Original DAG node.
+        orig: NodeId,
+        /// Bus used.
+        bus: BusId,
+        /// Source bank (address and value reside here).
+        bank: BankId,
+    },
+}
+
+/// The execution resource a cover node occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// A functional-unit slot.
+    Unit(UnitId),
+    /// A bus slot.
+    Bus(BusId),
+}
+
+/// One node of the cover graph.
+#[derive(Debug, Clone)]
+pub struct CoverNode {
+    /// What the node does.
+    pub kind: CnKind,
+    /// Value operands.
+    pub args: Vec<Operand>,
+    /// Extra ordering predecessors (memory serialization, spill→load).
+    pub deps: Vec<CnId>,
+}
+
+impl CoverNode {
+    /// The resource the node occupies.
+    pub fn resource(&self) -> Resource {
+        match self.kind {
+            CnKind::Op { unit, .. } | CnKind::Complex { unit, .. } => Resource::Unit(unit),
+            CnKind::Move { bus, .. }
+            | CnKind::LoadVar { bus, .. }
+            | CnKind::StoreVar { bus, .. }
+            | CnKind::LoadDyn { bus, .. }
+            | CnKind::StoreDyn { bus, .. } => Resource::Bus(bus),
+        }
+    }
+
+    /// The bank the node's result lands in (`None` for stores).
+    pub fn dest_bank(&self, target: &Target) -> Option<BankId> {
+        match self.kind {
+            CnKind::Op { unit, .. } | CnKind::Complex { unit, .. } => {
+                Some(target.machine.bank_of(unit))
+            }
+            CnKind::Move { to, .. } | CnKind::LoadVar { to, .. } => Some(to),
+            CnKind::LoadDyn { bank, .. } => Some(bank),
+            CnKind::StoreVar { .. } | CnKind::StoreDyn { .. } => None,
+        }
+    }
+
+    /// True for transfer-class nodes (everything on a bus).
+    pub fn is_transfer(&self) -> bool {
+        matches!(self.resource(), Resource::Bus(_))
+    }
+}
+
+/// Result of a spill mutation.
+#[derive(Debug, Clone)]
+pub struct SpillOutcome {
+    /// The spill-store node (must be scheduled); `None` when the victim
+    /// was rematerialized from memory instead of stored (the value was a
+    /// load whose source is still valid).
+    pub spill: Option<CnId>,
+    /// Newly created load/move nodes.
+    pub new_nodes: Vec<CnId>,
+    /// Nodes made dead (obsolete transfers).
+    pub removed: Vec<CnId>,
+}
+
+/// The concrete implementation graph of one assignment.
+#[derive(Debug, Clone)]
+pub struct CoverGraph {
+    nodes: Vec<CoverNode>,
+    dead: BitSet,
+    /// Cover node producing each original node's value.
+    value_of_orig: Vec<Option<CnId>>,
+    /// Values that must stay live (in a register) at block end, with the
+    /// original node they implement.
+    live_out: Vec<(NodeId, Operand)>,
+    /// Rebuilt on demand after mutation.
+    uses: Vec<Vec<CnId>>,
+    desc: Vec<BitSet>,
+    levels_top: Vec<u32>,
+    levels_bottom: Vec<u32>,
+    /// Per-bus usage counts (for the §IV-B path-choice heuristic).
+    bus_usage: Vec<usize>,
+}
+
+impl CoverGraph {
+    /// Build the cover graph of `assignment` for `dag` on `target`.
+    pub fn build(
+        dag: &BlockDag,
+        sndag: &SplitNodeDag,
+        target: &Target,
+        assignment: &Assignment,
+    ) -> CoverGraph {
+        let mut b = GraphBuilder {
+            dag,
+            sndag,
+            target,
+            assignment,
+            nodes: Vec::new(),
+            value_of_orig: vec![None; dag.len()],
+            move_cache: HashMap::new(),
+            loadvar_cache: HashMap::new(),
+            mem_cn: HashMap::new(),
+            loads_by_sym: HashMap::new(),
+            stores_by_sym: Vec::new(),
+            bus_usage: vec![0; target.machine.buses().len()],
+        };
+        b.run();
+
+        // Live-outs: branch conditions / return values must sit in a
+        // register (or be immediates) at block end. A live-out that is a
+        // plain input leaf gets loaded into the bank nearest memory.
+        let mut live_out = Vec::new();
+        for &(_, orig) in dag.live_outs() {
+            let operand = match dag.node(orig).op {
+                Op::Const => Operand::Imm(dag.node(orig).imm.unwrap()),
+                Op::Input => {
+                    let bank = (0..target.machine.banks().len() as u32)
+                        .map(BankId)
+                        .min_by_key(|&bk| {
+                            target
+                                .xfers
+                                .cost(Location::Mem, Location::Bank(bk))
+                                .unwrap_or(usize::MAX)
+                        })
+                        .expect("machine has banks");
+                    b.resolve(orig, bank)
+                }
+                _ => Operand::Cn(
+                    b.value_of_orig[orig.index()].expect("live-out value was materialized"),
+                ),
+            };
+            live_out.push((orig, operand));
+        }
+
+        let n = b.nodes.len();
+        let mut g = CoverGraph {
+            nodes: b.nodes,
+            dead: BitSet::new(n),
+            value_of_orig: b.value_of_orig,
+            live_out,
+            uses: Vec::new(),
+            desc: Vec::new(),
+            levels_top: Vec::new(),
+            levels_bottom: Vec::new(),
+            bus_usage: b.bus_usage,
+        };
+        g.rebuild_indexes();
+        g
+    }
+
+    /// All nodes, including dead ones — check [`CoverGraph::is_dead`].
+    pub fn nodes(&self) -> &[CoverNode] {
+        &self.nodes
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: CnId) -> &CoverNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Total node slots (including dead).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the graph has no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of live (non-dead) nodes — the cost-relevant size.
+    pub fn live_len(&self) -> usize {
+        self.nodes.len() - self.dead.count()
+    }
+
+    /// Whether a node has been removed by spill rewiring.
+    pub fn is_dead(&self, id: CnId) -> bool {
+        self.dead.contains(id.index())
+    }
+
+    /// The cover node producing each original node's value.
+    pub fn value_of_orig(&self, orig: NodeId) -> Option<CnId> {
+        self.value_of_orig[orig.index()]
+    }
+
+    /// Values that must remain in registers at block end.
+    pub fn live_out(&self) -> &[(NodeId, Operand)] {
+        &self.live_out
+    }
+
+    /// Consumers of each node's value (alive consumers only).
+    pub fn uses(&self, id: CnId) -> &[CnId] {
+        &self.uses[id.index()]
+    }
+
+    /// Dependency test: is there a directed path between `a` and `b`?
+    pub fn dependent(&self, a: CnId, b: CnId) -> bool {
+        self.desc[a.index()].contains(b.index()) || self.desc[b.index()].contains(a.index())
+    }
+
+    /// All predecessors (operands + ordering deps) of `id`.
+    pub fn preds(&self, id: CnId) -> Vec<CnId> {
+        let n = &self.nodes[id.index()];
+        let mut p: Vec<CnId> = n
+            .args
+            .iter()
+            .filter_map(|a| match a {
+                Operand::Cn(c) => Some(*c),
+                Operand::Imm(_) => None,
+            })
+            .collect();
+        p.extend(n.deps.iter().copied());
+        p
+    }
+
+    /// Level from the top (roots = consumers-of-nothing have 0).
+    pub fn level_top(&self, id: CnId) -> u32 {
+        self.levels_top[id.index()]
+    }
+
+    /// Level from the bottom (nodes with no predecessors have 0).
+    pub fn level_bottom(&self, id: CnId) -> u32 {
+        self.levels_bottom[id.index()]
+    }
+
+    /// Recompute uses, reachability, and levels after mutation.
+    ///
+    /// Spill rewiring can point old nodes at newly appended loads, so ids
+    /// are no longer topological; a Kahn ordering over the alive subgraph
+    /// drives the dataflow computations.
+    pub fn rebuild_indexes(&mut self) {
+        let n = self.nodes.len();
+        self.uses = vec![Vec::new(); n];
+        for i in 0..n {
+            if self.dead.contains(i) {
+                continue;
+            }
+            for a in &self.nodes[i].args {
+                if let Operand::Cn(c) = a {
+                    self.uses[c.index()].push(CnId(i as u32));
+                }
+            }
+        }
+        // Kahn topological order over alive nodes.
+        let mut indeg = vec![0usize; n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, d) in indeg.iter_mut().enumerate() {
+            if self.dead.contains(i) {
+                continue;
+            }
+            for p in self.preds(CnId(i as u32)) {
+                debug_assert!(
+                    !self.dead.contains(p.index()),
+                    "dead predecessor {p} of c{i}: {:?} <- {:?}",
+                    self.nodes[p.index()].kind,
+                    self.nodes[i].kind
+                );
+                *d += 1;
+                succs[p.index()].push(i);
+            }
+        }
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut queue: Vec<usize> = (0..n)
+            .filter(|&i| !self.dead.contains(i) && indeg[i] == 0)
+            .collect();
+        // Deterministic: process smallest id first.
+        queue.sort_unstable_by(|a, b| b.cmp(a));
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &s in &succs[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    // Insert keeping the stack roughly id-sorted.
+                    let pos = queue
+                        .binary_search_by(|&q| s.cmp(&q))
+                        .unwrap_or_else(|p| p);
+                    queue.insert(pos, s);
+                }
+            }
+        }
+        debug_assert_eq!(
+            order.len(),
+            n - self.dead.count(),
+            "cover graph must stay acyclic"
+        );
+
+        self.desc = vec![BitSet::new(n); n];
+        for &i in &order {
+            let mut acc = BitSet::new(n);
+            for p in self.preds(CnId(i as u32)) {
+                acc.insert(p.index());
+                acc.union_with(&self.desc[p.index()]);
+            }
+            self.desc[i] = acc;
+        }
+        self.levels_bottom = vec![0; n];
+        for &i in &order {
+            let l = self
+                .preds(CnId(i as u32))
+                .iter()
+                .map(|p| self.levels_bottom[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            self.levels_bottom[i] = l;
+        }
+        self.levels_top = vec![0; n];
+        for &i in order.iter().rev() {
+            let l = self.levels_top[i];
+            for p in self.preds(CnId(i as u32)) {
+                let pl = &mut self.levels_top[p.index()];
+                *pl = (*pl).max(l + 1);
+            }
+        }
+    }
+
+    /// Relieve register pressure by evicting `victim`: either a true
+    /// spill (store to a fresh slot + reloads, Fig. 9) or — when the
+    /// victim is itself a load whose memory source is still intact — a
+    /// *rematerialization*: unscheduled consumers simply reload the
+    /// original location, no store needed. Rematerialization is what
+    /// keeps the spill loop convergent: evicting a reload never creates
+    /// new slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim` produces no value (a store).
+    pub fn relieve_pressure(
+        &mut self,
+        target: &Target,
+        syms: &mut SymbolTable,
+        victim: CnId,
+        covered: &BitSet,
+    ) -> (Sym, SpillOutcome) {
+        if let CnKind::LoadVar { sym, .. } = self.nodes[victim.index()].kind {
+            // The variable's memory cell is intact unless a write-back of
+            // the same variable has already executed.
+            let overwritten = (0..self.nodes.len()).any(|i| {
+                !self.dead.contains(i)
+                    && covered.contains(i)
+                    && matches!(self.nodes[i].kind, CnKind::StoreVar { sym: s, .. } if s == sym)
+            });
+            if !overwritten {
+                return (sym, self.remat_load(target, victim, sym, covered));
+            }
+        }
+        self.spill_value(target, syms, victim, covered)
+    }
+
+    /// Spill `victim`'s value to `slot`: appends the spill store, replaces
+    /// every *unscheduled* use with loads from the slot, and removes
+    /// transfers that only existed to ferry the victim (Fig. 9).
+    ///
+    /// `covered` marks already-scheduled nodes; their operands are left
+    /// untouched. The victim must produce a register value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim` produces no value (a store).
+    pub fn spill_value(
+        &mut self,
+        target: &Target,
+        syms: &mut SymbolTable,
+        victim: CnId,
+        covered: &BitSet,
+    ) -> (Sym, SpillOutcome) {
+        let vbank = self.nodes[victim.index()]
+            .dest_bank(target)
+            .expect("spill victim must produce a value");
+        let slot = syms.fresh("__spill");
+
+        let mut new_nodes = Vec::new();
+        let mut removed = Vec::new();
+
+        // 1. The spill store: victim's bank → memory, possibly via moves.
+        let path = target
+            .xfers
+            .paths(Location::Bank(vbank), Location::Mem)
+            .first()
+            .expect("validated machines reach memory from every bank")
+            .clone();
+        let mut cur = Operand::Cn(victim);
+        let mut cur_dep: Option<CnId> = None;
+        for (hi, hop) in path.hops.iter().enumerate() {
+            let is_last = hi + 1 == path.hops.len();
+            let kind = if is_last {
+                let from = match hop.from {
+                    Location::Bank(b) => b,
+                    Location::Mem => unreachable!("store hop starts in a bank"),
+                };
+                CnKind::StoreVar {
+                    sym: slot,
+                    bus: hop.bus,
+                    from: Some(from),
+                }
+            } else {
+                let (from, to) = match (hop.from, hop.to) {
+                    (Location::Bank(f), Location::Bank(t)) => (f, t),
+                    _ => unreachable!("memory is never an intermediate hop"),
+                };
+                CnKind::Move {
+                    bus: hop.bus,
+                    from,
+                    to,
+                }
+            };
+            let id = CnId(self.nodes.len() as u32);
+            self.nodes.push(CoverNode {
+                kind,
+                args: vec![cur],
+                deps: cur_dep.into_iter().collect(),
+            });
+            self.dead.grow(self.nodes.len());
+            new_nodes.push(id);
+            cur = Operand::Cn(id);
+            cur_dep = None;
+        }
+        let spill = *new_nodes.last().expect("path has at least one hop");
+
+        // 2. Redirect unscheduled consumers to loads from the slot. The
+        //    spill chain itself must keep reading the victim, so its
+        //    nodes are protected from redirection.
+        let protected: std::collections::HashSet<usize> =
+            new_nodes.iter().map(|n| n.index()).collect();
+        let jit = self.redirect_to_reloads(
+            target,
+            victim,
+            covered,
+            &protected,
+            slot,
+            Some(spill),
+            &mut new_nodes,
+            &mut removed,
+        );
+        self.prune_dead_deps();
+        self.add_jit_deps(&jit, covered);
+
+        self.rebuild_indexes();
+        (
+            slot,
+            SpillOutcome {
+                spill: Some(spill),
+                new_nodes,
+                removed,
+            },
+        )
+    }
+
+    /// Rematerialize a load victim: unscheduled consumers get fresh loads
+    /// of the same memory location; no store, no new slot. Write-backs of
+    /// the variable that are still pending gain ordering edges after the
+    /// new loads (the entry value must be read first).
+    fn remat_load(
+        &mut self,
+        target: &Target,
+        victim: CnId,
+        sym: Sym,
+        covered: &BitSet,
+    ) -> SpillOutcome {
+        let mut new_nodes = Vec::new();
+        let mut removed = Vec::new();
+        let jit = self.redirect_to_reloads(
+            target,
+            victim,
+            covered,
+            &std::collections::HashSet::new(),
+            sym,
+            None,
+            &mut new_nodes,
+            &mut removed,
+        );
+        self.prune_dead_deps();
+        self.add_jit_deps(&jit, covered);
+        // Write-after-read: pending write-backs of `sym` wait for the new
+        // loads (fresh loads have no predecessors, so no cycles).
+        let loads: Vec<CnId> = new_nodes
+            .iter()
+            .copied()
+            .filter(|&n| matches!(self.nodes[n.index()].kind, CnKind::LoadVar { .. }))
+            .collect();
+        for i in 0..self.nodes.len() {
+            if self.dead.contains(i) || covered.contains(i) {
+                continue;
+            }
+            if matches!(self.nodes[i].kind, CnKind::StoreVar { sym: s, .. } if s == sym) {
+                for &l in &loads {
+                    if !self.nodes[i].deps.contains(&l) {
+                        self.nodes[i].deps.push(l);
+                    }
+                }
+            }
+        }
+        self.rebuild_indexes();
+        SpillOutcome {
+            spill: None,
+            new_nodes,
+            removed,
+        }
+    }
+
+    /// Shared spill/remat rewiring: every unscheduled consumer of
+    /// `victim` is redirected to a reload chain of `slot_sym` into the
+    /// bank it needs; pending moves that only ferried the victim die and
+    /// their consumers chase the replacement transitively. Returns
+    /// `(chain head, consumer)` pairs for the just-in-time ordering pass.
+    #[allow(clippy::too_many_arguments)]
+    fn redirect_to_reloads(
+        &mut self,
+        target: &Target,
+        victim: CnId,
+        covered: &BitSet,
+        protected: &std::collections::HashSet<usize>,
+        slot_sym: Sym,
+        after: Option<CnId>,
+        new_nodes: &mut Vec<CnId>,
+        removed: &mut Vec<CnId>,
+    ) -> Vec<(CnId, CnId)> {
+        let mut jit: Vec<(CnId, CnId)> = Vec::new();
+        let mut worklist: Vec<(CnId, CnId)> = Vec::new(); // (value node, consumer)
+        for i in 0..self.nodes.len() {
+            if self.dead.contains(i) || covered.contains(i) || protected.contains(&i) {
+                continue;
+            }
+            if self.nodes[i]
+                .args.contains(&Operand::Cn(victim))
+            {
+                worklist.push((victim, CnId(i as u32)));
+            }
+        }
+        while let Some((value, consumer)) = worklist.pop() {
+            let c = consumer.index();
+            if self.dead.contains(c) || covered.contains(c) || protected.contains(&c) {
+                continue;
+            }
+            // A pending move that only ferried this value dies; its
+            // consumers chase the replacement instead.
+            let is_ferry_move = matches!(self.nodes[c].kind, CnKind::Move { .. })
+                && self.nodes[c].args == vec![Operand::Cn(value)];
+            if is_ferry_move {
+                self.dead.insert(c);
+                removed.push(consumer);
+                for i in 0..self.nodes.len() {
+                    if self.dead.contains(i) || covered.contains(i) {
+                        continue;
+                    }
+                    if self.nodes[i]
+                        .args.contains(&Operand::Cn(consumer))
+                    {
+                        worklist.push((consumer, CnId(i as u32)));
+                    }
+                }
+                continue;
+            }
+            // Replace the operand with a load chain into the bank the
+            // consumer needs. Each consumer gets its *own* reload (the
+            // paper counts "the number of parent nodes that would later
+            // require the spilled value to be reloaded"): sharing one
+            // reload across consumers would recreate the long live range
+            // the spill was meant to break.
+            let need_bank = self.operand_bank(target, consumer);
+            let (head, tail) = {
+                let first_new = new_nodes.len();
+                let t = self.build_load_chain(target, slot_sym, need_bank, after, new_nodes);
+                (new_nodes[first_new], t)
+            };
+            for a in &mut self.nodes[c].args {
+                if *a == Operand::Cn(value) {
+                    *a = Operand::Cn(tail);
+                }
+            }
+            jit.push((head, consumer));
+        }
+        jit
+    }
+
+    /// Drop ordering edges that point at killed nodes. Only *advisory*
+    /// deps (just-in-time reload ordering) can reference transfer moves —
+    /// the correctness-bearing deps (memory serialization, write-after-
+    /// read, spill-store ordering) all point at loads/stores, which are
+    /// never killed — so dropping them is sound.
+    pub(crate) fn prune_dead_deps(&mut self) {
+        let dead = self.dead.clone();
+        for i in 0..self.nodes.len() {
+            if dead.contains(i) {
+                continue;
+            }
+            self.nodes[i]
+                .deps
+                .retain(|d| !dead.contains(d.index()));
+        }
+    }
+
+    /// Just-in-time ordering for reload chains: a reload may only be
+    /// scheduled once its consumer's *other* predecessors are done, so the
+    /// reloaded register is consumed immediately instead of parking in a
+    /// scarce bank (where the next pressure crisis would evict it again —
+    /// the livelock this pass prevents). Each edge is checked against the
+    /// current graph to keep it acyclic.
+    fn add_jit_deps(&mut self, jit: &[(CnId, CnId)], covered: &BitSet) {
+        for &(head, consumer) in jit {
+            if self.dead.contains(head.index()) || self.dead.contains(consumer.index()) {
+                continue;
+            }
+            for p in self.preds(consumer) {
+                if p == head
+                    || self.dead.contains(p.index())
+                    || covered.contains(p.index())
+                    || self.nodes[head.index()].deps.contains(&p)
+                {
+                    continue;
+                }
+                // Safe only if p does not (now) depend on head.
+                if self.reaches_via_preds(p, head) {
+                    continue;
+                }
+                self.nodes[head.index()].deps.push(p);
+            }
+        }
+    }
+
+    /// Whether `to` is in `from`'s predecessor closure (on the current,
+    /// possibly unindexed graph).
+    fn reaches_via_preds(&self, from: CnId, to: CnId) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            for p in self.preds(n) {
+                stack.push(p);
+            }
+        }
+        false
+    }
+
+    /// The bank a consumer reads its register operands from.
+    fn operand_bank(&self, target: &Target, consumer: CnId) -> BankId {
+        match self.nodes[consumer.index()].kind {
+            CnKind::Op { unit, .. } | CnKind::Complex { unit, .. } => {
+                target.machine.bank_of(unit)
+            }
+            CnKind::Move { from, .. } => from,
+            CnKind::StoreVar { from, .. } => from.expect("store of a register value"),
+            CnKind::LoadDyn { bank, .. } | CnKind::StoreDyn { bank, .. } => bank,
+            CnKind::LoadVar { .. } => unreachable!("loads have no register operands"),
+        }
+    }
+
+    /// Build a load chain `slot`(memory) → `bank`, optionally ordered
+    /// after a spill store.
+    fn build_load_chain(
+        &mut self,
+        target: &Target,
+        slot: Sym,
+        bank: BankId,
+        after: Option<CnId>,
+        new_nodes: &mut Vec<CnId>,
+    ) -> CnId {
+        let path = target
+            .xfers
+            .paths(Location::Mem, Location::Bank(bank))
+            .first()
+            .expect("validated machines reach every bank from memory")
+            .clone();
+        let mut cur: Option<CnId> = None;
+        for hop in &path.hops {
+            let kind = match (hop.from, hop.to) {
+                (Location::Mem, Location::Bank(t)) => CnKind::LoadVar {
+                    sym: slot,
+                    bus: hop.bus,
+                    to: t,
+                },
+                (Location::Bank(f), Location::Bank(t)) => CnKind::Move {
+                    bus: hop.bus,
+                    from: f,
+                    to: t,
+                },
+                _ => unreachable!("memory is never an intermediate hop"),
+            };
+            let id = CnId(self.nodes.len() as u32);
+            let (args, deps) = match cur {
+                None => (Vec::new(), after.into_iter().collect()),
+                Some(prev) => (vec![Operand::Cn(prev)], Vec::new()),
+            };
+            self.nodes.push(CoverNode { kind, args, deps });
+            self.dead.grow(self.nodes.len());
+            new_nodes.push(id);
+            cur = Some(id);
+        }
+        cur.expect("path has at least one hop")
+    }
+
+    /// Current per-bus usage counts (path-choice heuristic state).
+    pub fn bus_usage(&self) -> &[usize] {
+        &self.bus_usage
+    }
+
+    /// Replace every alive reference to `from` with `to` (peephole spill
+    /// undo). Call [`CoverGraph::rebuild_indexes`] when done mutating.
+    pub fn rewire_all(&mut self, from: CnId, to: CnId) {
+        for i in 0..self.nodes.len() {
+            if self.dead.contains(i) {
+                continue;
+            }
+            for a in &mut self.nodes[i].args {
+                if *a == Operand::Cn(from) {
+                    *a = Operand::Cn(to);
+                }
+            }
+            for d in &mut self.nodes[i].deps {
+                if *d == from {
+                    *d = to;
+                }
+            }
+        }
+        for (_, op) in &mut self.live_out {
+            if *op == Operand::Cn(from) {
+                *op = Operand::Cn(to);
+            }
+        }
+    }
+
+    /// Mark a node dead (peephole removal). The caller must have rewired
+    /// or removed all its consumers first; call
+    /// [`CoverGraph::rebuild_indexes`] when done mutating.
+    pub fn kill(&mut self, id: CnId) {
+        self.dead.insert(id.index());
+    }
+
+    /// Structural invariants; used by tests and debug assertions.
+    pub fn verify(&self, target: &Target) -> Result<(), String> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            if self.dead.contains(i) {
+                continue;
+            }
+            let id = CnId(i as u32);
+            for a in &n.args {
+                if let Operand::Cn(c) = a {
+                    if c.index() >= self.nodes.len() {
+                        return Err(format!("{id}: operand {c} out of range"));
+                    }
+                    if self.dead.contains(c.index()) {
+                        return Err(format!("{id}: operand {c} is dead"));
+                    }
+                    let pb = self.nodes[c.index()].dest_bank(target);
+                    if pb.is_none() {
+                        return Err(format!("{id}: operand {c} produces no value"));
+                    }
+                    // Register operands must reside in the consumer bank
+                    // (loads take no register operand).
+                    if !matches!(n.kind, CnKind::LoadVar { .. }) {
+                        let need = self.operand_bank(target, id);
+                        if pb != Some(need) {
+                            return Err(format!(
+                                "{id}: operand {c} in {:?}, needs {:?}",
+                                pb, need
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Alive node ids in topological (ascending) order.
+    pub fn alive(&self) -> Vec<CnId> {
+        (0..self.nodes.len())
+            .filter(|&i| !self.dead.contains(i))
+            .map(|i| CnId(i as u32))
+            .collect()
+    }
+}
+
+struct GraphBuilder<'a> {
+    dag: &'a BlockDag,
+    sndag: &'a SplitNodeDag,
+    target: &'a Target,
+    assignment: &'a Assignment,
+    nodes: Vec<CoverNode>,
+    value_of_orig: Vec<Option<CnId>>,
+    /// (producer, dest bank) → chain tail.
+    move_cache: HashMap<(CnId, BankId), CnId>,
+    /// (variable, dest bank) → chain tail.
+    loadvar_cache: HashMap<(Sym, BankId), CnId>,
+    /// Original memory node → cover node (for serialization edges).
+    mem_cn: HashMap<NodeId, CnId>,
+    /// Entry-value loads per variable (LoadVar nodes only, not the moves
+    /// behind them) — write-backs of the same variable must follow them.
+    loads_by_sym: HashMap<Sym, Vec<CnId>>,
+    /// Write-backs per variable.
+    stores_by_sym: Vec<(Sym, CnId)>,
+    bus_usage: Vec<usize>,
+}
+
+impl<'a> GraphBuilder<'a> {
+    fn push(&mut self, kind: CnKind, args: Vec<Operand>) -> CnId {
+        if let Resource::Bus(b) = (CoverNode {
+            kind: kind.clone(),
+            args: vec![],
+            deps: vec![],
+        })
+        .resource()
+        {
+            self.bus_usage[b.index()] += 1;
+        }
+        let id = CnId(self.nodes.len() as u32);
+        self.nodes.push(CoverNode {
+            kind,
+            args,
+            deps: Vec::new(),
+        });
+        id
+    }
+
+    /// Choose among equal-cost transfer paths by current bus pressure
+    /// (§IV-B: "the cost function is based solely on parallelism").
+    fn choose_path(&self, from: Location, to: Location) -> aviv_isdl::TransferPath {
+        let paths = self.target.xfers.paths(from, to);
+        assert!(!paths.is_empty(), "no transfer path {from} -> {to}");
+        paths
+            .iter()
+            .min_by_key(|p| {
+                (
+                    p.hops
+                        .iter()
+                        .map(|h| self.bus_usage[h.bus.index()])
+                        .sum::<usize>(),
+                    p.hops.first().map(|h| h.bus.0).unwrap_or(0),
+                )
+            })
+            .expect("nonempty")
+            .clone()
+    }
+
+    /// Produce `orig`'s value in `bank`, inserting transfer chains.
+    fn resolve(&mut self, orig: NodeId, bank: BankId) -> Operand {
+        let n = self.dag.node(orig);
+        match n.op {
+            Op::Const => Operand::Imm(n.imm.unwrap()),
+            Op::Input => {
+                let sym = n.sym.unwrap();
+                if let Some(&t) = self.loadvar_cache.get(&(sym, bank)) {
+                    return Operand::Cn(t);
+                }
+                let path = self.choose_path(Location::Mem, Location::Bank(bank));
+                let mut cur: Option<CnId> = None;
+                for hop in &path.hops {
+                    let id = match (hop.from, hop.to) {
+                        (Location::Mem, Location::Bank(t)) => {
+                            // Intermediate banks are cacheable too.
+                            if let Some(&c) = self.loadvar_cache.get(&(sym, t)) {
+                                c
+                            } else {
+                                let c = self.push(
+                                    CnKind::LoadVar {
+                                        sym,
+                                        bus: hop.bus,
+                                        to: t,
+                                    },
+                                    Vec::new(),
+                                );
+                                self.loadvar_cache.insert((sym, t), c);
+                                self.loads_by_sym.entry(sym).or_default().push(c);
+                                c
+                            }
+                        }
+                        (Location::Bank(f), Location::Bank(t)) => {
+                            let prev = cur.expect("bank hop follows the memory hop");
+                            if let Some(&c) = self.loadvar_cache.get(&(sym, t)) {
+                                c
+                            } else {
+                                let c = self.push(
+                                    CnKind::Move {
+                                        bus: hop.bus,
+                                        from: f,
+                                        to: t,
+                                    },
+                                    vec![Operand::Cn(prev)],
+                                );
+                                self.loadvar_cache.insert((sym, t), c);
+                                c
+                            }
+                        }
+                        _ => unreachable!("memory is never an intermediate hop"),
+                    };
+                    cur = Some(id);
+                }
+                Operand::Cn(cur.expect("path nonempty"))
+            }
+            _ => {
+                let producer = self.value_of_orig[orig.index()]
+                    .expect("operands are materialized before consumers");
+                let pbank = self.nodes[producer.index()]
+                    .dest_bank(self.target)
+                    .expect("value-producing node");
+                if pbank == bank {
+                    return Operand::Cn(producer);
+                }
+                if let Some(&t) = self.move_cache.get(&(producer, bank)) {
+                    return Operand::Cn(t);
+                }
+                let path = self.choose_path(Location::Bank(pbank), Location::Bank(bank));
+                let mut cur = producer;
+                for hop in &path.hops {
+                    let (f, t) = match (hop.from, hop.to) {
+                        (Location::Bank(f), Location::Bank(t)) => (f, t),
+                        _ => unreachable!("memory is never an intermediate hop"),
+                    };
+                    cur = if let Some(&c) = self.move_cache.get(&(producer, t)) {
+                        c
+                    } else {
+                        let c = self.push(
+                            CnKind::Move {
+                                bus: hop.bus,
+                                from: f,
+                                to: t,
+                            },
+                            vec![Operand::Cn(cur)],
+                        );
+                        self.move_cache.insert((producer, t), c);
+                        c
+                    };
+                }
+                Operand::Cn(cur)
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        for (orig, n) in self.dag.iter() {
+            // Skipped: leaves (lazy), and nodes swallowed by a chosen
+            // complex (their value comes from the complex node, assigned
+            // when the root is processed — roots have larger ids).
+            if n.op.is_leaf() || self.assignment.complex_covered[orig.index()] {
+                continue;
+            }
+            match n.op {
+                Op::StoreVar => {
+                    let sym = n.sym.unwrap();
+                    let vnode = n.args[0];
+                    let vop = self.dag.node(vnode).op;
+                    if vop == Op::Const {
+                        // Immediate store straight to memory.
+                        let path = self.choose_path(
+                            // Any bank with a memory bus works; route from
+                            // the first bank on a memory path. Immediates
+                            // ride the bus directly.
+                            Location::Bank(BankId(0)),
+                            Location::Mem,
+                        );
+                        let bus = path.hops.last().expect("nonempty").bus;
+                        let cn = self.push(
+                            CnKind::StoreVar {
+                                sym,
+                                bus,
+                                from: None,
+                            },
+                            vec![Operand::Imm(self.dag.node(vnode).imm.unwrap())],
+                        );
+                        self.mem_cn.insert(orig, cn);
+                        self.stores_by_sym.push((sym, cn));
+                        continue;
+                    }
+                    // Route the value to memory: intermediate hops are
+                    // moves, the final hop is the store itself.
+                    let producer_bank = if vop == Op::Input {
+                        // Storing an unmodified input: load it somewhere
+                        // first (degenerate but legal).
+                        None
+                    } else {
+                        let p = self.value_of_orig[vnode.index()]
+                            .expect("value materialized");
+                        Some(
+                            self.nodes[p.index()]
+                                .dest_bank(self.target)
+                                .expect("value-producing node"),
+                        )
+                    };
+                    let src_bank = match producer_bank {
+                        Some(b) => b,
+                        None => {
+                            // Pick the bank closest to memory for the
+                            // round trip.
+                            let m = &self.target;
+                            (0..m.machine.banks().len() as u32)
+                                .map(BankId)
+                                .min_by_key(|&b| {
+                                    m.xfers
+                                        .cost(Location::Mem, Location::Bank(b))
+                                        .unwrap_or(usize::MAX)
+                                        + m.xfers
+                                            .cost(Location::Bank(b), Location::Mem)
+                                            .unwrap_or(usize::MAX)
+                                })
+                                .expect("machine has banks")
+                        }
+                    };
+                    let value = self.resolve(vnode, src_bank);
+                    let path = self.choose_path(Location::Bank(src_bank), Location::Mem);
+                    let mut cur = value;
+                    let mut store_cn = None;
+                    for (hi, hop) in path.hops.iter().enumerate() {
+                        let is_last = hi + 1 == path.hops.len();
+                        if is_last {
+                            let from = match hop.from {
+                                Location::Bank(b) => b,
+                                Location::Mem => unreachable!(),
+                            };
+                            let cn = self.push(
+                                CnKind::StoreVar {
+                                    sym,
+                                    bus: hop.bus,
+                                    from: Some(from),
+                                },
+                                vec![cur],
+                            );
+                            self.stores_by_sym.push((sym, cn));
+                            store_cn = Some(cn);
+                        } else {
+                            let (f, t) = match (hop.from, hop.to) {
+                                (Location::Bank(f), Location::Bank(t)) => (f, t),
+                                _ => unreachable!(),
+                            };
+                            let cn = self.push(
+                                CnKind::Move {
+                                    bus: hop.bus,
+                                    from: f,
+                                    to: t,
+                                },
+                                vec![cur],
+                            );
+                            cur = Operand::Cn(cn);
+                        }
+                    }
+                    self.mem_cn
+                        .insert(orig, store_cn.expect("store path nonempty"));
+                }
+                Op::Store | Op::Load => {
+                    let ai = self.assignment.choice[orig.index()]
+                        .expect("memory ops have chosen alternatives");
+                    let alt = &self.sndag.alts(orig)[ai];
+                    let (bus, bank) = match alt.exec {
+                        aviv_splitdag::Exec::MemPort { bus, bank } => (bus, bank),
+                        aviv_splitdag::Exec::Unit(_) => {
+                            unreachable!("memory ops use memory ports")
+                        }
+                    };
+                    if n.op == Op::Load {
+                        let addr = self.resolve(n.args[0], bank);
+                        let cn =
+                            self.push(CnKind::LoadDyn { orig, bus, bank }, vec![addr]);
+                        self.value_of_orig[orig.index()] = Some(cn);
+                        self.mem_cn.insert(orig, cn);
+                    } else {
+                        let addr = self.resolve(n.args[0], bank);
+                        let val = self.resolve(n.args[1], bank);
+                        let cn = self
+                            .push(CnKind::StoreDyn { orig, bus, bank }, vec![addr, val]);
+                        self.mem_cn.insert(orig, cn);
+                    }
+                }
+                _ => {
+                    let ai = self.assignment.choice[orig.index()]
+                        .expect("operations have chosen alternatives");
+                    let alt = &self.sndag.alts(orig)[ai];
+                    let unit = match alt.exec {
+                        aviv_splitdag::Exec::Unit(u) => u,
+                        aviv_splitdag::Exec::MemPort { .. } => {
+                            unreachable!("pure ops execute on units")
+                        }
+                    };
+                    let bank = self.target.machine.bank_of(unit);
+                    match &alt.kind {
+                        AltKind::Simple(op) => {
+                            let args: Vec<Operand> = n
+                                .args
+                                .clone()
+                                .into_iter()
+                                .map(|a| self.resolve(a, bank))
+                                .collect();
+                            let cn = self.push(
+                                CnKind::Op {
+                                    orig,
+                                    unit,
+                                    op: *op,
+                                },
+                                args,
+                            );
+                            self.value_of_orig[orig.index()] = Some(cn);
+                        }
+                        AltKind::Complex {
+                            index,
+                            covers,
+                            operands,
+                        } => {
+                            let args: Vec<Operand> = operands
+                                .clone()
+                                .into_iter()
+                                .map(|a| self.resolve(a, bank))
+                                .collect();
+                            let cn = self.push(
+                                CnKind::Complex {
+                                    orig,
+                                    index: *index,
+                                    unit,
+                                },
+                                args,
+                            );
+                            for &c in covers {
+                                self.value_of_orig[c.index()] = Some(cn);
+                            }
+                        }
+                        AltKind::DynLoad | AltKind::DynStore => {
+                            unreachable!("handled above")
+                        }
+                    }
+                }
+            }
+        }
+        // A variable's write-back must not overtake any same-block read
+        // of its entry value (write-after-read on the variable's memory
+        // cell). Loads have no inputs, so these edges cannot form cycles.
+        for (sym, store_cn) in self.stores_by_sym.clone() {
+            for &load_cn in self.loads_by_sym.get(&sym).into_iter().flatten() {
+                if !self.nodes[store_cn.index()].deps.contains(&load_cn) {
+                    self.nodes[store_cn.index()].deps.push(load_cn);
+                }
+            }
+        }
+        // Memory serialization edges.
+        for &(earlier, later) in self.dag.mem_deps() {
+            if let (Some(&a), Some(&b)) = (self.mem_cn.get(&earlier), self.mem_cn.get(&later))
+            {
+                if a != b && !self.nodes[b.index()].deps.contains(&a) {
+                    self.nodes[b.index()].deps.push(a);
+                }
+            }
+        }
+    }
+}

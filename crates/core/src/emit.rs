@@ -1,0 +1,374 @@
+//! VLIW program representation and assembly printing.
+//!
+//! A [`VliwInstruction`] mirrors the machines of the paper: one operation
+//! slot per functional unit, a transfer field per bus use, and an optional
+//! control operation (the conventional tree-covered control flow of
+//! §III-C). The assembler and simulator in `aviv-vm` consume this
+//! representation; [`VliwProgram::render`] prints human-readable assembly.
+
+use crate::cover::Schedule;
+use crate::covergraph::{CnKind, CoverGraph, Operand};
+use crate::regalloc::{Allocation, Reg};
+use aviv_ir::{MemLayout, SymbolTable};
+use aviv_isdl::{BusId, Target, UnitId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// An operand as it appears in assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsmOperand {
+    /// A register.
+    Reg(Reg),
+    /// An immediate.
+    Imm(i64),
+}
+
+impl std::fmt::Display for AsmOperand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmOperand::Reg(r) => write!(f, "{r}"),
+            AsmOperand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// The opcode of a unit slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOpcode {
+    /// A basic operation.
+    Basic(aviv_ir::Op),
+    /// A complex instruction (index into the machine's list).
+    Complex(usize),
+}
+
+/// One functional-unit slot of a VLIW instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotOp {
+    /// The opcode.
+    pub opcode: SlotOpcode,
+    /// Destination register.
+    pub dst: Reg,
+    /// Source operands.
+    pub args: Vec<AsmOperand>,
+}
+
+/// One transfer field of a VLIW instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferOp {
+    /// The bus carrying it.
+    pub bus: BusId,
+    /// What moves where.
+    pub kind: TransferKind,
+}
+
+/// The kinds of bus activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferKind {
+    /// Register-to-register move.
+    Move {
+        /// Source.
+        from: Reg,
+        /// Destination.
+        to: Reg,
+    },
+    /// Load from a static address (named variable or spill slot).
+    LoadVar {
+        /// Memory address.
+        addr: i64,
+        /// Variable name (assembly comment).
+        name: String,
+        /// Destination register.
+        to: Reg,
+    },
+    /// Store to a static address.
+    StoreVar {
+        /// The stored value.
+        value: AsmOperand,
+        /// Memory address.
+        addr: i64,
+        /// Variable name (assembly comment).
+        name: String,
+    },
+    /// Load from a register-held address.
+    LoadDyn {
+        /// Address register.
+        addr: Reg,
+        /// Destination register.
+        to: Reg,
+    },
+    /// Store to a register-held address.
+    StoreDyn {
+        /// Address register.
+        addr: Reg,
+        /// Value register.
+        value: Reg,
+    },
+}
+
+/// A control operation (at most one per instruction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Unconditional jump to an instruction index.
+    Jump(usize),
+    /// Branch to an instruction index when the condition is nonzero.
+    BranchNz {
+        /// The condition.
+        cond: AsmOperand,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Return from the function.
+    Return(Option<AsmOperand>),
+}
+
+/// One VLIW instruction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VliwInstruction {
+    /// Operation slots, indexed by unit.
+    pub slots: Vec<Option<SlotOp>>,
+    /// Bus transfer fields.
+    pub xfers: Vec<TransferOp>,
+    /// Control field.
+    pub control: Option<ControlOp>,
+}
+
+impl VliwInstruction {
+    /// An all-nop instruction for a machine with `n_units` units.
+    pub fn nop(n_units: usize) -> Self {
+        VliwInstruction {
+            slots: vec![None; n_units],
+            xfers: Vec::new(),
+            control: None,
+        }
+    }
+
+    /// True when nothing at all happens.
+    pub fn is_nop(&self) -> bool {
+        self.slots.iter().all(Option::is_none) && self.xfers.is_empty() && self.control.is_none()
+    }
+}
+
+/// A complete VLIW program for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VliwProgram {
+    /// Machine name (for display).
+    pub machine_name: String,
+    /// The instructions.
+    pub instructions: Vec<VliwInstruction>,
+    /// First instruction index of each basic block, in block order.
+    pub block_starts: Vec<usize>,
+    /// Named variables and their memory addresses (inputs preloaded here,
+    /// outputs read back from here).
+    pub var_addrs: Vec<(String, i64)>,
+}
+
+impl VliwProgram {
+    /// Render assembly text.
+    pub fn render(&self, target: &Target) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "; machine {}", self.machine_name);
+        for (i, inst) in self.instructions.iter().enumerate() {
+            if let Some(b) = self.block_starts.iter().position(|&s| s == i) {
+                let _ = writeln!(out, "bb{b}:");
+            }
+            let mut fields: Vec<String> = Vec::new();
+            for (ui, slot) in inst.slots.iter().enumerate() {
+                if let Some(s) = slot {
+                    let unit = &target.machine.units()[ui];
+                    let opname = match s.opcode {
+                        SlotOpcode::Basic(op) => op.mnemonic().to_string(),
+                        SlotOpcode::Complex(ci) => {
+                            target.machine.complexes()[ci].name.clone()
+                        }
+                    };
+                    let args: Vec<String> = s.args.iter().map(|a| a.to_string()).collect();
+                    fields.push(format!(
+                        "{}: {} {}, {}",
+                        unit.name,
+                        opname,
+                        s.dst,
+                        args.join(", ")
+                    ));
+                }
+            }
+            for x in &inst.xfers {
+                let bus = &target.machine.bus(x.bus).name;
+                let desc = match &x.kind {
+                    TransferKind::Move { from, to } => format!("mov {to} <- {from}"),
+                    TransferKind::LoadVar { addr, name, to } => {
+                        format!("ld {to} <- [{addr}] ;{name}")
+                    }
+                    TransferKind::StoreVar { value, addr, name } => {
+                        format!("st [{addr}] <- {value} ;{name}")
+                    }
+                    TransferKind::LoadDyn { addr, to } => format!("ld {to} <- [{addr}]"),
+                    TransferKind::StoreDyn { addr, value } => {
+                        format!("st [{addr}] <- {value}")
+                    }
+                };
+                fields.push(format!("{bus}: {desc}"));
+            }
+            if let Some(c) = &inst.control {
+                let desc = match c {
+                    ControlOp::Jump(t) => format!("jmp @{t}"),
+                    ControlOp::BranchNz { cond, target } => format!("bnz {cond}, @{target}"),
+                    ControlOp::Return(Some(v)) => format!("ret {v}"),
+                    ControlOp::Return(None) => "ret".to_string(),
+                };
+                fields.push(format!("CTRL: {desc}"));
+            }
+            if fields.is_empty() {
+                fields.push("nop".to_string());
+            }
+            let _ = writeln!(out, "  {i:4}: {{ {} }}", fields.join(" | "));
+        }
+        out
+    }
+
+    /// Instruction count (the paper's code-size cost).
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+}
+
+/// Lower one scheduled, register-allocated block into instructions (no
+/// control field yet — the function-level driver appends terminators).
+pub fn emit_block(
+    graph: &CoverGraph,
+    target: &Target,
+    schedule: &Schedule,
+    alloc: &Allocation,
+    syms: &SymbolTable,
+    layout: &MemLayout,
+) -> Vec<VliwInstruction> {
+    let n_units = target.machine.units().len();
+    let mut out = Vec::with_capacity(schedule.steps.len());
+    for step in &schedule.steps {
+        let mut inst = VliwInstruction::nop(n_units);
+        for &id in step {
+            let node = graph.node(id);
+            let reg_arg = |a: &Operand| -> AsmOperand {
+                match a {
+                    Operand::Imm(v) => AsmOperand::Imm(*v),
+                    Operand::Cn(c) => AsmOperand::Reg(alloc.reg(*c)),
+                }
+            };
+            match &node.kind {
+                CnKind::Op { unit, op, .. } => {
+                    place_slot(
+                        &mut inst,
+                        *unit,
+                        SlotOp {
+                            opcode: SlotOpcode::Basic(*op),
+                            dst: alloc.reg(id),
+                            args: node.args.iter().map(reg_arg).collect(),
+                        },
+                    );
+                }
+                CnKind::Complex { unit, index, .. } => {
+                    place_slot(
+                        &mut inst,
+                        *unit,
+                        SlotOp {
+                            opcode: SlotOpcode::Complex(*index),
+                            dst: alloc.reg(id),
+                            args: node.args.iter().map(reg_arg).collect(),
+                        },
+                    );
+                }
+                CnKind::Move { bus, .. } => {
+                    let from = match &node.args[0] {
+                        Operand::Cn(c) => alloc.reg(*c),
+                        Operand::Imm(_) => unreachable!("moves carry register values"),
+                    };
+                    inst.xfers.push(TransferOp {
+                        bus: *bus,
+                        kind: TransferKind::Move {
+                            from,
+                            to: alloc.reg(id),
+                        },
+                    });
+                }
+                CnKind::LoadVar { sym, bus, .. } => {
+                    inst.xfers.push(TransferOp {
+                        bus: *bus,
+                        kind: TransferKind::LoadVar {
+                            addr: layout.addr(*sym),
+                            name: syms.name(*sym).to_string(),
+                            to: alloc.reg(id),
+                        },
+                    });
+                }
+                CnKind::StoreVar { sym, bus, .. } => {
+                    inst.xfers.push(TransferOp {
+                        bus: *bus,
+                        kind: TransferKind::StoreVar {
+                            value: reg_arg(&node.args[0]),
+                            addr: layout.addr(*sym),
+                            name: syms.name(*sym).to_string(),
+                        },
+                    });
+                }
+                CnKind::LoadDyn { bus, .. } => {
+                    let addr = match &node.args[0] {
+                        Operand::Cn(c) => alloc.reg(*c),
+                        Operand::Imm(_) => unreachable!("dynamic loads take a register address"),
+                    };
+                    inst.xfers.push(TransferOp {
+                        bus: *bus,
+                        kind: TransferKind::LoadDyn {
+                            addr,
+                            to: alloc.reg(id),
+                        },
+                    });
+                }
+                CnKind::StoreDyn { bus, .. } => {
+                    let get = |a: &Operand| match a {
+                        Operand::Cn(c) => alloc.reg(*c),
+                        Operand::Imm(_) => {
+                            unreachable!("dynamic stores take register operands")
+                        }
+                    };
+                    inst.xfers.push(TransferOp {
+                        bus: *bus,
+                        kind: TransferKind::StoreDyn {
+                            addr: get(&node.args[0]),
+                            value: get(&node.args[1]),
+                        },
+                    });
+                }
+            }
+        }
+        out.push(inst);
+    }
+    out
+}
+
+fn place_slot(inst: &mut VliwInstruction, unit: UnitId, slot: SlotOp) {
+    let cell = &mut inst.slots[unit.index()];
+    assert!(cell.is_none(), "unit {unit} double-booked in one instruction");
+    *cell = Some(slot);
+}
+
+/// Map live-out original nodes to the assembly operand holding them at
+/// block end (used by the function driver for branch conditions and
+/// return values).
+pub fn live_out_operands(
+    graph: &CoverGraph,
+    alloc: &Allocation,
+) -> HashMap<aviv_ir::NodeId, AsmOperand> {
+    let mut out = HashMap::new();
+    for &(orig, operand) in graph.live_out() {
+        let a = match operand {
+            Operand::Imm(v) => AsmOperand::Imm(v),
+            Operand::Cn(c) => AsmOperand::Reg(alloc.reg(c)),
+        };
+        out.insert(orig, a);
+    }
+    out
+}

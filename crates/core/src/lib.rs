@@ -1,0 +1,34 @@
+//! # aviv — the AVIV retargetable code generator
+//!
+//! Reproduction of Hanono & Devadas, *"Instruction Selection, Resource
+//! Allocation, and Scheduling in the AVIV Retargetable Code Generator"*
+//! (DAC 1998): concurrent instruction selection, resource allocation, and
+//! scheduling by covering the Split-Node DAG with a minimal set of legal
+//! maximal cliques.
+
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod cliques;
+pub mod codegen;
+pub mod cover;
+pub mod covergraph;
+pub mod emit;
+pub mod optimal;
+pub mod options;
+pub mod peephole;
+pub mod regalloc;
+pub mod report;
+
+pub use assign::{explore, Assignment, ExploreResult, ExploreTrace};
+pub use codegen::{BlockReport, BlockResult, CodeGenerator, CodegenError, FunctionReport};
+pub use emit::{
+    AsmOperand, ControlOp, SlotOp, SlotOpcode, TransferKind, TransferOp, VliwInstruction,
+    VliwProgram,
+};
+pub use cover::{cover, verify_schedule, CoverError, Schedule, SpillRecord};
+pub use covergraph::{CnId, CnKind, CoverGraph, CoverNode, Operand, Resource};
+pub use optimal::{optimal_block, OptimalConfig, OptimalResult};
+pub use options::CodegenOptions;
+pub use regalloc::{allocate, verify_allocation, Allocation, Reg, RegAllocError};
+pub use report::covergraph_to_dot;

@@ -1,0 +1,124 @@
+//! Code-generation options.
+//!
+//! "AVIV incorporates multiple heuristics that can be turned off if
+//! desired" (paper §VI) — the parenthesized columns of Table I come from
+//! running with every heuristic disabled. Each heuristic is a first-class
+//! toggle here so the ablation benchmarks can flip them independently.
+
+/// Tunable heuristics of the covering engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenOptions {
+    /// Prune split-node assignment branches to the minimum incremental
+    /// cost at each node (§IV-A). When `false`, *all* possible functional
+    /// unit assignments are generated — the paper's "heuristics off" mode.
+    pub prune_assignments: bool,
+    /// Keep alternatives whose incremental cost is within this slack of
+    /// the per-node minimum (0 reproduces the paper's prune-to-minimum
+    /// rule exactly; 1 explores near-ties and measurably improves code
+    /// quality at a small CPU cost).
+    pub prune_slack: i64,
+    /// Cap on branches kept alive during assignment exploration (applied
+    /// only when `prune_assignments`; ties at the minimum incremental cost
+    /// are all kept, then the frontier is trimmed to this many by
+    /// accumulated cost).
+    pub assignment_beam: usize,
+    /// How many of the lowest-cost assignments to explore in detail.
+    pub assignments_to_explore: usize,
+    /// Hard cap on the total number of assignments enumerated, even with
+    /// pruning off (guards the exhaustive mode against combinatorial
+    /// explosion; `usize::MAX` reproduces the paper's unbounded runs).
+    pub max_assignments: usize,
+    /// Merge only nodes whose levels from the top and from the bottom of
+    /// the solution DAG are within this window (§IV-C.2). `None` disables
+    /// the heuristic (all maximal cliques are generated).
+    pub clique_level_window: Option<u32>,
+    /// Use the lookahead cost function to break covering ties (§IV-D).
+    pub lookahead: bool,
+    /// Run the post-allocation peephole pass (§IV-G).
+    pub peephole: bool,
+    /// Add a register-pressure term to the assignment cost function —
+    /// the paper's stated ongoing work ("modifying the initial functional
+    /// unit assignment cost function to incorporate register resource
+    /// limits so that it can detect assignments that are likely to
+    /// require spills"). Off by default to match the published
+    /// algorithm; the ablation bench measures its effect.
+    pub pressure_aware_assignment: bool,
+}
+
+impl CodegenOptions {
+    /// The paper's default configuration: all heuristics on.
+    pub fn heuristics_on() -> Self {
+        CodegenOptions {
+            prune_assignments: true,
+            prune_slack: 1,
+            assignment_beam: 128,
+            assignments_to_explore: 8,
+            max_assignments: 1 << 20,
+            clique_level_window: Some(2),
+            lookahead: true,
+            peephole: true,
+            pressure_aware_assignment: false,
+        }
+    }
+
+    /// A heavier heuristic operating point: wider pruning slack, bigger
+    /// beam, more assignments explored in depth. Roughly 5–10× the CPU of
+    /// [`CodegenOptions::heuristics_on`] and still orders of magnitude
+    /// cheaper than exhaustive mode, with near-optimal code on the paper's
+    /// benchmark sizes.
+    pub fn thorough() -> Self {
+        CodegenOptions {
+            prune_assignments: true,
+            prune_slack: 2,
+            assignment_beam: 1024,
+            assignments_to_explore: 64,
+            max_assignments: 1 << 20,
+            clique_level_window: Some(2),
+            lookahead: true,
+            peephole: true,
+            pressure_aware_assignment: false,
+        }
+    }
+
+    /// The paper's "heuristics turned off" configuration: exhaustive
+    /// assignment enumeration and unrestricted clique generation. Note
+    /// (as the paper does) that this is *not* an exact algorithm — the
+    /// covering step still schedules greedily.
+    pub fn heuristics_off() -> Self {
+        CodegenOptions {
+            prune_assignments: false,
+            prune_slack: 0,
+            assignment_beam: usize::MAX,
+            assignments_to_explore: usize::MAX,
+            max_assignments: 1 << 22,
+            clique_level_window: None,
+            lookahead: true,
+            peephole: true,
+            pressure_aware_assignment: false,
+        }
+    }
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        Self::heuristics_on()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_heuristics_on() {
+        assert_eq!(CodegenOptions::default(), CodegenOptions::heuristics_on());
+    }
+
+    #[test]
+    fn heuristics_off_is_exhaustive() {
+        let o = CodegenOptions::heuristics_off();
+        assert!(!o.prune_assignments);
+        assert_eq!(o.clique_level_window, None);
+        assert!(o.assignments_to_explore > 1 << 20);
+    }
+}

@@ -1,0 +1,323 @@
+//! Control-flow-graph simplification.
+//!
+//! The AVIV back end generates code one basic block at a time, so bigger
+//! blocks expose more instruction-level parallelism to the Split-Node DAG
+//! (the same motivation as loop unrolling). These passes enlarge blocks
+//! and clean the CFG:
+//!
+//! * [`remove_unreachable`] — drop blocks no path from the entry reaches;
+//! * [`skip_empty_blocks`] — retarget edges that pass through empty
+//!   forwarding blocks;
+//! * [`merge_linear_chains`] — fuse `A → jump B` when `A` is `B`'s only
+//!   predecessor, concatenating their DAGs;
+//! * [`simplify_cfg`] — all of the above to a fixpoint.
+
+use crate::dag::BlockDag;
+use crate::opt::merge_sequential;
+use crate::program::{BlockId, Function, Terminator};
+
+/// Remove blocks unreachable from the entry; block ids are remapped.
+/// Returns the number of blocks removed.
+pub fn remove_unreachable(f: &mut Function) -> usize {
+    let n = f.blocks.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![f.entry];
+    seen[f.entry.index()] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.block(b).term.successors() {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    if seen.iter().all(|&s| s) {
+        return 0;
+    }
+    // Compact, building the id remap.
+    let mut remap: Vec<Option<BlockId>> = vec![None; n];
+    let mut kept = Vec::with_capacity(n);
+    for (i, block) in std::mem::take(&mut f.blocks).into_iter().enumerate() {
+        if seen[i] {
+            remap[i] = Some(BlockId(kept.len() as u32));
+            kept.push(block);
+        }
+    }
+    f.blocks = kept;
+    let removed = n - f.blocks.len();
+    let fix = |b: &mut BlockId| *b = remap[b.index()].expect("reachable successor");
+    f.entry = remap[f.entry.index()].expect("entry is reachable");
+    for block in &mut f.blocks {
+        match &mut block.term {
+            Terminator::Jump(t) => fix(t),
+            Terminator::Branch {
+                if_true, if_false, ..
+            } => {
+                fix(if_true);
+                fix(if_false);
+            }
+            Terminator::Return(_) => {}
+        }
+    }
+    removed
+}
+
+/// An "empty forwarding block": computes nothing and jumps elsewhere.
+fn forwarding_target(f: &Function, b: BlockId) -> Option<BlockId> {
+    let block = f.block(b);
+    if !block.dag.is_empty() {
+        return None;
+    }
+    match block.term {
+        Terminator::Jump(t) if t != b => Some(t),
+        _ => None,
+    }
+}
+
+/// Retarget every edge that points at an empty forwarding block to that
+/// block's destination (following chains). Returns the number of edges
+/// retargeted. Dead forwarding blocks are left for
+/// [`remove_unreachable`].
+pub fn skip_empty_blocks(f: &mut Function) -> usize {
+    // Resolve forwarding chains (with a visited set against cycles of
+    // empty blocks, which are infinite loops and must be preserved).
+    let n = f.blocks.len();
+    let resolve = |f: &Function, start: BlockId| -> BlockId {
+        let mut cur = start;
+        let mut hops = 0usize;
+        while let Some(next) = forwarding_target(f, cur) {
+            cur = next;
+            hops += 1;
+            if hops > n {
+                return start; // cycle of empty blocks: leave it alone
+            }
+        }
+        cur
+    };
+    let mut changed = 0usize;
+    for i in 0..n {
+        let mut term = f.blocks[i].term.clone();
+        let mut touched = false;
+        match &mut term {
+            Terminator::Jump(t) => {
+                let r = resolve(f, *t);
+                if r != *t {
+                    *t = r;
+                    touched = true;
+                }
+            }
+            Terminator::Branch {
+                if_true, if_false, ..
+            } => {
+                let rt = resolve(f, *if_true);
+                if rt != *if_true {
+                    *if_true = rt;
+                    touched = true;
+                }
+                let rf = resolve(f, *if_false);
+                if rf != *if_false {
+                    *if_false = rf;
+                    touched = true;
+                }
+            }
+            Terminator::Return(_) => {}
+        }
+        if touched {
+            f.blocks[i].term = term;
+            changed += 1;
+        }
+    }
+    // The entry itself may forward.
+    let r = resolve(f, f.entry);
+    if r != f.entry {
+        f.entry = r;
+        changed += 1;
+    }
+    changed
+}
+
+/// Fuse linear chains: when block `A` ends in `Jump(B)`, `B ≠ A` is not
+/// the entry, and `A` is `B`'s only predecessor, concatenate `B`'s DAG
+/// onto `A`'s and take over `B`'s terminator. Returns the number of
+/// merges performed. Emptied blocks become unreachable (clean up with
+/// [`remove_unreachable`]).
+pub fn merge_linear_chains(f: &mut Function) -> usize {
+    let mut merges = 0usize;
+    loop {
+        let preds = f.predecessors();
+        let candidate = f.iter().find_map(|(a, block)| match block.term {
+            Terminator::Jump(b)
+                if b != a && b != f.entry && preds[b.index()].len() == 1 =>
+            {
+                Some((a, b))
+            }
+            _ => None,
+        });
+        let Some((a, b)) = candidate else { break };
+        // Merge b's DAG into a's.
+        let b_dag = f.blocks[b.index()].dag.clone();
+        let b_term = f.blocks[b.index()].term.clone();
+        let mut merged = std::mem::replace(&mut f.blocks[a.index()].dag, BlockDag::new());
+        let map = merge_sequential(&mut merged, &b_dag);
+        f.blocks[a.index()].dag = merged;
+        f.blocks[a.index()].term = match b_term {
+            Terminator::Jump(t) => Terminator::Jump(t),
+            Terminator::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => Terminator::Branch {
+                cond: map[cond.index()].expect("condition survives the merge"),
+                if_true,
+                if_false,
+            },
+            Terminator::Return(v) => Terminator::Return(
+                v.map(|n| map[n.index()].expect("return value survives the merge")),
+            ),
+        };
+        // Disconnect b (it is now unreachable).
+        f.blocks[b.index()].dag = BlockDag::new();
+        f.blocks[b.index()].term = Terminator::Return(None);
+        merges += 1;
+    }
+    merges
+}
+
+/// Run all CFG simplifications to a fixpoint. Returns (edges retargeted,
+/// blocks merged, blocks removed).
+pub fn simplify_cfg(f: &mut Function) -> (usize, usize, usize) {
+    let mut totals = (0usize, 0usize, 0usize);
+    loop {
+        let skipped = skip_empty_blocks(f);
+        let merged = merge_linear_chains(f);
+        let removed = remove_unreachable(f);
+        totals.0 += skipped;
+        totals.1 += merged;
+        totals.2 += removed;
+        if skipped == 0 && merged == 0 && removed == 0 {
+            break;
+        }
+    }
+    debug_assert!(f.validate().is_ok());
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_function;
+    use crate::parser::parse_function;
+
+    #[test]
+    fn unreachable_blocks_are_removed() {
+        let mut f = parse_function(
+            "func f(a) {
+                return a;
+                x = a + 1;
+            }",
+        )
+        .unwrap();
+        assert_eq!(f.blocks.len(), 2);
+        let removed = remove_unreachable(&mut f);
+        assert_eq!(removed, 1);
+        f.validate().unwrap();
+        assert_eq!(run_function(&f, &[5]).unwrap().return_value, Some(5));
+    }
+
+    #[test]
+    fn empty_forwarders_are_skipped() {
+        // `mid` computes nothing and jumps on; the branch should retarget
+        // straight to `end`.
+        let src = "func f(a) {
+            if (a > 0) goto mid;
+            a = 0 - a;
+        mid:
+            goto end;
+        end:
+            return a;
+        }";
+        let mut f = parse_function(src).unwrap();
+        let before_pos = run_function(&f, &[4]).unwrap().return_value;
+        let before_neg = run_function(&f, &[-4]).unwrap().return_value;
+        let (skipped, _, removed) = simplify_cfg(&mut f);
+        assert!(skipped > 0);
+        assert!(removed > 0);
+        assert_eq!(run_function(&f, &[4]).unwrap().return_value, before_pos);
+        assert_eq!(run_function(&f, &[-4]).unwrap().return_value, before_neg);
+    }
+
+    #[test]
+    fn linear_chains_merge_into_bigger_blocks() {
+        // Three straight-line blocks connected by jumps (a label after a
+        // goto keeps them separate until merged).
+        let src = "func f(a) {
+            x = a + 1;
+            goto second;
+        second:
+            y = x * 2;
+            goto third;
+        third:
+            z = y - 3;
+            return z;
+        }";
+        let mut f = parse_function(src).unwrap();
+        assert_eq!(f.blocks.len(), 3);
+        let before = run_function(&f, &[10]).unwrap();
+        let (_, merged, removed) = simplify_cfg(&mut f);
+        assert_eq!(merged, 2);
+        assert_eq!(removed, 2);
+        assert_eq!(f.blocks.len(), 1);
+        let after = run_function(&f, &[10]).unwrap();
+        assert_eq!(before.return_value, after.return_value);
+        assert_eq!(after.return_value, Some(19));
+        // The merged block carries the whole computation.
+        assert!(f.blocks[0].dag.len() >= 7);
+    }
+
+    #[test]
+    fn merging_respects_branch_conditions() {
+        let src = "func f(a, n) {
+            s = a;
+            goto body;
+        body:
+            s = s * 2;
+            if (s < n) goto body;
+            return s;
+        }";
+        let mut f = parse_function(src).unwrap();
+        // body has two predecessors (entry and itself): no merge.
+        let (_, merged, _) = simplify_cfg(&mut f);
+        assert_eq!(merged, 0);
+        assert_eq!(run_function(&f, &[3, 20]).unwrap().return_value, Some(24));
+    }
+
+    #[test]
+    fn loops_of_empty_blocks_are_preserved() {
+        let mut f = parse_function("func f() { l: goto l; }").unwrap();
+        let (skipped, merged, _) = simplify_cfg(&mut f);
+        assert_eq!((skipped, merged), (0, 0));
+        // Still an infinite loop.
+        let mut i = crate::interp::Interpreter::new(&f);
+        i.step_limit(10);
+        assert!(i.run().is_err());
+    }
+
+    #[test]
+    fn diamond_is_untouched() {
+        let src = "func f(a) {
+            if (a > 0) goto pos;
+            r = 0 - a;
+            goto done;
+        pos:
+            r = a;
+        done:
+            return r;
+        }";
+        let mut f = parse_function(src).unwrap();
+        let blocks_before = f.blocks.len();
+        simplify_cfg(&mut f);
+        // `done` has two predecessors; nothing merges, nothing removed.
+        assert_eq!(f.blocks.len(), blocks_before);
+        assert_eq!(run_function(&f, &[-7]).unwrap().return_value, Some(7));
+    }
+}

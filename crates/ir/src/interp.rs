@@ -1,0 +1,327 @@
+//! Reference interpreter for [`Function`]s.
+//!
+//! This is the semantic oracle for the whole reproduction: generated VLIW
+//! code, run on the instruction-level simulator, must leave memory in the
+//! same state and return the same value as this interpreter. It mirrors the
+//! inter-block value model of [`crate::program`]: named variables live in
+//! memory at the addresses fixed by [`MemLayout`], blocks read entry values
+//! through `Input` leaves and write assignments back through `StoreVar`
+//! roots.
+
+use crate::dag::BlockDag;
+use crate::op::Op;
+use crate::program::{Function, MemLayout, Terminator};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Runtime failure of the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Executed more than the configured maximum number of block
+    /// transitions (almost certainly an infinite loop).
+    StepLimit(usize),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StepLimit(n) => write!(f, "exceeded step limit of {n} blocks"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// Result of running a function to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpResult {
+    /// Final memory contents (only addresses ever written or preloaded).
+    pub memory: BTreeMap<i64, i64>,
+    /// Value of the executed `return`, if it carried one.
+    pub return_value: Option<i64>,
+    /// Number of basic blocks executed.
+    pub blocks_executed: usize,
+}
+
+/// The interpreter; construct with [`Interpreter::new`], seed arguments,
+/// then [`Interpreter::run`].
+#[derive(Debug, Clone)]
+pub struct Interpreter<'f> {
+    func: &'f Function,
+    layout: MemLayout,
+    memory: BTreeMap<i64, i64>,
+    step_limit: usize,
+}
+
+impl<'f> Interpreter<'f> {
+    /// Create an interpreter with the default memory layout and a step
+    /// limit of 1e6 blocks.
+    pub fn new(func: &'f Function) -> Self {
+        let layout = MemLayout::for_function(func);
+        Interpreter {
+            func,
+            layout,
+            memory: BTreeMap::new(),
+            step_limit: 1_000_000,
+        }
+    }
+
+    /// Use a caller-provided layout (must match the one given to the code
+    /// generator when differential-testing).
+    pub fn with_layout(func: &'f Function, layout: MemLayout) -> Self {
+        Interpreter {
+            func,
+            layout,
+            memory: BTreeMap::new(),
+            step_limit: 1_000_000,
+        }
+    }
+
+    /// Bound the number of executed blocks (default 1e6).
+    pub fn step_limit(&mut self, limit: usize) -> &mut Self {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Bind positional arguments to the function parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more arguments than parameters are supplied.
+    pub fn args(&mut self, args: &[i64]) -> &mut Self {
+        assert!(
+            args.len() <= self.func.params.len(),
+            "too many arguments: {} > {}",
+            args.len(),
+            self.func.params.len()
+        );
+        for (&p, &v) in self.func.params.iter().zip(args) {
+            self.memory.insert(self.layout.addr(p), v);
+        }
+        self
+    }
+
+    /// Preload an arbitrary memory word (for `mem[...]` test inputs).
+    pub fn poke(&mut self, addr: i64, value: i64) -> &mut Self {
+        self.memory.insert(addr, value);
+        self
+    }
+
+    /// Execute the function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::StepLimit`] when the block budget runs out.
+    pub fn run(&mut self) -> Result<InterpResult, InterpError> {
+        let mut current = self.func.entry;
+        let mut blocks_executed = 0usize;
+        loop {
+            blocks_executed += 1;
+            if blocks_executed > self.step_limit {
+                return Err(InterpError::StepLimit(self.step_limit));
+            }
+            let block = self.func.block(current);
+            let values = self.eval_block(&block.dag);
+            match &block.term {
+                Terminator::Jump(t) => current = *t,
+                Terminator::Branch {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    current = if values[cond.index()] != 0 {
+                        *if_true
+                    } else {
+                        *if_false
+                    };
+                }
+                Terminator::Return(v) => {
+                    return Ok(InterpResult {
+                        memory: self.memory.clone(),
+                        return_value: v.map(|n| values[n.index()]),
+                        blocks_executed,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Evaluate one block DAG, applying its memory effects; returns the
+    /// value of every node (stores yield 0).
+    ///
+    /// Named-variable reads observe block-*entry* values: all `Input`
+    /// leaves are snapshotted before any store executes, and `StoreVar`
+    /// write-backs are applied after all dynamic stores.
+    fn eval_block(&mut self, dag: &BlockDag) -> Vec<i64> {
+        let n = dag.len();
+        let mut values = vec![0i64; n];
+        // Pass 1: snapshot named-variable entry values.
+        for (id, node) in dag.iter() {
+            if node.op == Op::Input {
+                let addr = self.layout.addr(node.sym.unwrap());
+                values[id.index()] = self.memory.get(&addr).copied().unwrap_or(0);
+            }
+        }
+        // Pass 2: evaluate in id order (operands precede consumers, and
+        // dynamic memory ops appear in program order).
+        let mut pending_var_stores: Vec<(i64, i64)> = Vec::new();
+        for (id, node) in dag.iter() {
+            match node.op {
+                Op::Input => {}
+                Op::Const => values[id.index()] = node.imm.unwrap(),
+                Op::Load => {
+                    let addr = values[node.args[0].index()];
+                    values[id.index()] = self.memory.get(&addr).copied().unwrap_or(0);
+                }
+                Op::Store => {
+                    let addr = values[node.args[0].index()];
+                    let v = values[node.args[1].index()];
+                    self.memory.insert(addr, v);
+                }
+                Op::StoreVar => {
+                    let addr = self.layout.addr(node.sym.unwrap());
+                    let v = values[node.args[0].index()];
+                    pending_var_stores.push((addr, v));
+                }
+                op => {
+                    let args: Vec<i64> =
+                        node.args.iter().map(|a| values[a.index()]).collect();
+                    values[id.index()] = op.eval(&args);
+                }
+            }
+        }
+        // Pass 3: variable write-backs (block-end semantics).
+        for (addr, v) in pending_var_stores {
+            self.memory.insert(addr, v);
+        }
+        values
+    }
+
+    /// Read a named variable's current memory value (post-run inspection).
+    pub fn read_var(&self, name: &str) -> Option<i64> {
+        let sym = self.func.syms.get(name)?;
+        self.memory.get(&self.layout.addr(sym)).copied()
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> &MemLayout {
+        &self.layout
+    }
+}
+
+/// Convenience: parse nothing, just run `func` with `args` and return the
+/// result.
+///
+/// # Errors
+///
+/// Propagates [`InterpError`] from [`Interpreter::run`].
+pub fn run_function(func: &Function, args: &[i64]) -> Result<InterpResult, InterpError> {
+    Interpreter::new(func).args(args).run()
+}
+
+/// Evaluate a single straight-line block in isolation given named inputs;
+/// returns the block-exit value of every named variable that was stored.
+/// Used heavily by codegen differential tests.
+pub fn eval_block_isolated(
+    func: &Function,
+    inputs: &[(&str, i64)],
+) -> BTreeMap<String, i64> {
+    let mut interp = Interpreter::new(func);
+    for (name, v) in inputs {
+        if let Some(sym) = func.syms.get(name) {
+            let addr = interp.layout.addr(sym);
+            interp.poke(addr, *v);
+        }
+    }
+    let res = interp.run().expect("isolated block cannot loop");
+    let mut out = BTreeMap::new();
+    for (sym, name) in func.syms.iter() {
+        if let Some(&v) = res.memory.get(&interp.layout.addr(sym)) {
+            out.insert(name.to_owned(), v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_function;
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let f = parse_function("func f(a, b) { x = a * b + 2; y = x - a; }").unwrap();
+        let mut i = Interpreter::new(&f);
+        i.args(&[3, 4]);
+        let r = i.run().unwrap();
+        assert_eq!(i.read_var("x"), Some(14));
+        assert_eq!(i.read_var("y"), Some(11));
+        assert_eq!(r.return_value, None);
+        assert_eq!(r.blocks_executed, 1);
+    }
+
+    #[test]
+    fn loop_terminates_and_accumulates() {
+        let src = "func sum(n) {
+            s = 0;
+            i = 0;
+        head:
+            if (i >= n) goto done;
+            s = s + i;
+            i = i + 1;
+            goto head;
+        done:
+            return s;
+        }";
+        let f = parse_function(src).unwrap();
+        let r = run_function(&f, &[5]).unwrap();
+        assert_eq!(r.return_value, Some(1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let f = parse_function("func f() { l: goto l; }").unwrap();
+        let mut i = Interpreter::new(&f);
+        i.step_limit(100);
+        assert_eq!(i.run(), Err(InterpError::StepLimit(100)));
+    }
+
+    #[test]
+    fn dynamic_memory_roundtrip() {
+        let f = parse_function(
+            "func f(p) { mem[p] = 41; x = mem[p] + 1; mem[p + 1] = x; return x; }",
+        )
+        .unwrap();
+        let mut i = Interpreter::new(&f);
+        i.args(&[2048]);
+        let r = i.run().unwrap();
+        assert_eq!(r.return_value, Some(42));
+        assert_eq!(r.memory.get(&2048), Some(&41));
+        assert_eq!(r.memory.get(&2049), Some(&42));
+    }
+
+    #[test]
+    fn input_reads_see_entry_values_not_same_block_stores() {
+        // y reads the *entry* x even though the block stores a new x.
+        let src = "func f(x) {
+            x = x + 1;
+            goto next;
+        next:
+            y = x;
+            return y;
+        }";
+        let f = parse_function(src).unwrap();
+        let r = run_function(&f, &[10]).unwrap();
+        // Block 1 reads x after the write-back: sees 11.
+        assert_eq!(r.return_value, Some(11));
+    }
+
+    #[test]
+    fn eval_block_isolated_reports_stores() {
+        let f = parse_function("func f(a) { b = a + 1; c = b * b; }").unwrap();
+        let out = eval_block_isolated(&f, &[("a", 6)]);
+        assert_eq!(out.get("b"), Some(&7));
+        assert_eq!(out.get("c"), Some(&49));
+    }
+}

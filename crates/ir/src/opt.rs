@@ -1,0 +1,597 @@
+//! Machine-independent optimizations.
+//!
+//! The paper's front end "performs machine independent optimizations such
+//! as loop unrolling and other transformations that extract machine
+//! independent parallelism" (§II). This module provides the equivalents:
+//!
+//! * [`fold_constants`] — constant folding + dead-node elimination,
+//! * [`prune_dead_stores`] — global dead variable-store elimination,
+//! * [`unroll_self_loop`] — merges `k` iterations of a do-while self-loop
+//!   into one bigger basic block (the transformation behind the paper's
+//!   "loops that have been unrolled twice" examples),
+//! * [`merge_sequential`] — the block-DAG concatenation primitive used by
+//!   unrolling.
+
+use crate::dag::{BlockDag, NodeId};
+use crate::op::Op;
+use crate::program::{BlockId, Function, Terminator};
+use crate::symbols::Sym;
+use std::collections::{HashMap, HashSet};
+
+/// Rebuild every block with constant folding and dead-node elimination;
+/// terminator node references are remapped. Returns the number of nodes
+/// removed across the function.
+pub fn fold_constants(f: &mut Function) -> usize {
+    let mut removed = 0usize;
+    for block in &mut f.blocks {
+        let (new_dag, map) = rebuild(&block.dag, true);
+        removed += block.dag.len().saturating_sub(new_dag.len());
+        remap_terminator(&mut block.term, &map);
+        block.dag = new_dag;
+    }
+    removed
+}
+
+/// Remove `StoreVar` roots whose variable is never read afterwards on any
+/// path and is not in `observable` (variables whose final value the caller
+/// inspects — typically the function outputs). Returns the number of
+/// stores removed.
+///
+/// Uses a classic backward live-variable analysis over the CFG where
+/// `observable` seeds liveness at every `return`.
+pub fn prune_dead_stores(f: &mut Function, observable: &[Sym]) -> usize {
+    let n = f.blocks.len();
+    // gen[b] = variables read (Input leaves reachable from roots);
+    // kill[b] = variables stored.
+    let mut gen: Vec<HashSet<Sym>> = Vec::with_capacity(n);
+    let mut kill: Vec<HashSet<Sym>> = Vec::with_capacity(n);
+    for b in &f.blocks {
+        let live_nodes = reachable_from_roots(&b.dag, &b.term);
+        let mut g = HashSet::new();
+        let mut k = HashSet::new();
+        for (id, node) in b.dag.iter() {
+            if !live_nodes.contains(&id) {
+                continue;
+            }
+            match node.op {
+                Op::Input => {
+                    g.insert(node.sym.unwrap());
+                }
+                Op::StoreVar => {
+                    k.insert(node.sym.unwrap());
+                }
+                _ => {}
+            }
+        }
+        gen.push(g);
+        kill.push(k);
+    }
+    let observable: HashSet<Sym> = observable.iter().copied().collect();
+
+    // live_out[b]: fixpoint of live_out = U_{s in succ} (gen[s] | (live_out[s] - kill[s]))
+    // with `observable` added at returns.
+    let mut live_out: Vec<HashSet<Sym>> = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (i, b) in f.blocks.iter().enumerate() {
+            let mut new: HashSet<Sym> = HashSet::new();
+            if matches!(b.term, Terminator::Return(_)) {
+                new.extend(observable.iter().copied());
+            }
+            for s in b.term.successors() {
+                let si = s.index();
+                new.extend(gen[si].iter().copied());
+                new.extend(live_out[si].difference(&kill[si]).copied());
+            }
+            if new != live_out[i] {
+                live_out[i] = new;
+                changed = true;
+            }
+        }
+    }
+
+    // Drop StoreVar roots of dead variables, then clean dead nodes.
+    let mut removed = 0usize;
+    for (i, block) in f.blocks.iter_mut().enumerate() {
+        let dead_syms: HashSet<Sym> = kill[i]
+            .difference(&live_out[i])
+            .copied()
+            .collect();
+        if dead_syms.is_empty() {
+            continue;
+        }
+        let (new_dag, map) =
+            rebuild_filtered(&block.dag, false, |node| {
+                !(node.op == Op::StoreVar && dead_syms.contains(&node.sym.unwrap()))
+            });
+        removed += block
+            .dag
+            .stores()
+            .len()
+            .saturating_sub(new_dag.stores().len());
+        remap_terminator(&mut block.term, &map);
+        block.dag = new_dag;
+    }
+    removed
+}
+
+/// Unroll the self-loop at `block` by `factor`, merging the copies into a
+/// single larger basic block and dropping the intermediate exit tests.
+///
+/// The block must end in `Branch { if_true == block }` or
+/// `Branch { if_false == block }` (a do-while loop). **Caller contract:**
+/// the loop's trip count must always be a positive multiple of `factor`,
+/// otherwise behavior changes — this matches how unrolling is used to
+/// prepare the paper's benchmark blocks.
+///
+/// # Errors
+///
+/// Returns `Err` if the block is not a self-loop of the expected shape.
+pub fn unroll_self_loop(
+    f: &mut Function,
+    block: BlockId,
+    factor: usize,
+) -> Result<(), String> {
+    if factor < 2 {
+        return Ok(());
+    }
+    let b = f.block(block);
+    let (cond, back_is_true, exit) = match b.term {
+        Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+        } if if_true == block => (cond, true, if_false),
+        Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+        } if if_false == block => (cond, false, if_true),
+        _ => return Err(format!("{block} is not a self-loop")),
+    };
+    let body = b.dag.clone();
+    let mut merged = body.clone();
+    let mut cond_map: Vec<Option<NodeId>> = (0..merged.len() as u32)
+        .map(|i| Some(NodeId(i)))
+        .collect();
+    for _ in 1..factor {
+        // The accumulated block's live-outs are the previous iteration's
+        // exit condition — the whole point of unrolling is to drop those
+        // intermediate tests.
+        merged.clear_live_outs();
+        let map = merge_sequential(&mut merged, &body);
+        cond_map = map;
+    }
+    let new_cond = cond_map[cond.index()]
+        .ok_or_else(|| "loop condition eliminated during merge".to_string())?;
+    let block_mut = &mut f.blocks[block.index()];
+    block_mut.dag = merged;
+    block_mut.term = if back_is_true {
+        Terminator::Branch {
+            cond: new_cond,
+            if_true: block,
+            if_false: exit,
+        }
+    } else {
+        Terminator::Branch {
+            cond: new_cond,
+            if_true: exit,
+            if_false: block,
+        }
+    };
+    Ok(())
+}
+
+/// Append `second`'s computation after `first`'s, resolving `second`'s
+/// `Input(v)` leaves to the value `first` stores to `v` (when it does).
+/// `first` keeps only the *final* `StoreVar` per variable; memory
+/// operations of the two halves are serialized. Returns the node map from
+/// `second`'s ids to merged ids (`None` for dropped stores).
+///
+/// Both DAGs must use the same symbol table — [`Sym`] ids are compared
+/// directly (this holds for any two blocks of one [`Function`]).
+pub fn merge_sequential(first: &mut BlockDag, second: &BlockDag) -> Vec<Option<NodeId>> {
+    // Final binding of each variable stored by `first`.
+    let mut binding: HashMap<Sym, NodeId> = HashMap::new();
+    for &s in first.stores() {
+        let node = first.node(s);
+        if node.op == Op::StoreVar {
+            binding.insert(node.sym.unwrap(), node.args[0]);
+        }
+    }
+    // Rebuild `first` without StoreVars that `second` overwrites — the
+    // merged block stores only final values. A StoreVar survives when
+    // `second` does not store the same variable. The dropped stores'
+    // values stay alive as extra roots: `second` reads them as its entry
+    // bindings.
+    let second_stores: HashSet<Sym> = second
+        .stores()
+        .iter()
+        .filter_map(|&s| {
+            let n = second.node(s);
+            (n.op == Op::StoreVar).then(|| n.sym.unwrap())
+        })
+        .collect();
+    let carried: Vec<NodeId> = binding.values().copied().collect();
+    let (mut merged, first_map) = rebuild_filtered_with_roots(
+        first,
+        false,
+        |node| !(node.op == Op::StoreVar && second_stores.contains(&node.sym.unwrap())),
+        &carried,
+    );
+    let binding: HashMap<Sym, NodeId> = binding
+        .into_iter()
+        .filter_map(|(s, n)| first_map[n.index()].map(|m| (s, m)))
+        .collect();
+
+    // Memory chain ends of the rebuilt first half.
+    let last_mem_first = (0..merged.len() as u32)
+        .map(NodeId).rfind(|&id| matches!(merged.node(id).op, Op::Load | Op::Store));
+
+    // Copy `second`, resolving inputs through `binding`.
+    let mut map: Vec<Option<NodeId>> = vec![None; second.len()];
+    let mut first_mem_second: Option<NodeId> = None;
+    let mut mem_prev: Option<NodeId> = None;
+    for (id, node) in second.iter() {
+        let new_id = match node.op {
+            Op::Input => {
+                let sym = node.sym.unwrap();
+                match binding.get(&sym) {
+                    Some(&n) => n,
+                    None => merged.add_input(sym),
+                }
+            }
+            Op::Const => merged.add_const(node.imm.unwrap()),
+            Op::Store => {
+                let args: Vec<NodeId> =
+                    node.args.iter().map(|a| map[a.index()].unwrap()).collect();
+                merged.add_store(args[0], args[1])
+            }
+            Op::StoreVar => {
+                let v = map[node.args[0].index()].unwrap();
+                merged.add_store_var(node.sym.unwrap(), v)
+            }
+            op => {
+                let args: Vec<NodeId> =
+                    node.args.iter().map(|a| map[a.index()].unwrap()).collect();
+                merged.add_op(op, &args)
+            }
+        };
+        map[id.index()] = Some(new_id);
+        if matches!(node.op, Op::Load | Op::Store) {
+            if first_mem_second.is_none() {
+                first_mem_second = Some(new_id);
+            }
+            if let Some(prev) = mem_prev {
+                if prev < new_id {
+                    merged.add_mem_dep(prev, new_id);
+                }
+            }
+            mem_prev = Some(new_id);
+        }
+    }
+    // Serialize the two halves' memory chains.
+    if let (Some(a), Some(b)) = (last_mem_first, first_mem_second) {
+        if a < b {
+            merged.add_mem_dep(a, b);
+        }
+    }
+    // Live-outs of `second` (e.g. its loop condition) carry over.
+    for &(sym, n) in second.live_outs() {
+        if let Some(m) = map[n.index()] {
+            merged.mark_live_out(sym, m);
+        }
+    }
+    *first = merged;
+    map
+}
+
+/// Nodes reachable from the block's roots and terminator references.
+fn reachable_from_roots(dag: &BlockDag, term: &Terminator) -> HashSet<NodeId> {
+    let mut roots = dag.roots();
+    match term {
+        Terminator::Branch { cond, .. } => roots.push(*cond),
+        Terminator::Return(Some(v)) => roots.push(*v),
+        _ => {}
+    }
+    // Memory serialization: a store kept alive keeps earlier mem ops alive
+    // (they must execute first and their effects are observable).
+    let mut live: HashSet<NodeId> = HashSet::new();
+    let mut stack = roots;
+    while let Some(n) = stack.pop() {
+        if !live.insert(n) {
+            continue;
+        }
+        for &a in &dag.node(n).args {
+            stack.push(a);
+        }
+        for &(earlier, later) in dag.mem_deps() {
+            if later == n && !live.contains(&earlier) {
+                stack.push(earlier);
+            }
+        }
+    }
+    live
+}
+
+/// Rebuild a DAG keeping only nodes reachable from roots, optionally
+/// constant-folding. Returns the new DAG and the old→new node map.
+fn rebuild(dag: &BlockDag, fold: bool) -> (BlockDag, Vec<Option<NodeId>>) {
+    rebuild_filtered(dag, fold, |_| true)
+}
+
+/// Like [`rebuild`] but also dropping any node (and what only it kept
+/// alive) for which `keep` returns false. `keep` is consulted for store
+/// roots; value nodes are kept by reachability.
+fn rebuild_filtered(
+    dag: &BlockDag,
+    fold: bool,
+    keep: impl Fn(&crate::dag::DagNode) -> bool,
+) -> (BlockDag, Vec<Option<NodeId>>) {
+    rebuild_with(dag, fold, keep, &[], None)
+}
+
+/// [`rebuild_filtered`] with additional nodes forced live (used when a
+/// removed store's value is still consumed by a following block merge).
+fn rebuild_filtered_with_roots(
+    dag: &BlockDag,
+    fold: bool,
+    keep: impl Fn(&crate::dag::DagNode) -> bool,
+    extra_roots: &[NodeId],
+) -> (BlockDag, Vec<Option<NodeId>>) {
+    rebuild_with(dag, fold, keep, extra_roots, None)
+}
+
+/// A peephole rewriter consulted while rebuilding: given the output DAG so
+/// far, an operation, and its (already remapped) operands, it may return
+/// an existing node to use instead of creating the operation.
+pub(crate) type Rewriter<'a> = &'a dyn Fn(&mut BlockDag, Op, &[NodeId]) -> Option<NodeId>;
+
+/// The shared rebuild engine behind every DAG-rewriting pass.
+pub(crate) fn rebuild_with(
+    dag: &BlockDag,
+    fold: bool,
+    keep: impl Fn(&crate::dag::DagNode) -> bool,
+    extra_roots: &[NodeId],
+    rewrite: Option<Rewriter<'_>>,
+) -> (BlockDag, Vec<Option<NodeId>>) {
+    // Reachability from surviving stores + live-outs + extra roots.
+    let mut survivors: Vec<NodeId> = dag
+        .stores()
+        .iter()
+        .copied()
+        .filter(|&s| keep(dag.node(s)))
+        .collect();
+    survivors.extend(dag.live_outs().iter().map(|&(_, n)| n));
+    survivors.extend(extra_roots.iter().copied());
+    let live = {
+        // Treat the surviving roots as the reachability seed.
+        let mut seen = HashSet::new();
+        let mut stack = survivors.clone();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for &a in &dag.node(n).args {
+                stack.push(a);
+            }
+            for &(earlier, later) in dag.mem_deps() {
+                if later == n && !seen.contains(&earlier) {
+                    stack.push(earlier);
+                }
+            }
+        }
+        seen
+    };
+
+    let mut out = BlockDag::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; dag.len()];
+    for (id, node) in dag.iter() {
+        if !live.contains(&id) {
+            continue;
+        }
+        let new_id = match node.op {
+            Op::Const => out.add_const(node.imm.unwrap()),
+            Op::Input => out.add_input(node.sym.unwrap()),
+            Op::Store => {
+                let a = map[node.args[0].index()].unwrap();
+                let v = map[node.args[1].index()].unwrap();
+                out.add_store(a, v)
+            }
+            Op::StoreVar => {
+                let v = map[node.args[0].index()].unwrap();
+                out.add_store_var(node.sym.unwrap(), v)
+            }
+            op => {
+                let args: Vec<NodeId> =
+                    node.args.iter().map(|a| map[a.index()].unwrap()).collect();
+                let rewritten = rewrite.and_then(|r| r(&mut out, op, &args));
+                if let Some(n) = rewritten {
+                    n
+                } else if fold && !matches!(op, Op::Load) {
+                    let const_args: Option<Vec<i64>> = args
+                        .iter()
+                        .map(|&a| {
+                            let n = out.node(a);
+                            (n.op == Op::Const).then(|| n.imm.unwrap())
+                        })
+                        .collect();
+                    if let Some(cv) = const_args {
+                        out.add_const(op.eval(&cv))
+                    } else {
+                        out.add_op(op, &args)
+                    }
+                } else {
+                    out.add_op(op, &args)
+                }
+            }
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for &(earlier, later) in dag.mem_deps() {
+        if let (Some(a), Some(b)) = (map[earlier.index()], map[later.index()]) {
+            if a < b {
+                out.add_mem_dep(a, b);
+            }
+        }
+    }
+    for &(sym, n) in dag.live_outs() {
+        if let Some(m) = map[n.index()] {
+            out.mark_live_out(sym, m);
+        }
+    }
+    (out, map)
+}
+
+fn remap_terminator(term: &mut Terminator, map: &[Option<NodeId>]) {
+    match term {
+        Terminator::Branch { cond, .. } => {
+            *cond = map[cond.index()].expect("branch condition eliminated");
+        }
+        Terminator::Return(Some(v)) => {
+            *v = map[v.index()].expect("return value eliminated");
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_function;
+    use crate::parser::parse_function;
+
+    #[test]
+    fn constant_folding_shrinks_and_preserves_semantics() {
+        let src = "func f(a) { x = (2 + 3) * a; y = 4 * 5; z = x + y; return z; }";
+        let mut f = parse_function(src).unwrap();
+        let before = run_function(&f, &[7]).unwrap();
+        let n_before = f.blocks[0].dag.len();
+        let removed = fold_constants(&mut f);
+        f.validate().unwrap();
+        assert!(removed > 0);
+        assert!(f.blocks[0].dag.len() < n_before);
+        // y folds entirely to a constant 20.
+        assert!(f.blocks[0]
+            .dag
+            .iter()
+            .any(|(_, n)| n.op == Op::Const && n.imm == Some(20)));
+        let after = run_function(&f, &[7]).unwrap();
+        assert_eq!(before.return_value, after.return_value);
+        assert_eq!(before.return_value, Some(5 * 7 + 20));
+    }
+
+    #[test]
+    fn dead_store_pruning_respects_observability() {
+        let src = "func f(a) { t = a * 3; u = t + 1; return u; }";
+        let mut f = parse_function(src).unwrap();
+        // With everything observable nothing is pruned.
+        let all: Vec<Sym> = f.syms.iter().map(|(s, _)| s).collect();
+        assert_eq!(prune_dead_stores(&mut f, &all), 0);
+        // With only `u` observable, the stores of t (never read later) go.
+        let u = f.syms.get("u").unwrap();
+        let removed = prune_dead_stores(&mut f, &[u]);
+        assert_eq!(removed, 1);
+        f.validate().unwrap();
+        let r = run_function(&f, &[5]).unwrap();
+        assert_eq!(r.return_value, Some(16));
+    }
+
+    #[test]
+    fn dead_store_pruning_keeps_cross_block_reads() {
+        let src = "func f(a) {
+            t = a + 1;
+            goto next;
+        next:
+            return t * 2;
+        }";
+        let mut f = parse_function(src).unwrap();
+        let removed = prune_dead_stores(&mut f, &[]);
+        assert_eq!(removed, 0, "t is read in the next block");
+        assert_eq!(run_function(&f, &[4]).unwrap().return_value, Some(10));
+    }
+
+    #[test]
+    fn merge_sequential_is_composition() {
+        // Two blocks of ONE function share a symbol table, which is the
+        // merge_sequential contract.
+        let f = parse_function(
+            "func a(x) {
+                y = x + 1;
+                x = y * 2;
+                goto second;
+            second:
+                z = x * x;
+                x = z - 1;
+            }",
+        )
+        .unwrap();
+        let mut merged = f.blocks[0].dag.clone();
+        merge_sequential(&mut merged, &f.blocks[1].dag);
+        merged.validate().unwrap();
+        // Build a single-block function around the merged DAG.
+        let mut mf = f.clone();
+        mf.blocks.truncate(1);
+        mf.blocks[0].dag = merged;
+        mf.blocks[0].term = Terminator::Return(None);
+        mf.validate().unwrap();
+        // x=3 -> y=4, x=8 -> z=64, x=63.
+        let mut i = crate::interp::Interpreter::new(&mf);
+        i.args(&[3]);
+        i.run().unwrap();
+        assert_eq!(i.read_var("y"), Some(4));
+        assert_eq!(i.read_var("z"), Some(64));
+        assert_eq!(i.read_var("x"), Some(63));
+    }
+
+    #[test]
+    fn unroll_preserves_semantics_for_divisible_trips() {
+        let src = "func sum(n) {
+            s = 0;
+            i = 0;
+        head:
+            s = s + i;
+            i = i + 1;
+            if (i < n) goto head;
+            return s;
+        }";
+        let mut f = parse_function(src).unwrap();
+        let before = run_function(&f, &[6]).unwrap();
+        // `head` is block 1 and loops on itself.
+        unroll_self_loop(&mut f, BlockId(1), 2).unwrap();
+        f.validate().unwrap();
+        let after = run_function(&f, &[6]).unwrap();
+        assert_eq!(before.return_value, after.return_value);
+        assert_eq!(after.return_value, Some(15));
+        // Half as many loop iterations execute.
+        assert!(after.blocks_executed < before.blocks_executed);
+        // The unrolled DAG is bigger than the original body.
+        assert!(f.blocks[1].dag.len() > 6);
+    }
+
+    #[test]
+    fn unroll_rejects_non_loops() {
+        let mut f = parse_function("func f(a) { return a; }").unwrap();
+        assert!(unroll_self_loop(&mut f, BlockId(0), 2).is_err());
+    }
+
+    #[test]
+    fn unroll_by_four() {
+        let src = "func sum(n) {
+            s = 0;
+            i = 0;
+        head:
+            s = s + i * i;
+            i = i + 1;
+            if (i < n) goto head;
+            return s;
+        }";
+        let mut f = parse_function(src).unwrap();
+        unroll_self_loop(&mut f, BlockId(1), 4).unwrap();
+        f.validate().unwrap();
+        let r = run_function(&f, &[8]).unwrap();
+        let expect: i64 = (0..8).map(|i| i * i).sum();
+        assert_eq!(r.return_value, Some(expect));
+    }
+}

@@ -1,0 +1,277 @@
+//! Source printer: [`Function`] → front-end-language text.
+//!
+//! The inverse of [`crate::parse_function`], up to semantics: the printed
+//! program parses back to a function that computes the same values (the
+//! structure may differ — printing is three-address, and the parser
+//! re-derives live-outs and write-backs). Useful for inspecting the
+//! output of the optimization passes and for persisting generated
+//! workloads.
+
+use crate::dag::NodeId;
+use crate::op::Op;
+use crate::program::{Function, Terminator};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Render `f` as parseable source text.
+///
+/// ```
+/// use aviv_ir::{parse_function, run_function, to_source};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f = parse_function("func f(a) { x = a * 3 + 1; return x; }")?;
+/// let printed = to_source(&f);
+/// let reparsed = parse_function(&printed)?;
+/// assert_eq!(run_function(&f, &[5])?.return_value,
+///            run_function(&reparsed, &[5])?.return_value);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_source(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<&str> = f.params.iter().map(|&p| f.syms.name(p)).collect();
+    let _ = writeln!(out, "func {}({}) {{", sanitize(&f.name), params.join(", "));
+
+    // Temp names must not collide with existing symbols.
+    let taken: HashSet<&str> = f.syms.iter().map(|(_, n)| n).collect();
+    let temp_name = |block: usize, node: NodeId| {
+        let mut name = format!("t{}_{}", block, node.0);
+        while taken.contains(name.as_str()) {
+            name.push('x');
+        }
+        name
+    };
+
+    // Entry first; the parser treats the first block as the entry, so if
+    // the entry is not block 0 we add a leading goto.
+    if f.entry.index() != 0 {
+        let _ = writeln!(out, "    goto bb{};", f.entry.index());
+    }
+
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "bb{bi}:");
+        let dag = &block.dag;
+        // Every value node gets a temp; leaves inline.
+        let operand = |n: NodeId| -> String {
+            let node = dag.node(n);
+            match node.op {
+                Op::Const => {
+                    let v = node.imm.unwrap();
+                    if v < 0 {
+                        format!("(0 - {})", v.unsigned_abs())
+                    } else {
+                        v.to_string()
+                    }
+                }
+                Op::Input => f.syms.name(node.sym.unwrap()).to_string(),
+                _ => temp_name(bi, n),
+            }
+        };
+        for (id, node) in dag.iter() {
+            match node.op {
+                Op::Const | Op::Input => {}
+                Op::StoreVar => {
+                    // Skip write-backs of compiler-internal live-out
+                    // markers; the parser recreates them.
+                    let name = f.syms.name(node.sym.unwrap());
+                    if !name.starts_with("__") {
+                        let _ = writeln!(out, "    {} = {};", name, operand(node.args[0]));
+                    }
+                }
+                Op::Store => {
+                    let _ = writeln!(
+                        out,
+                        "    mem[{}] = {};",
+                        operand(node.args[0]),
+                        operand(node.args[1])
+                    );
+                }
+                Op::Load => {
+                    let _ = writeln!(
+                        out,
+                        "    {} = mem[{}];",
+                        temp_name(bi, id),
+                        operand(node.args[0])
+                    );
+                }
+                op => {
+                    let expr = render_op(op, &node.args.iter().map(|&a| operand(a)).collect::<Vec<_>>());
+                    let _ = writeln!(out, "    {} = {};", temp_name(bi, id), expr);
+                }
+            }
+        }
+        match &block.term {
+            Terminator::Jump(t) => {
+                let _ = writeln!(out, "    goto bb{};", t.index());
+            }
+            Terminator::Branch {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "    if ({}) goto bb{};",
+                    operand(*cond),
+                    if_true.index()
+                );
+                let _ = writeln!(out, "    goto bb{};", if_false.index());
+            }
+            Terminator::Return(Some(v)) => {
+                let _ = writeln!(out, "    return {};", operand(*v));
+            }
+            Terminator::Return(None) => {
+                let _ = writeln!(out, "    return;");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_op(op: Op, args: &[String]) -> String {
+    use Op::*;
+    match op {
+        Add => format!("{} + {}", args[0], args[1]),
+        Sub => format!("{} - {}", args[0], args[1]),
+        Mul => format!("{} * {}", args[0], args[1]),
+        Div => format!("{} / {}", args[0], args[1]),
+        And => format!("{} & {}", args[0], args[1]),
+        Or => format!("{} | {}", args[0], args[1]),
+        Xor => format!("{} ^ {}", args[0], args[1]),
+        Shl => format!("{} << {}", args[0], args[1]),
+        Shr => format!("{} >> {}", args[0], args[1]),
+        Neg => format!("0 - {}", args[0]),
+        Compl => format!("~{}", args[0]),
+        Abs => format!("abs({})", args[0]),
+        Min => format!("min({}, {})", args[0], args[1]),
+        Max => format!("max({}, {})", args[0], args[1]),
+        Mac => format!("{} * {} + {}", args[0], args[1], args[2]),
+        CmpEq => format!("{} == {}", args[0], args[1]),
+        CmpNe => format!("{} != {}", args[0], args[1]),
+        CmpLt => format!("{} < {}", args[0], args[1]),
+        CmpLe => format!("{} <= {}", args[0], args[1]),
+        CmpGt => format!("{} > {}", args[0], args[1]),
+        CmpGe => format!("{} >= {}", args[0], args[1]),
+        Const | Input | Load | Store | StoreVar => unreachable!("handled by caller"),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, 'f');
+    }
+    s
+}
+
+/// Render one block's DAG as a standalone single-block function (handy in
+/// tests and debugging).
+pub fn block_to_source(f: &Function, block: crate::program::BlockId) -> String {
+    let single = Function {
+        name: format!("{}_bb{}", f.name, block.index()),
+        params: f.params.clone(),
+        blocks: vec![crate::program::BasicBlock {
+            label: None,
+            dag: f.blocks[block.index()].dag.clone(),
+            term: Terminator::Return(None),
+        }],
+        entry: crate::program::BlockId(0),
+        syms: f.syms.clone(),
+    };
+    to_source(&single)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::parser::parse_function;
+    use crate::program::MemLayout;
+
+    /// Parse → print → parse: named variables end with the same values.
+    fn round_trip(src: &str, args: &[i64]) {
+        let f1 = parse_function(src).unwrap();
+        let printed = to_source(&f1);
+        let f2 = parse_function(&printed)
+            .unwrap_or_else(|e| panic!("printed source must parse: {e}\n{printed}"));
+
+        let mut i1 = Interpreter::with_layout(&f1, MemLayout::for_function(&f1));
+        i1.args(args);
+        let r1 = i1.run().unwrap();
+        let mut i2 = Interpreter::with_layout(&f2, MemLayout::for_function(&f2));
+        i2.args(args);
+        let r2 = i2.run().unwrap();
+
+        assert_eq!(r1.return_value, r2.return_value, "{printed}");
+        for (_, name) in f1.syms.iter() {
+            if name.starts_with("__") {
+                continue;
+            }
+            assert_eq!(
+                i1.read_var(name),
+                i2.read_var(name),
+                "variable {name}\n{printed}"
+            );
+        }
+    }
+
+    #[test]
+    fn straight_line_round_trips() {
+        round_trip(
+            "func f(a, b, c) { x = (a + b) * c; y = x - a; z = min(x, abs(y)); }",
+            &[3, -4, 5],
+        );
+    }
+
+    #[test]
+    fn control_flow_round_trips() {
+        round_trip(
+            "func f(a, n) {
+                s = 0;
+                i = 0;
+            head:
+                if (i >= n) goto done;
+                s = s + a;
+                i = i + 1;
+                goto head;
+            done:
+                return s;
+            }",
+            &[7, 4],
+        );
+    }
+
+    #[test]
+    fn memory_ops_round_trip() {
+        round_trip(
+            "func f(p, v) { mem[p] = v; x = mem[p] + 1; mem[p + 1] = x; return x; }",
+            &[2048, 9],
+        );
+    }
+
+    #[test]
+    fn negative_constants_round_trip() {
+        round_trip("func f(a) { x = a * (0 - 3); y = x + 0 - 7; }", &[6]);
+    }
+
+    #[test]
+    fn optimized_functions_still_print() {
+        let mut f = parse_function(
+            "func f(a) { x = (2 + 3) * a; y = x * 1; z = y + 0; return z; }",
+        )
+        .unwrap();
+        crate::opt::fold_constants(&mut f);
+        crate::simplify::simplify(&mut f);
+        round_trip(&to_source(&f), &[11]);
+    }
+
+    #[test]
+    fn sanitize_makes_identifiers() {
+        assert_eq!(sanitize("my-func"), "my_func");
+        assert_eq!(sanitize("9lives"), "f9lives");
+    }
+}

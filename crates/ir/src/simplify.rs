@@ -1,0 +1,305 @@
+//! Algebraic simplification and strength reduction.
+//!
+//! More of the "machine independent optimizations" the paper's front end
+//! performs (§II): identity/annihilator rewrites (`x + 0 → x`,
+//! `x * 0 → 0`, `x ^ x → 0`, double negation, ...) and optional strength
+//! reduction of multiplications by powers of two into shifts. All rewrites
+//! preserve the two's-complement wrapping semantics of [`Op::eval`].
+
+use crate::dag::{BlockDag, NodeId};
+use crate::op::Op;
+use crate::opt::rebuild_with;
+use crate::program::Function;
+
+/// Apply algebraic identities across every block. Returns the number of
+/// DAG nodes eliminated.
+pub fn simplify(f: &mut Function) -> usize {
+    rewrite_function(f, &algebraic_rewrite)
+}
+
+/// Replace multiplications by power-of-two constants with shifts (and
+/// divisions by 1 with the value). This changes the operation mix — on
+/// machines where shifters are cheaper or more plentiful than
+/// multipliers, it frees multiplier slots. Returns the number of
+/// multiplications rewritten.
+pub fn strength_reduce(f: &mut Function) -> usize {
+    let mut rewritten = 0usize;
+    for block in &mut f.blocks {
+        let before = count_op(&block.dag, Op::Mul);
+        let (new_dag, map) = rebuild_with(
+            &block.dag,
+            false,
+            |_| true,
+            &[],
+            Some(&strength_rewrite),
+        );
+        remap_term(&mut block.term, &map);
+        block.dag = new_dag;
+        rewritten += before.saturating_sub(count_op(&block.dag, Op::Mul));
+    }
+    rewritten
+}
+
+fn count_op(dag: &BlockDag, op: Op) -> usize {
+    dag.iter().filter(|(_, n)| n.op == op).count()
+}
+
+fn rewrite_function(f: &mut Function, rule: crate::opt::Rewriter<'_>) -> usize {
+    let mut removed = 0usize;
+    for block in &mut f.blocks {
+        let before = block.dag.len();
+        let (new_dag, map) = rebuild_with(&block.dag, false, |_| true, &[], Some(rule));
+        remap_term(&mut block.term, &map);
+        block.dag = new_dag;
+        removed += before.saturating_sub(block.dag.len());
+    }
+    removed
+}
+
+fn remap_term(term: &mut crate::program::Terminator, map: &[Option<NodeId>]) {
+    match term {
+        crate::program::Terminator::Branch { cond, .. } => {
+            *cond = map[cond.index()].expect("branch condition survives rewrites");
+        }
+        crate::program::Terminator::Return(Some(v)) => {
+            *v = map[v.index()].expect("return value survives rewrites");
+        }
+        _ => {}
+    }
+}
+
+fn const_of(dag: &BlockDag, n: NodeId) -> Option<i64> {
+    let node = dag.node(n);
+    (node.op == Op::Const).then(|| node.imm.unwrap())
+}
+
+/// The identity/annihilator rule set. Returns `Some(existing_node)` when
+/// `op(args)` reduces to an already-built node or a constant.
+fn algebraic_rewrite(dag: &mut BlockDag, op: Op, args: &[NodeId]) -> Option<NodeId> {
+    use Op::*;
+    let c = |dag: &BlockDag, i: usize| const_of(dag, args[i]);
+    match op {
+        Add => {
+            // x + 0 → x (the DAG canonicalizes commutative operands, but
+            // check both sides anyway).
+            if c(dag, 1) == Some(0) {
+                return Some(args[0]);
+            }
+            if c(dag, 0) == Some(0) {
+                return Some(args[1]);
+            }
+            None
+        }
+        Sub => {
+            if c(dag, 1) == Some(0) {
+                return Some(args[0]);
+            }
+            if args[0] == args[1] {
+                return Some(dag.add_const(0));
+            }
+            None
+        }
+        Mul => {
+            if c(dag, 1) == Some(1) {
+                return Some(args[0]);
+            }
+            if c(dag, 0) == Some(1) {
+                return Some(args[1]);
+            }
+            if c(dag, 0) == Some(0) || c(dag, 1) == Some(0) {
+                return Some(dag.add_const(0));
+            }
+            None
+        }
+        Div => {
+            if c(dag, 1) == Some(1) {
+                return Some(args[0]);
+            }
+            None
+        }
+        And => {
+            if c(dag, 0) == Some(0) || c(dag, 1) == Some(0) {
+                return Some(dag.add_const(0));
+            }
+            if c(dag, 1) == Some(-1) {
+                return Some(args[0]);
+            }
+            if c(dag, 0) == Some(-1) {
+                return Some(args[1]);
+            }
+            if args[0] == args[1] {
+                return Some(args[0]);
+            }
+            None
+        }
+        Or => {
+            if c(dag, 1) == Some(0) {
+                return Some(args[0]);
+            }
+            if c(dag, 0) == Some(0) {
+                return Some(args[1]);
+            }
+            if args[0] == args[1] {
+                return Some(args[0]);
+            }
+            None
+        }
+        Xor => {
+            if c(dag, 1) == Some(0) {
+                return Some(args[0]);
+            }
+            if c(dag, 0) == Some(0) {
+                return Some(args[1]);
+            }
+            if args[0] == args[1] {
+                return Some(dag.add_const(0));
+            }
+            None
+        }
+        Shl | Shr => {
+            if c(dag, 1) == Some(0) {
+                return Some(args[0]);
+            }
+            None
+        }
+        Min | Max => {
+            if args[0] == args[1] {
+                return Some(args[0]);
+            }
+            None
+        }
+        Neg => {
+            // neg(neg(x)) → x
+            let inner = dag.node(args[0]).clone();
+            if inner.op == Neg {
+                return Some(inner.args[0]);
+            }
+            None
+        }
+        Compl => {
+            let inner = dag.node(args[0]).clone();
+            if inner.op == Compl {
+                return Some(inner.args[0]);
+            }
+            None
+        }
+        Abs => {
+            let inner = dag.node(args[0]).clone();
+            if inner.op == Abs {
+                return Some(args[0]);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Strength reduction: `x * 2^k → x << k` (both operand orders).
+fn strength_rewrite(dag: &mut BlockDag, op: Op, args: &[NodeId]) -> Option<NodeId> {
+    if op != Op::Mul {
+        return None;
+    }
+    for (ci, xi) in [(1usize, 0usize), (0, 1)] {
+        if let Some(v) = const_of(dag, args[ci]) {
+            if v > 0 && (v as u64).is_power_of_two() {
+                let k = (v as u64).trailing_zeros() as i64;
+                let kn = dag.add_const(k);
+                return Some(dag.add_op(Op::Shl, &[args[xi], kn]));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_function;
+    use crate::parser::parse_function;
+
+    fn check_preserves(src: &str, args: &[i64], pass: fn(&mut Function) -> usize) -> usize {
+        let mut f = parse_function(src).unwrap();
+        let before = run_function(&f, args).unwrap();
+        let n = pass(&mut f);
+        f.validate().unwrap();
+        let after = run_function(&f, args).unwrap();
+        assert_eq!(before.memory, after.memory, "{src}");
+        assert_eq!(before.return_value, after.return_value, "{src}");
+        n
+    }
+
+    #[test]
+    fn identities_fire_and_preserve_semantics() {
+        let n = check_preserves(
+            "func f(a, b) {
+                x = a + 0;
+                y = b * 1;
+                z = (a - a) + (b ^ b);
+                w = x | 0;
+                v = ~(~a);
+                u = a & a;
+                return x + y + z + w + v + u;
+            }",
+            &[7, -3],
+            simplify,
+        );
+        assert!(n >= 5, "expected several nodes removed, got {n}");
+    }
+
+    #[test]
+    fn annihilators_fold_to_constants() {
+        let mut f = parse_function("func f(a) { x = a * 0; y = x & a; return y; }").unwrap();
+        simplify(&mut f);
+        // y = (a*0) & a = 0 & a = 0.
+        let r = run_function(&f, &[123]).unwrap();
+        assert_eq!(r.return_value, Some(0));
+        // The multiply disappeared entirely.
+        assert!(!f.blocks[0].dag.iter().any(|(_, n)| n.op == Op::Mul));
+    }
+
+    #[test]
+    fn strength_reduction_rewrites_pow2_muls() {
+        let mut f =
+            parse_function("func f(a) { x = a * 8; y = 4 * a; z = a * 3; return x + y + z; }")
+                .unwrap();
+        let before = run_function(&f, &[5]).unwrap();
+        let n = strength_reduce(&mut f);
+        assert_eq!(n, 2, "a*8 and 4*a rewritten, a*3 kept");
+        let after = run_function(&f, &[5]).unwrap();
+        assert_eq!(before.return_value, after.return_value);
+        let shls = f
+            .blocks[0]
+            .dag
+            .iter()
+            .filter(|(_, node)| node.op == Op::Shl)
+            .count();
+        assert_eq!(shls, 2);
+    }
+
+    #[test]
+    fn negative_and_wrapping_cases_are_safe() {
+        // -1 as the AND identity; x - x with extremes; double negation of
+        // i64::MIN (wrapping).
+        check_preserves(
+            "func f(a) { x = a & (0 - 1); y = a - a; z = 0 - (0 - a); return x + y + z; }",
+            &[i64::MIN],
+            simplify,
+        );
+    }
+
+    #[test]
+    fn branch_conditions_survive_rewrites() {
+        let src = "func f(a) {
+            c = (a + 0) * 1;
+            if (c > 5) goto big;
+            c = 0 - c;
+        big:
+            return c;
+        }";
+        let mut f = parse_function(src).unwrap();
+        simplify(&mut f);
+        f.validate().unwrap();
+        assert_eq!(run_function(&f, &[9]).unwrap().return_value, Some(9));
+        assert_eq!(run_function(&f, &[3]).unwrap().return_value, Some(-3));
+    }
+}

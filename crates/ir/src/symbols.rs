@@ -1,0 +1,129 @@
+//! A small string interner for variable and label names.
+//!
+//! Symbols are cheap copyable ids; every table in the compiler keys on
+//! [`Sym`] instead of owned strings.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned symbol id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Raw index of the symbol in its [`SymbolTable`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// Interner mapping names to [`Sym`] ids and back.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, Sym>,
+}
+
+impl SymbolTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.by_name.get(name) {
+            return s;
+        }
+        let s = Sym(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve a symbol back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this table.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no symbol has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Intern a fresh name that does not collide with any existing symbol;
+    /// used for compiler-generated spill slots.
+    pub fn fresh(&mut self, prefix: &str) -> Sym {
+        let mut i = self.names.len();
+        loop {
+            let candidate = format!("{prefix}{i}");
+            if self.by_name.contains_key(&candidate) {
+                i += 1;
+            } else {
+                return self.intern(&candidate);
+            }
+        }
+    }
+
+    /// Iterate over `(Sym, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("a"), a);
+        assert_eq!(t.name(a), "a");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fresh_never_collides() {
+        let mut t = SymbolTable::new();
+        t.intern("spill2");
+        let f = t.fresh("spill");
+        assert_ne!(t.name(f), "spill2");
+        assert!(t.name(f).starts_with("spill"));
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("x");
+        let b = t.intern("y");
+        let got: Vec<_> = t.iter().collect();
+        assert_eq!(got, vec![(a, "x"), (b, "y")]);
+    }
+}

@@ -1,0 +1,524 @@
+//! Parser for the textual machine-description format.
+//!
+//! The format captures the subset of ISDL the AVIV back end consumes
+//! (paper §II): per-unit operation lists (the RTL→SUIF-op correlation),
+//! storage, explicit transfer paths, constraints, and complex instructions.
+//!
+//! ```text
+//! machine Example {
+//!     unit U1 { ops { add, sub, compl } regfile RF1[4]; }
+//!     unit U2 { ops { add, sub, mul }   regfile RF2[4]; }
+//!     unit U3 { ops { add, mul }        regfile RF3[4]; }
+//!     memory DM;
+//!     bus DB capacity 1 connects { RF1, RF2, RF3, DM };
+//!     constraint forbid { U2.mul, U3.mul };
+//!     constraint at_most 2 { U1.*, U2.*, U3.* };
+//!     complex mac on U2 { add(mul(a, b), c) };
+//! }
+//! ```
+
+use crate::model::{
+    Bus, ComplexInstr, Constraint, Location, Machine, OpCap, PatTree, RegBank, SlotPattern, Unit,
+};
+use aviv_ir::Op;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`parse_machine`], with 1-based position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsdlError {
+    /// Message.
+    pub msg: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for IsdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ISDL error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl Error for IsdlError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(u32),
+    Punct(char),
+    Eof,
+}
+
+struct Lx<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lx<'a> {
+    fn new(s: &'a str) -> Self {
+        Lx {
+            src: s.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> IsdlError {
+        IsdlError {
+            msg: msg.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn next_tok(&mut self) -> Result<Tok, IsdlError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(c) = self.peek() else {
+            return Ok(Tok::Eof);
+        };
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.bump();
+            }
+            Ok(Tok::Ident(
+                String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            ))
+        } else if c.is_ascii_digit() {
+            let start = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            text.parse()
+                .map(Tok::Num)
+                .map_err(|_| self.err(format!("number out of range: {text}")))
+        } else if "{}[]();,.*".contains(c as char) {
+            self.bump();
+            Ok(Tok::Punct(c as char))
+        } else {
+            Err(self.err(format!("unexpected character {:?}", c as char)))
+        }
+    }
+}
+
+struct P<'a> {
+    lx: Lx<'a>,
+    tok: Tok,
+}
+
+impl<'a> P<'a> {
+    fn new(s: &'a str) -> Result<Self, IsdlError> {
+        let mut lx = Lx::new(s);
+        let tok = lx.next_tok()?;
+        Ok(P { lx, tok })
+    }
+
+    fn err(&self, msg: impl Into<String>) -> IsdlError {
+        self.lx.err(msg)
+    }
+
+    fn advance(&mut self) -> Result<Tok, IsdlError> {
+        let next = self.lx.next_tok()?;
+        Ok(std::mem::replace(&mut self.tok, next))
+    }
+
+    fn expect_ident(&mut self) -> Result<String, IsdlError> {
+        match self.advance()? {
+            Tok::Ident(s) => Ok(s),
+            t => Err(self.err(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), IsdlError> {
+        let got = self.expect_ident()?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found `{got}`")))
+        }
+    }
+
+    fn expect_num(&mut self) -> Result<u32, IsdlError> {
+        match self.advance()? {
+            Tok::Num(n) => Ok(n),
+            t => Err(self.err(format!("expected number, found {t:?}"))),
+        }
+    }
+
+    fn expect_punct(&mut self, p: char) -> Result<(), IsdlError> {
+        match self.advance()? {
+            Tok::Punct(q) if q == p => Ok(()),
+            t => Err(self.err(format!("expected `{p}`, found {t:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: char) -> Result<bool, IsdlError> {
+        if self.tok == Tok::Punct(p) {
+            self.advance()?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+}
+
+/// Parse a machine description.
+///
+/// # Errors
+///
+/// Returns an [`IsdlError`] with source position for lexical and syntax
+/// problems, or with position 0:0 for semantic problems found by
+/// [`Machine::validate`].
+pub fn parse_machine(src: &str) -> Result<Machine, IsdlError> {
+    let mut p = P::new(src)?;
+    p.expect_kw("machine")?;
+    let name = p.expect_ident()?;
+    p.expect_punct('{')?;
+
+    let mut units: Vec<Unit> = Vec::new();
+    let mut banks: Vec<RegBank> = Vec::new();
+    let mut buses: Vec<Bus> = Vec::new();
+    let mut constraints: Vec<Constraint> = Vec::new();
+    let mut complexes: Vec<ComplexInstr> = Vec::new();
+    let mut bank_names: HashMap<String, crate::model::BankId> = HashMap::new();
+    let mut unit_names: HashMap<String, crate::model::UnitId> = HashMap::new();
+    let mut memory_name: Option<String> = None;
+
+    loop {
+        if p.eat_punct('}')? {
+            break;
+        }
+        let kw = p.expect_ident()?;
+        match kw.as_str() {
+            "unit" => {
+                let uname = p.expect_ident()?;
+                p.expect_punct('{')?;
+                p.expect_kw("ops")?;
+                p.expect_punct('{')?;
+                let mut ops = Vec::new();
+                loop {
+                    let opname = p.expect_ident()?;
+                    let op = Op::from_mnemonic(&opname)
+                        .ok_or_else(|| p.err(format!("unknown operation `{opname}`")))?;
+                    ops.push(OpCap { op, cost: 1 });
+                    if p.eat_punct('}')? {
+                        break;
+                    }
+                    p.expect_punct(',')?;
+                }
+                p.expect_kw("regfile")?;
+                let bname = p.expect_ident()?;
+                p.expect_punct('[')?;
+                let size = p.expect_num()?;
+                p.expect_punct(']')?;
+                p.expect_punct(';')?;
+                p.expect_punct('}')?;
+                let bank = crate::model::BankId(banks.len() as u32);
+                if bank_names.insert(bname.clone(), bank).is_some() {
+                    return Err(p.err(format!("duplicate regfile `{bname}`")));
+                }
+                banks.push(RegBank { name: bname, size });
+                let uid = crate::model::UnitId(units.len() as u32);
+                if unit_names.insert(uname.clone(), uid).is_some() {
+                    return Err(p.err(format!("duplicate unit `{uname}`")));
+                }
+                units.push(Unit {
+                    name: uname,
+                    ops,
+                    bank,
+                });
+            }
+            "memory" => {
+                let mname = p.expect_ident()?;
+                p.expect_punct(';')?;
+                if memory_name.replace(mname).is_some() {
+                    return Err(p.err("multiple memories are not supported"));
+                }
+            }
+            "bus" => {
+                let bname = p.expect_ident()?;
+                p.expect_kw("capacity")?;
+                let capacity = p.expect_num()?;
+                p.expect_kw("connects")?;
+                p.expect_punct('{')?;
+                let mut endpoints = Vec::new();
+                loop {
+                    let ep = p.expect_ident()?;
+                    let loc = if Some(&ep) == memory_name.as_ref() {
+                        Location::Mem
+                    } else if let Some(&b) = bank_names.get(&ep) {
+                        Location::Bank(b)
+                    } else {
+                        return Err(p.err(format!("unknown storage `{ep}`")));
+                    };
+                    endpoints.push(loc);
+                    if p.eat_punct('}')? {
+                        break;
+                    }
+                    p.expect_punct(',')?;
+                }
+                p.expect_punct(';')?;
+                buses.push(Bus {
+                    name: bname,
+                    endpoints,
+                    capacity,
+                });
+            }
+            "constraint" => {
+                let kind = p.expect_ident()?;
+                let at_most_val = match kind.as_str() {
+                    "forbid" => None,
+                    "at_most" => Some(p.expect_num()?),
+                    other => {
+                        return Err(p.err(format!(
+                            "expected `forbid` or `at_most`, found `{other}`"
+                        )))
+                    }
+                };
+                p.expect_punct('{')?;
+                let mut members = Vec::new();
+                loop {
+                    // UNIT.op | UNIT.* | bus NAME
+                    let head = p.expect_ident()?;
+                    if head == "bus" {
+                        let bname = p.expect_ident()?;
+                        let bus = buses
+                            .iter()
+                            .position(|b| b.name == bname)
+                            .map(|i| crate::model::BusId(i as u32))
+                            .ok_or_else(|| p.err(format!("unknown bus `{bname}`")))?;
+                        members.push(SlotPattern::BusUse { bus });
+                    } else {
+                        let unit = *unit_names
+                            .get(&head)
+                            .ok_or_else(|| p.err(format!("unknown unit `{head}`")))?;
+                        p.expect_punct('.')?;
+                        let op = if p.eat_punct('*')? {
+                            None
+                        } else {
+                            let opname = p.expect_ident()?;
+                            Some(
+                                Op::from_mnemonic(&opname)
+                                    .ok_or_else(|| p.err(format!("unknown op `{opname}`")))?,
+                            )
+                        };
+                        members.push(SlotPattern::UnitOp { unit, op });
+                    }
+                    if p.eat_punct('}')? {
+                        break;
+                    }
+                    p.expect_punct(',')?;
+                }
+                p.expect_punct(';')?;
+                let at_most = match at_most_val {
+                    Some(k) => k,
+                    None => (members.len() as u32).saturating_sub(1),
+                };
+                constraints.push(Constraint {
+                    name: None,
+                    at_most,
+                    members,
+                });
+            }
+            "complex" => {
+                let cname = p.expect_ident()?;
+                p.expect_kw("on")?;
+                let uname = p.expect_ident()?;
+                let unit = *unit_names
+                    .get(&uname)
+                    .ok_or_else(|| p.err(format!("unknown unit `{uname}`")))?;
+                p.expect_punct('{')?;
+                let mut arg_names: Vec<String> = Vec::new();
+                let pattern = parse_pattern(&mut p, &mut arg_names)?;
+                p.expect_punct('}')?;
+                p.expect_punct(';')?;
+                complexes.push(ComplexInstr {
+                    name: cname,
+                    unit,
+                    pattern,
+                    cost: 1,
+                });
+            }
+            other => return Err(p.err(format!("unknown declaration `{other}`"))),
+        }
+    }
+
+    Machine::from_parts(name, units, banks, buses, constraints, complexes).map_err(|msg| {
+        IsdlError {
+            msg,
+            line: 0,
+            col: 0,
+        }
+    })
+}
+
+/// Parse `op(sub, sub, ...)` or an operand name into a pattern tree.
+fn parse_pattern(p: &mut P<'_>, arg_names: &mut Vec<String>) -> Result<PatTree, IsdlError> {
+    let head = p.expect_ident()?;
+    if p.eat_punct('(')? {
+        let op = Op::from_mnemonic(&head)
+            .ok_or_else(|| p.err(format!("unknown operation `{head}` in pattern")))?;
+        let mut subs = Vec::new();
+        loop {
+            subs.push(parse_pattern(p, arg_names)?);
+            if p.eat_punct(')')? {
+                break;
+            }
+            p.expect_punct(',')?;
+        }
+        if subs.len() != op.arity() {
+            return Err(p.err(format!(
+                "pattern op `{head}` expects {} operands, found {}",
+                op.arity(),
+                subs.len()
+            )));
+        }
+        Ok(PatTree::Op(op, subs))
+    } else {
+        // Operand name; repeated names share an index.
+        let idx = match arg_names.iter().position(|n| n == &head) {
+            Some(i) => i,
+            None => {
+                arg_names.push(head);
+                arg_names.len() - 1
+            }
+        };
+        Ok(PatTree::Arg(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::UnitId;
+
+    const EXAMPLE: &str = "
+        machine Example {
+            // the paper's Fig. 3 target
+            unit U1 { ops { add, sub, compl } regfile RF1[4]; }
+            unit U2 { ops { add, sub, mul }   regfile RF2[4]; }
+            unit U3 { ops { add, mul }        regfile RF3[4]; }
+            memory DM;
+            bus DB capacity 1 connects { RF1, RF2, RF3, DM };
+        }";
+
+    #[test]
+    fn parses_the_example_architecture() {
+        let m = parse_machine(EXAMPLE).unwrap();
+        assert_eq!(m.name, "Example");
+        assert_eq!(m.units().len(), 3);
+        assert!(m.unit(UnitId(0)).can_do(Op::Compl));
+        assert!(m.unit(UnitId(2)).can_do(Op::Mul));
+        assert!(!m.unit(UnitId(2)).can_do(Op::Sub));
+        assert_eq!(m.buses().len(), 1);
+        assert_eq!(m.buses()[0].capacity, 1);
+        assert_eq!(m.buses()[0].endpoints.len(), 4);
+    }
+
+    #[test]
+    fn parses_constraints_and_complexes() {
+        let src = "
+        machine C {
+            unit U1 { ops { add, mul } regfile R1[4]; }
+            unit U2 { ops { add, mul } regfile R2[4]; }
+            memory DM;
+            bus DB capacity 2 connects { R1, R2, DM };
+            constraint forbid { U1.mul, U2.mul };
+            constraint at_most 1 { U1.*, bus DB };
+            complex mac on U2 { add(mul(a, b), c) };
+            complex sq on U1 { mul(x, x) };
+        }";
+        let m = parse_machine(src).unwrap();
+        assert_eq!(m.constraints().len(), 2);
+        assert_eq!(m.constraints()[0].at_most, 1);
+        assert_eq!(m.constraints()[0].members.len(), 2);
+        assert_eq!(m.complexes().len(), 2);
+        assert_eq!(m.complexes()[0].pattern.arg_count(), 3);
+        assert_eq!(m.complexes()[1].pattern.arg_count(), 1);
+        assert_eq!(m.complexes()[1].pattern.eval(&[7]), 49);
+    }
+
+    #[test]
+    fn rejects_unknown_ops_and_storages() {
+        assert!(parse_machine(
+            "machine X { unit U1 { ops { frobnicate } regfile R[4]; } memory DM; bus B capacity 1 connects { R, DM }; }"
+        )
+        .is_err());
+        assert!(parse_machine(
+            "machine X { unit U1 { ops { add } regfile R[4]; } memory DM; bus B capacity 1 connects { R, NOPE }; }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_semantic_problems_via_validation() {
+        // Bank never connected to memory.
+        let e = parse_machine(
+            "machine X {
+                unit U1 { ops { add } regfile R1[4]; }
+                unit U2 { ops { add } regfile R2[4]; }
+                memory DM;
+                bus B capacity 1 connects { R1, DM };
+            }",
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("unreachable"), "{e}");
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = parse_machine("machine X { unit }").unwrap_err();
+        assert!(e.line == 1 && e.col > 1);
+    }
+
+    #[test]
+    fn round_trips_through_describe() {
+        let m = parse_machine(EXAMPLE).unwrap();
+        let d = m.describe();
+        for u in ["U1", "U2", "U3"] {
+            assert!(d.contains(u));
+        }
+    }
+}

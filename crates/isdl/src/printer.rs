@@ -1,0 +1,203 @@
+//! Pretty-printer: [`Machine`] → ISDL text.
+//!
+//! Together with [`crate::parse_machine`] this round-trips machine
+//! descriptions losslessly, which is how generated or programmatically
+//! built machines (e.g. from a design-space explorer) get persisted in
+//! the same format hand-written descriptions use.
+
+use crate::model::{Location, Machine, PatTree, SlotPattern};
+use std::fmt::Write as _;
+
+/// Render `machine` as parseable ISDL text.
+///
+/// ```
+/// use aviv_isdl::{archs, parse_machine, to_isdl};
+///
+/// let machine = archs::example_arch(4);
+/// let text = to_isdl(&machine);
+/// let reparsed = parse_machine(&text).expect("printer output parses");
+/// assert_eq!(machine.units().len(), reparsed.units().len());
+/// ```
+pub fn to_isdl(machine: &Machine) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "machine {} {{", machine.name);
+    for unit in machine.units() {
+        let ops: Vec<&str> = unit.ops.iter().map(|c| c.op.mnemonic()).collect();
+        let bank = machine.bank(unit.bank);
+        let _ = writeln!(
+            out,
+            "    unit {} {{ ops {{ {} }} regfile {}[{}]; }}",
+            unit.name,
+            ops.join(", "),
+            bank.name,
+            bank.size
+        );
+    }
+    let _ = writeln!(out, "    memory DM;");
+    for bus in machine.buses() {
+        let eps: Vec<String> = bus
+            .endpoints
+            .iter()
+            .map(|e| match e {
+                Location::Bank(b) => machine.bank(*b).name.clone(),
+                Location::Mem => "DM".to_string(),
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "    bus {} capacity {} connects {{ {} }};",
+            bus.name,
+            bus.capacity,
+            eps.join(", ")
+        );
+    }
+    for con in machine.constraints() {
+        let members: Vec<String> = con
+            .members
+            .iter()
+            .map(|m| match *m {
+                SlotPattern::UnitOp { unit, op } => {
+                    let uname = &machine.unit(unit).name;
+                    match op {
+                        Some(op) => format!("{uname}.{}", op.mnemonic()),
+                        None => format!("{uname}.*"),
+                    }
+                }
+                SlotPattern::BusUse { bus } => format!("bus {}", machine.bus(bus).name),
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "    constraint at_most {} {{ {} }};",
+            con.at_most,
+            members.join(", ")
+        );
+    }
+    for cx in machine.complexes() {
+        let _ = writeln!(
+            out,
+            "    complex {} on {} {{ {} }};",
+            cx.name,
+            machine.unit(cx.unit).name,
+            render_pattern(&cx.pattern)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_pattern(p: &PatTree) -> String {
+    match p {
+        PatTree::Arg(i) => arg_name(*i),
+        PatTree::Op(op, subs) => {
+            let inner: Vec<String> = subs.iter().map(render_pattern).collect();
+            format!("{}({})", op.mnemonic(), inner.join(", "))
+        }
+    }
+}
+
+/// Stable operand names `a, b, c, ... a1, b1, ...` for pattern printing.
+fn arg_name(i: usize) -> String {
+    let letter = (b'a' + (i % 26) as u8) as char;
+    if i < 26 {
+        letter.to_string()
+    } else {
+        format!("{letter}{}", i / 26)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archs;
+    use crate::parser::parse_machine;
+
+    fn machines_equal(a: &Machine, b: &Machine) -> bool {
+        if a.name != b.name
+            || a.units().len() != b.units().len()
+            || a.banks().len() != b.banks().len()
+            || a.buses().len() != b.buses().len()
+            || a.constraints().len() != b.constraints().len()
+            || a.complexes().len() != b.complexes().len()
+        {
+            return false;
+        }
+        for (ua, ub) in a.units().iter().zip(b.units()) {
+            if ua.name != ub.name || ua.bank != ub.bank {
+                return false;
+            }
+            let ops_a: Vec<_> = ua.ops.iter().map(|c| c.op).collect();
+            let ops_b: Vec<_> = ub.ops.iter().map(|c| c.op).collect();
+            if ops_a != ops_b {
+                return false;
+            }
+        }
+        for (ba, bb) in a.banks().iter().zip(b.banks()) {
+            if ba.name != bb.name || ba.size != bb.size {
+                return false;
+            }
+        }
+        for (ba, bb) in a.buses().iter().zip(b.buses()) {
+            if ba.name != bb.name || ba.capacity != bb.capacity || ba.endpoints != bb.endpoints
+            {
+                return false;
+            }
+        }
+        for (ca, cb) in a.constraints().iter().zip(b.constraints()) {
+            if ca.at_most != cb.at_most || ca.members != cb.members {
+                return false;
+            }
+        }
+        for (ca, cb) in a.complexes().iter().zip(b.complexes()) {
+            if ca.name != cb.name || ca.unit != cb.unit || ca.pattern != cb.pattern {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn round_trips_every_bundled_architecture() {
+        for m in [
+            archs::example_arch(4),
+            archs::example_arch(2),
+            archs::arch_two(4),
+            archs::dsp_arch(4),
+            archs::chained_arch(4),
+            archs::single_alu(4),
+            archs::wide_arch(8),
+        ] {
+            let text = to_isdl(&m);
+            let back = parse_machine(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", m.name));
+            assert!(machines_equal(&m, &back), "{} round trip:\n{text}", m.name);
+        }
+    }
+
+    #[test]
+    fn round_trips_constraints_and_complexes() {
+        let src = "machine C {
+            unit U1 { ops { add, mul } regfile R1[4]; }
+            unit U2 { ops { add, mul, sub } regfile R2[4]; }
+            memory DM;
+            bus DB capacity 2 connects { R1, R2, DM };
+            constraint at_most 1 { U1.mul, U2.mul };
+            constraint at_most 1 { U1.*, bus DB };
+            complex mac on U2 { add(mul(a, b), c) };
+            complex sq on U1 { mul(a, a) };
+        }";
+        let m = parse_machine(src).unwrap();
+        let text = to_isdl(&m);
+        let back = parse_machine(&text).unwrap();
+        assert!(machines_equal(&m, &back), "{text}");
+        // Repeated pattern operands survive the trip.
+        assert_eq!(back.complexes()[1].pattern.arg_count(), 1);
+    }
+
+    #[test]
+    fn arg_names_are_stable() {
+        assert_eq!(arg_name(0), "a");
+        assert_eq!(arg_name(2), "c");
+        assert_eq!(arg_name(26), "a1");
+    }
+}

@@ -1,0 +1,36 @@
+//! # aviv-splitdag — the Split-Node DAG
+//!
+//! The central data structure of the AVIV retargetable code generator
+//! (Hanono & Devadas, DAC 1998): a graph that "explicitly represents all
+//! possible implementations for a block of code on the target processor".
+//! Each operation of a basic-block DAG becomes a *split node* fanning out
+//! to one implementation alternative per capable functional unit (plus any
+//! matched complex instructions), with explicit *data transfer nodes* on
+//! every producer→consumer path that crosses storage locations.
+//!
+//! ```
+//! use aviv_ir::parse_function;
+//! use aviv_isdl::{archs, Target};
+//! use aviv_splitdag::SplitNodeDag;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let f = parse_function("func f(a, b, d, e) { out = (d * e) - (a + b); }")?;
+//! let target = Target::new(archs::example_arch(4));
+//! let sndag = SplitNodeDag::build(&f.blocks[0].dag, &target)?;
+//! let stats = sndag.stats(&f.blocks[0].dag);
+//! assert_eq!(stats.assignment_space, 12); // the paper's 2 x 2 x 3
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod patterns;
+pub mod sndag;
+
+pub use dot::sndag_to_dot;
+pub use patterns::{match_complexes, ComplexMatch};
+pub use sndag::{
+    AltInfo, AltKind, Exec, SnId, SnKind, SnNode, SplitDagError, SplitDagStats, SplitNodeDag,
+};

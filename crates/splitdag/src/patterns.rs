@@ -1,0 +1,214 @@
+//! Complex-instruction pattern matching on basic-block DAGs.
+//!
+//! "The Split-Node DAG structure can easily incorporate complex
+//! instructions ... by utilizing an initial pattern matching phase that
+//! detects which nodes in the original expression DAG can be covered by a
+//! complex instruction supported by the target processor" (paper §III-B).
+//!
+//! A match binds a [`ComplexInstr`] pattern rooted at some DAG node; the
+//! interior nodes it swallows must be used *only* inside the match
+//! (otherwise their value would still have to be computed separately and
+//! fusing would save nothing).
+
+use aviv_ir::{BlockDag, NodeId};
+use aviv_isdl::{Machine, PatTree};
+
+/// One way a complex instruction can cover part of the DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComplexMatch {
+    /// Index into [`Machine::complexes`].
+    pub complex: usize,
+    /// The DAG node matched by the pattern root (the value the
+    /// instruction produces).
+    pub root: NodeId,
+    /// Every DAG node the match covers (root plus swallowed interiors),
+    /// in discovery order with the root first.
+    pub covers: Vec<NodeId>,
+    /// The DAG nodes bound to the pattern's operands, indexed by pattern
+    /// argument number.
+    pub operands: Vec<NodeId>,
+}
+
+/// Find every complex-instruction match in `dag` for `machine`.
+///
+/// Matches are returned grouped by root in node order; the Split-Node DAG
+/// adds each as an extra alternative under the root's split node.
+pub fn match_complexes(dag: &BlockDag, machine: &Machine) -> Vec<ComplexMatch> {
+    let uses = dag.uses();
+    let root_ids: std::collections::HashSet<NodeId> = dag.roots().into_iter().collect();
+    let mut out = Vec::new();
+    for (id, node) in dag.iter() {
+        if node.op.is_leaf() || node.op.is_store() {
+            continue;
+        }
+        for (ci, cx) in machine.complexes().iter().enumerate() {
+            let mut operands: Vec<Option<NodeId>> = vec![None; cx.pattern.arg_count()];
+            let mut covers = Vec::new();
+            if try_match(
+                dag,
+                &uses,
+                &root_ids,
+                id,
+                &cx.pattern,
+                true,
+                &mut operands,
+                &mut covers,
+            ) {
+                let operands: Vec<NodeId> =
+                    operands.into_iter().map(|o| o.expect("bound")).collect();
+                out.push(ComplexMatch {
+                    complex: ci,
+                    root: id,
+                    covers,
+                    operands,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Attempt to match `pat` at `node`, backtracking on failure. Interior
+/// (non-root) op nodes must be single-use and not themselves DAG roots.
+/// Commutative operations are tried in both operand orders (the DAG
+/// canonicalizes commutative operand order, which need not agree with the
+/// pattern's).
+#[allow(clippy::too_many_arguments)]
+fn try_match(
+    dag: &BlockDag,
+    uses: &[Vec<NodeId>],
+    root_ids: &std::collections::HashSet<NodeId>,
+    node: NodeId,
+    pat: &PatTree,
+    is_root: bool,
+    operands: &mut Vec<Option<NodeId>>,
+    covers: &mut Vec<NodeId>,
+) -> bool {
+    match pat {
+        PatTree::Arg(i) => match operands[*i] {
+            None => {
+                operands[*i] = Some(node);
+                true
+            }
+            Some(bound) => bound == node,
+        },
+        PatTree::Op(op, subs) => {
+            let n = dag.node(node);
+            if n.op != *op {
+                return false;
+            }
+            if !is_root {
+                // A swallowed interior node must have exactly one consumer
+                // (the match parent) and must not be observable.
+                if uses[node.index()].len() != 1 || root_ids.contains(&node) {
+                    return false;
+                }
+            }
+            let mut orders: Vec<Vec<NodeId>> = vec![n.args.clone()];
+            if op.is_commutative() && n.args.len() >= 2 && n.args[0] != n.args[1] {
+                let mut swapped = n.args.clone();
+                swapped.swap(0, 1);
+                orders.push(swapped);
+            }
+            'order: for args in orders {
+                // Snapshot for backtracking.
+                let saved_operands = operands.clone();
+                let saved_covers = covers.len();
+                covers.push(node);
+                for (arg, sub) in args.iter().zip(subs) {
+                    if !try_match(dag, uses, root_ids, *arg, sub, false, operands, covers) {
+                        *operands = saved_operands;
+                        covers.truncate(saved_covers);
+                        continue 'order;
+                    }
+                }
+                return true;
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aviv_ir::parse_function;
+    use aviv_isdl::archs::dsp_arch;
+    use aviv_isdl::MachineBuilder;
+
+    #[test]
+    fn mac_matches_mul_feeding_add() {
+        let f = parse_function("func f(a, b, c) { y = a * b + c; }").unwrap();
+        let m = dsp_arch(4);
+        let matches = match_complexes(&f.blocks[0].dag, &m);
+        assert_eq!(matches.len(), 1);
+        let mm = &matches[0];
+        assert_eq!(mm.covers.len(), 2, "add and mul");
+        assert_eq!(mm.operands.len(), 3);
+        // Operands are a, b, c in pattern order.
+        let dag = &f.blocks[0].dag;
+        let names: Vec<&str> = mm
+            .operands
+            .iter()
+            .map(|&o| f.syms.name(dag.node(o).sym.unwrap()))
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn commutative_add_matches_either_side() {
+        // c + a*b: the DAG canonicalizes commutative operand order by node
+        // id, which puts `c` first here; the matcher must retry the
+        // swapped order to find the mul.
+        let f = parse_function("func f(a, b, c) { y = c + a * b; }").unwrap();
+        let m = dsp_arch(4);
+        let matches = match_complexes(&f.blocks[0].dag, &m);
+        assert_eq!(matches.len(), 1, "commutative retry finds the mul");
+    }
+
+    #[test]
+    fn multi_use_interior_blocks_match() {
+        // The mul result is also stored, so it cannot be swallowed.
+        let f = parse_function("func f(a, b, c) { t = a * b; y = t + c; z = t; }").unwrap();
+        let m = dsp_arch(4);
+        let matches = match_complexes(&f.blocks[0].dag, &m);
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn repeated_arg_requires_same_node() {
+        use aviv_ir::Op;
+        use aviv_isdl::PatTree;
+        let mut b = MachineBuilder::new("sq");
+        let u1 = b.unit("U1", &[Op::Mul, Op::Add], 4);
+        b.bus("DB", &[u1], true, 1);
+        b.complex(
+            "sq",
+            u1,
+            PatTree::Op(Op::Mul, vec![PatTree::Arg(0), PatTree::Arg(0)]),
+        );
+        let m = b.build().unwrap();
+
+        let f = parse_function("func f(a, b) { x = a * a; y = a * b; }").unwrap();
+        let matches = match_complexes(&f.blocks[0].dag, &m);
+        assert_eq!(matches.len(), 1, "only a*a matches sq");
+        assert_eq!(matches[0].operands.len(), 1);
+    }
+
+    #[test]
+    fn two_macs_in_one_block() {
+        let f =
+            parse_function("func f(a, b, c, d, e) { x = a * b + c; y = d * e + x; }").unwrap();
+        let m = dsp_arch(4);
+        let matches = match_complexes(&f.blocks[0].dag, &m);
+        // x's add has a mul child (a*b): match. y's add has mul (d*e): match.
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn no_complexes_no_matches() {
+        let f = parse_function("func f(a, b, c) { y = a * b + c; }").unwrap();
+        let m = aviv_isdl::archs::example_arch(4);
+        assert!(match_complexes(&f.blocks[0].dag, &m).is_empty());
+    }
+}

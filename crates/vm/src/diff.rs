@@ -1,0 +1,145 @@
+//! Differential testing: compiled code vs the IR interpreter.
+//!
+//! [`check_function`] compiles a function, simulates the generated VLIW
+//! code, runs the reference interpreter on the same inputs, and compares
+//! return value, every named variable, and the dynamic memory region.
+//! This is the end-to-end correctness oracle used across the test suites.
+
+use crate::sim::{SimError, Simulator};
+use aviv::{CodeGenerator, CodegenError, CodegenOptions};
+use aviv_ir::{Function, InterpError, Interpreter, MemLayout};
+use aviv_isdl::Machine;
+use std::error::Error;
+use std::fmt;
+
+/// A differential-testing failure.
+#[derive(Debug)]
+pub enum DiffError {
+    /// Compilation failed.
+    Compile(CodegenError),
+    /// The simulator faulted.
+    Sim(SimError),
+    /// The interpreter faulted.
+    Interp(InterpError),
+    /// Compiled code and interpreter disagree.
+    Mismatch {
+        /// Human-readable description of the disagreement.
+        what: String,
+    },
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::Compile(e) => write!(f, "compile: {e}"),
+            DiffError::Sim(e) => write!(f, "simulate: {e}"),
+            DiffError::Interp(e) => write!(f, "interpret: {e}"),
+            DiffError::Mismatch { what } => write!(f, "mismatch: {what}"),
+        }
+    }
+}
+
+impl Error for DiffError {}
+
+/// Compile `f` for `machine` with `options`, then verify the generated
+/// code computes exactly what the interpreter computes for `args`
+/// (positional parameter values) and `mem` (preloaded dynamic memory).
+///
+/// ```
+/// use aviv::CodegenOptions;
+/// use aviv_ir::parse_function;
+/// use aviv_isdl::archs;
+/// use aviv_vm::check_function;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let f = parse_function("func f(a, b) { return a * b - a; }")?;
+/// check_function(&f, archs::example_arch(4),
+///                CodegenOptions::heuristics_on(), &[6, 7], &[])?;
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns the first failure; [`DiffError::Mismatch`] carries the
+/// offending variable or address.
+pub fn check_function(
+    f: &Function,
+    machine: Machine,
+    options: CodegenOptions,
+    args: &[i64],
+    mem: &[(i64, i64)],
+) -> Result<(), DiffError> {
+    assert!(
+        f.syms.len() < 1024,
+        "diff harness assumes named variables stay below the dynamic region"
+    );
+    let generator = CodeGenerator::new(machine).options(options);
+    let (program, _report) = generator
+        .compile_function(f)
+        .map_err(DiffError::Compile)?;
+
+    // Interpreter run.
+    let layout = MemLayout::for_function(f);
+    let mut interp = Interpreter::with_layout(f, layout.clone());
+    interp.args(args);
+    for &(a, v) in mem {
+        interp.poke(a, v);
+    }
+    let iresult = interp.run().map_err(DiffError::Interp)?;
+
+    // Simulator run.
+    let mut sim = Simulator::new(generator.target(), &program);
+    for (i, &p) in f.params.iter().enumerate() {
+        if let Some(&v) = args.get(i) {
+            sim.poke(layout.addr(p), v);
+        }
+    }
+    for &(a, v) in mem {
+        sim.poke(a, v);
+    }
+    let sresult = sim.run().map_err(DiffError::Sim)?;
+
+    if iresult.return_value != sresult.return_value {
+        return Err(DiffError::Mismatch {
+            what: format!(
+                "return value: interp {:?}, sim {:?}",
+                iresult.return_value, sresult.return_value
+            ),
+        });
+    }
+    // Named variables (skip compiler-internal ones, which only the
+    // generated code touches).
+    for (sym, name) in f.syms.iter() {
+        if name.starts_with("__") {
+            continue;
+        }
+        let addr = layout.addr(sym);
+        let iv = iresult.memory.get(&addr).copied();
+        let sv = sresult.memory.get(&addr).copied();
+        if iv.unwrap_or(0) != sv.unwrap_or(0) {
+            return Err(DiffError::Mismatch {
+                what: format!("variable {name}: interp {iv:?}, sim {sv:?}"),
+            });
+        }
+    }
+    // Dynamic region.
+    let base = layout.dynamic_base();
+    let union: std::collections::BTreeSet<i64> = iresult
+        .memory
+        .keys()
+        .chain(sresult.memory.keys())
+        .copied()
+        .filter(|&a| a >= base)
+        .collect();
+    for a in union {
+        let iv = iresult.memory.get(&a).copied().unwrap_or(0);
+        let sv = sresult.memory.get(&a).copied().unwrap_or(0);
+        if iv != sv {
+            return Err(DiffError::Mismatch {
+                what: format!("mem[{a}]: interp {iv}, sim {sv}"),
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,380 @@
+//! Assembler: [`VliwProgram`] ⇄ binary.
+//!
+//! The paper's framework generates an assembler from the ISDL description
+//! that "transforms the code produced by the compiler to a binary file
+//! that is used as input to an instruction-level simulator" (§II). This
+//! module provides that step: a compact byte encoding with a loader that
+//! reconstructs the exact program (round-trip tested). Immediates are
+//! stored at full width; a production encoding would constrain field
+//! widths per the machine description.
+
+use aviv::{
+    AsmOperand, ControlOp, Reg, SlotOp, SlotOpcode, TransferKind, TransferOp, VliwInstruction,
+    VliwProgram,
+};
+use aviv_ir::Op;
+use aviv_isdl::{BankId, BusId};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"AVIV";
+const VERSION: u8 = 1;
+
+/// Every operation with a stable binary opcode (index in this table).
+const OPS: [Op; 26] = [
+    Op::Const,
+    Op::Input,
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::Div,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::Shl,
+    Op::Shr,
+    Op::Neg,
+    Op::Compl,
+    Op::Abs,
+    Op::Min,
+    Op::Max,
+    Op::Mac,
+    Op::Load,
+    Op::Store,
+    Op::StoreVar,
+    Op::CmpEq,
+    Op::CmpNe,
+    Op::CmpLt,
+    Op::CmpLe,
+    Op::CmpGt,
+    Op::CmpGe,
+];
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl Error for DecodeError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        let b = s.as_bytes();
+        self.u16(b.len() as u16);
+        self.buf.extend_from_slice(b);
+    }
+    fn reg(&mut self, r: Reg) {
+        self.u8(r.bank.0 as u8);
+        self.u8(r.index as u8);
+    }
+    fn operand(&mut self, a: &AsmOperand) {
+        match a {
+            AsmOperand::Reg(r) => {
+                self.u8(0);
+                self.reg(*r);
+            }
+            AsmOperand::Imm(v) => {
+                self.u8(1);
+                self.i64(*v);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, msg: impl Into<String>) -> DecodeError {
+        DecodeError {
+            msg: msg.into(),
+            offset: self.pos,
+        }
+    }
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(self.err("unexpected end of input"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u16()? as usize;
+        let b = self.bytes(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| self.err("invalid UTF-8"))
+    }
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        let bank = BankId(self.u8()? as u32);
+        let index = self.u8()? as u32;
+        Ok(Reg { bank, index })
+    }
+    fn operand(&mut self) -> Result<AsmOperand, DecodeError> {
+        match self.u8()? {
+            0 => Ok(AsmOperand::Reg(self.reg()?)),
+            1 => Ok(AsmOperand::Imm(self.i64()?)),
+            t => Err(self.err(format!("bad operand tag {t}"))),
+        }
+    }
+}
+
+/// Assemble a program to binary.
+pub fn assemble(program: &VliwProgram) -> Vec<u8> {
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(MAGIC);
+    w.u8(VERSION);
+    w.str(&program.machine_name);
+    w.u16(program.var_addrs.len() as u16);
+    for (name, addr) in &program.var_addrs {
+        w.str(name);
+        w.i64(*addr);
+    }
+    w.u16(program.block_starts.len() as u16);
+    for &b in &program.block_starts {
+        w.u32(b as u32);
+    }
+    w.u32(program.instructions.len() as u32);
+    for inst in &program.instructions {
+        w.u8(inst.slots.len() as u8);
+        for slot in &inst.slots {
+            match slot {
+                None => w.u8(0),
+                Some(s) => {
+                    match s.opcode {
+                        SlotOpcode::Basic(op) => {
+                            w.u8(1);
+                            let code = OPS
+                                .iter()
+                                .position(|&o| o == op)
+                                .expect("every op has a code");
+                            w.u8(code as u8);
+                        }
+                        SlotOpcode::Complex(ci) => {
+                            w.u8(2);
+                            w.u8(ci as u8);
+                        }
+                    }
+                    w.reg(s.dst);
+                    w.u8(s.args.len() as u8);
+                    for a in &s.args {
+                        w.operand(a);
+                    }
+                }
+            }
+        }
+        w.u8(inst.xfers.len() as u8);
+        for x in &inst.xfers {
+            w.u8(x.bus.0 as u8);
+            match &x.kind {
+                TransferKind::Move { from, to } => {
+                    w.u8(0);
+                    w.reg(*from);
+                    w.reg(*to);
+                }
+                TransferKind::LoadVar { addr, name, to } => {
+                    w.u8(1);
+                    w.i64(*addr);
+                    w.str(name);
+                    w.reg(*to);
+                }
+                TransferKind::StoreVar { value, addr, name } => {
+                    w.u8(2);
+                    w.operand(value);
+                    w.i64(*addr);
+                    w.str(name);
+                }
+                TransferKind::LoadDyn { addr, to } => {
+                    w.u8(3);
+                    w.reg(*addr);
+                    w.reg(*to);
+                }
+                TransferKind::StoreDyn { addr, value } => {
+                    w.u8(4);
+                    w.reg(*addr);
+                    w.reg(*value);
+                }
+            }
+        }
+        match &inst.control {
+            None => w.u8(0),
+            Some(ControlOp::Jump(t)) => {
+                w.u8(1);
+                w.u32(*t as u32);
+            }
+            Some(ControlOp::BranchNz { cond, target }) => {
+                w.u8(2);
+                w.operand(cond);
+                w.u32(*target as u32);
+            }
+            Some(ControlOp::Return(v)) => {
+                w.u8(3);
+                match v {
+                    None => w.u8(0),
+                    Some(op) => {
+                        w.u8(1);
+                        w.operand(op);
+                    }
+                }
+            }
+        }
+    }
+    w.buf
+}
+
+/// Load a binary back into a program.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on any malformed input.
+pub fn disassemble(bytes: &[u8]) -> Result<VliwProgram, DecodeError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.bytes(4)? != MAGIC {
+        return Err(r.err("bad magic"));
+    }
+    if r.u8()? != VERSION {
+        return Err(r.err("unsupported version"));
+    }
+    let machine_name = r.str()?;
+    let n_vars = r.u16()? as usize;
+    let mut var_addrs = Vec::with_capacity(n_vars);
+    for _ in 0..n_vars {
+        let name = r.str()?;
+        let addr = r.i64()?;
+        var_addrs.push((name, addr));
+    }
+    let n_blocks = r.u16()? as usize;
+    let mut block_starts = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        block_starts.push(r.u32()? as usize);
+    }
+    let n_inst = r.u32()? as usize;
+    let mut instructions = Vec::with_capacity(n_inst);
+    for _ in 0..n_inst {
+        let n_slots = r.u8()? as usize;
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let tag = r.u8()?;
+            if tag == 0 {
+                slots.push(None);
+                continue;
+            }
+            let opcode = match tag {
+                1 => {
+                    let code = r.u8()? as usize;
+                    let op = *OPS
+                        .get(code)
+                        .ok_or_else(|| r.err(format!("bad opcode {code}")))?;
+                    SlotOpcode::Basic(op)
+                }
+                2 => SlotOpcode::Complex(r.u8()? as usize),
+                t => return Err(r.err(format!("bad slot tag {t}"))),
+            };
+            let dst = r.reg()?;
+            let n_args = r.u8()? as usize;
+            let mut args = Vec::with_capacity(n_args);
+            for _ in 0..n_args {
+                args.push(r.operand()?);
+            }
+            slots.push(Some(SlotOp { opcode, dst, args }));
+        }
+        let n_xfers = r.u8()? as usize;
+        let mut xfers = Vec::with_capacity(n_xfers);
+        for _ in 0..n_xfers {
+            let bus = BusId(r.u8()? as u32);
+            let kind = match r.u8()? {
+                0 => TransferKind::Move {
+                    from: r.reg()?,
+                    to: r.reg()?,
+                },
+                1 => TransferKind::LoadVar {
+                    addr: r.i64()?,
+                    name: r.str()?,
+                    to: r.reg()?,
+                },
+                2 => TransferKind::StoreVar {
+                    value: r.operand()?,
+                    addr: r.i64()?,
+                    name: r.str()?,
+                },
+                3 => TransferKind::LoadDyn {
+                    addr: r.reg()?,
+                    to: r.reg()?,
+                },
+                4 => TransferKind::StoreDyn {
+                    addr: r.reg()?,
+                    value: r.reg()?,
+                },
+                t => return Err(r.err(format!("bad transfer tag {t}"))),
+            };
+            xfers.push(TransferOp { bus, kind });
+        }
+        let control = match r.u8()? {
+            0 => None,
+            1 => Some(ControlOp::Jump(r.u32()? as usize)),
+            2 => Some(ControlOp::BranchNz {
+                cond: r.operand()?,
+                target: r.u32()? as usize,
+            }),
+            3 => {
+                let has = r.u8()?;
+                let v = if has == 1 { Some(r.operand()?) } else { None };
+                Some(ControlOp::Return(v))
+            }
+            t => return Err(r.err(format!("bad control tag {t}"))),
+        };
+        instructions.push(VliwInstruction {
+            slots,
+            xfers,
+            control,
+        });
+    }
+    if r.pos != bytes.len() {
+        return Err(r.err("trailing bytes"));
+    }
+    Ok(VliwProgram {
+        machine_name,
+        instructions,
+        block_starts,
+        var_addrs,
+    })
+}

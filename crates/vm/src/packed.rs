@@ -1,0 +1,525 @@
+//! Bit-packed instruction encoding.
+//!
+//! The paper optimizes code size because "the size of the on-chip ROM is
+//! a critical issue". Instruction *count* is its proxy; this module
+//! provides the real thing: a bit-level encoding whose field widths are
+//! derived from the machine description (as an ISDL-generated assembler
+//! would derive them), giving an honest ROM-bits figure for a program on
+//! a machine. Round-trips losslessly through [`decode_packed`].
+//!
+//! Layout per instruction (all widths machine-derived):
+//!
+//! * per unit: an opcode field (`0` = nop, then the unit's ops, then the
+//!   machine's complex instructions), a destination register, and one
+//!   operand per opcode arity (1 tag bit + register or immediate);
+//! * a transfer count, then per transfer: kind (3 bits), bus, and the
+//!   kind's registers/addresses;
+//! * a control tag (2 bits) plus target/operand.
+//!
+//! Immediates and addresses use an escape: 12-bit signed fast path, or a
+//! full 64-bit value.
+
+use aviv::{
+    AsmOperand, ControlOp, Reg, SlotOp, SlotOpcode, TransferKind, TransferOp, VliwInstruction,
+    VliwProgram,
+};
+use aviv_isdl::{BankId, BusId, Target, UnitId};
+use std::fmt;
+
+/// Packed-encoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedError {
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for PackedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "packed encoding error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for PackedError {}
+
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            bytes: Vec::new(),
+            bit: 0,
+        }
+    }
+
+    fn push(&mut self, value: u64, width: u32) {
+        debug_assert!(width <= 64);
+        debug_assert!(width == 64 || value < (1u64 << width), "{value} !< 2^{width}");
+        for i in 0..width {
+            let b = (value >> i) & 1;
+            if self.bit == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= (b as u8) << self.bit;
+            self.bit = (self.bit + 1) % 8;
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    fn bit_len(&self) -> usize {
+        if self.bytes.is_empty() {
+            0
+        } else {
+            (self.bytes.len() - 1) * 8 + if self.bit == 0 { 8 } else { self.bit as usize }
+        }
+    }
+}
+
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    fn pull(&mut self, width: u32) -> Result<u64, PackedError> {
+        let mut v = 0u64;
+        for i in 0..width {
+            let byte = self.pos / 8;
+            let bit = self.pos % 8;
+            let b = self
+                .bytes
+                .get(byte)
+                .ok_or_else(|| PackedError {
+                    msg: "unexpected end of bitstream".into(),
+                })?;
+            v |= (((b >> bit) & 1) as u64) << i;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+}
+
+/// Minimum bits to represent values `0..n` (at least 1).
+fn width_for(n: usize) -> u32 {
+    let mut w = 1;
+    while (1usize << w) < n {
+        w += 1;
+    }
+    w
+}
+
+/// Field widths derived from the machine description.
+struct Layout {
+    /// Opcode width per unit (0 = nop, 1.. = unit ops, then complexes).
+    opcode_w: Vec<u32>,
+    /// Register-index width per bank.
+    reg_w: Vec<u32>,
+    /// Bank-id width.
+    bank_w: u32,
+    /// Bus-id width.
+    bus_w: u32,
+    /// Transfer-count width.
+    xfer_count_w: u32,
+}
+
+impl Layout {
+    fn new(target: &Target) -> Layout {
+        let m = &target.machine;
+        let opcode_w = m
+            .units()
+            .iter()
+            .map(|u| width_for(1 + u.ops.len() + m.complexes().len()))
+            .collect();
+        let reg_w = m.banks().iter().map(|b| width_for(b.size as usize)).collect();
+        let bank_w = width_for(m.banks().len());
+        let bus_w = width_for(m.buses().len());
+        let max_xfers: u32 = m.buses().iter().map(|b| b.capacity).sum();
+        Layout {
+            opcode_w,
+            reg_w,
+            bank_w,
+            bus_w,
+            xfer_count_w: width_for(max_xfers as usize + 1),
+        }
+    }
+}
+
+const IMM_FAST_BITS: u32 = 12;
+
+fn push_imm(w: &mut BitWriter, v: i64) {
+    let fits = (-(1i64 << (IMM_FAST_BITS - 1))..(1 << (IMM_FAST_BITS - 1))).contains(&v);
+    if fits {
+        w.push(0, 1);
+        w.push((v as u64) & ((1 << IMM_FAST_BITS) - 1), IMM_FAST_BITS);
+    } else {
+        w.push(1, 1);
+        w.push(v as u64, 64);
+    }
+}
+
+fn pull_imm(r: &mut BitReader) -> Result<i64, PackedError> {
+    if r.pull(1)? == 0 {
+        let raw = r.pull(IMM_FAST_BITS)?;
+        // Sign-extend.
+        let shift = 64 - IMM_FAST_BITS;
+        Ok(((raw << shift) as i64) >> shift)
+    } else {
+        Ok(r.pull(64)? as i64)
+    }
+}
+
+fn push_reg(w: &mut BitWriter, layout: &Layout, r: Reg) {
+    w.push(r.bank.0 as u64, layout.bank_w);
+    w.push(r.index as u64, layout.reg_w[r.bank.index()]);
+}
+
+fn pull_reg(r: &mut BitReader, layout: &Layout) -> Result<Reg, PackedError> {
+    let bank = BankId(r.pull(layout.bank_w)? as u32);
+    let idx_w = *layout.reg_w.get(bank.index()).ok_or_else(|| PackedError {
+        msg: format!("bad bank {bank}"),
+    })?;
+    let index = r.pull(idx_w)? as u32;
+    Ok(Reg { bank, index })
+}
+
+fn push_operand(w: &mut BitWriter, layout: &Layout, a: &AsmOperand) {
+    match a {
+        AsmOperand::Reg(reg) => {
+            w.push(0, 1);
+            push_reg(w, layout, *reg);
+        }
+        AsmOperand::Imm(v) => {
+            w.push(1, 1);
+            push_imm(w, *v);
+        }
+    }
+}
+
+fn pull_operand(r: &mut BitReader, layout: &Layout) -> Result<AsmOperand, PackedError> {
+    if r.pull(1)? == 0 {
+        Ok(AsmOperand::Reg(pull_reg(r, layout)?))
+    } else {
+        Ok(AsmOperand::Imm(pull_imm(r)?))
+    }
+}
+
+/// Encode the instruction stream of `program` as a packed bitstream;
+/// returns the bytes and the exact bit length.
+///
+/// # Errors
+///
+/// Fails when an instruction does not fit the machine (e.g. a slot op the
+/// unit cannot perform) — impossible for generator output, checked for
+/// robustness.
+pub fn encode_packed(target: &Target, program: &VliwProgram) -> Result<(Vec<u8>, usize), PackedError> {
+    let layout = Layout::new(target);
+    let m = &target.machine;
+    let mut w = BitWriter::new();
+    for inst in &program.instructions {
+        // Unit slots.
+        for (ui, slot) in inst.slots.iter().enumerate() {
+            let unit = &m.units()[ui];
+            match slot {
+                None => w.push(0, layout.opcode_w[ui]),
+                Some(s) => {
+                    let (code, arity) = match s.opcode {
+                        SlotOpcode::Basic(op) => {
+                            let pos = unit
+                                .ops
+                                .iter()
+                                .position(|c| c.op == op)
+                                .ok_or_else(|| PackedError {
+                                    msg: format!("unit {} cannot {op}", unit.name),
+                                })?;
+                            (1 + pos as u64, op.arity())
+                        }
+                        SlotOpcode::Complex(ci) => (
+                            1 + unit.ops.len() as u64 + ci as u64,
+                            m.complexes()[ci].pattern.arg_count(),
+                        ),
+                    };
+                    w.push(code, layout.opcode_w[ui]);
+                    push_reg(&mut w, &layout, s.dst);
+                    if s.args.len() != arity {
+                        return Err(PackedError {
+                            msg: format!("arity mismatch in slot {}", unit.name),
+                        });
+                    }
+                    for a in &s.args {
+                        push_operand(&mut w, &layout, a);
+                    }
+                }
+            }
+        }
+        // Transfers.
+        w.push(inst.xfers.len() as u64, layout.xfer_count_w);
+        for x in &inst.xfers {
+            w.push(x.bus.0 as u64, layout.bus_w);
+            match &x.kind {
+                TransferKind::Move { from, to } => {
+                    w.push(0, 3);
+                    push_reg(&mut w, &layout, *from);
+                    push_reg(&mut w, &layout, *to);
+                }
+                TransferKind::LoadVar { addr, to, .. } => {
+                    w.push(1, 3);
+                    push_imm(&mut w, *addr);
+                    push_reg(&mut w, &layout, *to);
+                }
+                TransferKind::StoreVar { value, addr, .. } => {
+                    w.push(2, 3);
+                    push_operand(&mut w, &layout, value);
+                    push_imm(&mut w, *addr);
+                }
+                TransferKind::LoadDyn { addr, to } => {
+                    w.push(3, 3);
+                    push_reg(&mut w, &layout, *addr);
+                    push_reg(&mut w, &layout, *to);
+                }
+                TransferKind::StoreDyn { addr, value } => {
+                    w.push(4, 3);
+                    push_reg(&mut w, &layout, *addr);
+                    push_reg(&mut w, &layout, *value);
+                }
+            }
+        }
+        // Control.
+        match &inst.control {
+            None => w.push(0, 2),
+            Some(ControlOp::Jump(t)) => {
+                w.push(1, 2);
+                push_imm(&mut w, *t as i64);
+            }
+            Some(ControlOp::BranchNz { cond, target }) => {
+                w.push(2, 2);
+                push_operand(&mut w, &layout, cond);
+                push_imm(&mut w, *target as i64);
+            }
+            Some(ControlOp::Return(v)) => {
+                w.push(3, 2);
+                match v {
+                    None => w.push(0, 1),
+                    Some(op) => {
+                        w.push(1, 1);
+                        push_operand(&mut w, &layout, op);
+                    }
+                }
+            }
+        }
+    }
+    let bits = w.bit_len();
+    Ok((w.finish(), bits))
+}
+
+/// Decode a packed bitstream of `count` instructions back into
+/// instruction form (metadata — block starts, variable addresses — lives
+/// outside the ROM image and is not part of the packed format).
+///
+/// # Errors
+///
+/// Returns [`PackedError`] on any malformed bitstream.
+pub fn decode_packed(
+    target: &Target,
+    bytes: &[u8],
+    count: usize,
+) -> Result<Vec<VliwInstruction>, PackedError> {
+    let layout = Layout::new(target);
+    let m = &target.machine;
+    let mut r = BitReader::new(bytes);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut inst = VliwInstruction::nop(m.units().len());
+        for ui in 0..m.units().len() {
+            let code = r.pull(layout.opcode_w[ui])? as usize;
+            if code == 0 {
+                continue;
+            }
+            let unit = &m.units()[ui];
+            let (opcode, arity) = if code <= unit.ops.len() {
+                let op = unit.ops[code - 1].op;
+                (SlotOpcode::Basic(op), op.arity())
+            } else {
+                let ci = code - 1 - unit.ops.len();
+                let cx = m.complexes().get(ci).ok_or_else(|| PackedError {
+                    msg: format!("bad complex index {ci}"),
+                })?;
+                (SlotOpcode::Complex(ci), cx.pattern.arg_count())
+            };
+            let dst = pull_reg(&mut r, &layout)?;
+            let mut args = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                args.push(pull_operand(&mut r, &layout)?);
+            }
+            inst.slots[ui] = Some(SlotOp { opcode, dst, args });
+        }
+        let n_xfers = r.pull(layout.xfer_count_w)? as usize;
+        for _ in 0..n_xfers {
+            let bus = BusId(r.pull(layout.bus_w)? as u32);
+            let kind = match r.pull(3)? {
+                0 => TransferKind::Move {
+                    from: pull_reg(&mut r, &layout)?,
+                    to: pull_reg(&mut r, &layout)?,
+                },
+                1 => TransferKind::LoadVar {
+                    addr: pull_imm(&mut r)?,
+                    name: String::new(),
+                    to: pull_reg(&mut r, &layout)?,
+                },
+                2 => TransferKind::StoreVar {
+                    value: pull_operand(&mut r, &layout)?,
+                    addr: pull_imm(&mut r)?,
+                    name: String::new(),
+                },
+                3 => TransferKind::LoadDyn {
+                    addr: pull_reg(&mut r, &layout)?,
+                    to: pull_reg(&mut r, &layout)?,
+                },
+                4 => TransferKind::StoreDyn {
+                    addr: pull_reg(&mut r, &layout)?,
+                    value: pull_reg(&mut r, &layout)?,
+                },
+                t => {
+                    return Err(PackedError {
+                        msg: format!("bad transfer tag {t}"),
+                    })
+                }
+            };
+            inst.xfers.push(TransferOp { bus, kind });
+        }
+        inst.control = match r.pull(2)? {
+            0 => None,
+            1 => Some(ControlOp::Jump(pull_imm(&mut r)? as usize)),
+            2 => Some(ControlOp::BranchNz {
+                cond: pull_operand(&mut r, &layout)?,
+                target: pull_imm(&mut r)? as usize,
+            }),
+            _ => {
+                let v = if r.pull(1)? == 1 {
+                    Some(pull_operand(&mut r, &layout)?)
+                } else {
+                    None
+                };
+                Some(ControlOp::Return(v))
+            }
+        };
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+/// Keep imports referenced in docs honest.
+#[allow(unused)]
+fn _types(_: UnitId) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aviv::CodeGenerator;
+    use aviv_ir::parse_function;
+    use aviv_isdl::archs;
+
+    /// Instructions equal up to the variable-name annotations, which the
+    /// packed format deliberately drops (names are debug metadata, not
+    /// ROM content).
+    fn strip_names(mut insts: Vec<VliwInstruction>) -> Vec<VliwInstruction> {
+        for inst in &mut insts {
+            for x in &mut inst.xfers {
+                match &mut x.kind {
+                    TransferKind::LoadVar { name, .. }
+                    | TransferKind::StoreVar { name, .. } => name.clear(),
+                    _ => {}
+                }
+            }
+        }
+        insts
+    }
+
+    fn round_trip(src: &str, machine: aviv_isdl::Machine) -> usize {
+        let f = parse_function(src).unwrap();
+        let gen = CodeGenerator::new(machine);
+        let (program, _) = gen.compile_function(&f).unwrap();
+        let (bytes, bits) = encode_packed(gen.target(), &program).unwrap();
+        let decoded =
+            decode_packed(gen.target(), &bytes, program.instructions.len()).unwrap();
+        assert_eq!(
+            strip_names(program.instructions.clone()),
+            strip_names(decoded)
+        );
+        assert!(bits <= bytes.len() * 8);
+        bits
+    }
+
+    #[test]
+    fn packed_round_trips_programs() {
+        let bits = round_trip(
+            "func f(a, b, c) { x = (a + b) * c; if (x > 10) goto big; x = 0 - x; big: return x; }",
+            archs::example_arch(4),
+        );
+        assert!(bits > 0);
+    }
+
+    #[test]
+    fn packed_round_trips_mac_and_memory() {
+        round_trip(
+            "func f(a, b, c, p) { x = a * b + c; mem[p] = x; y = mem[p + 1]; return y; }",
+            archs::dsp_arch(4),
+        );
+    }
+
+    #[test]
+    fn packed_is_denser_than_byte_encoding() {
+        let f = parse_function(
+            "func f(a, b, c, d) { x = (a + b) * (c - d); y = x + a; out = y; }",
+        )
+        .unwrap();
+        let gen = CodeGenerator::new(archs::example_arch(4));
+        let (program, _) = gen.compile_function(&f).unwrap();
+        let byte_size = crate::encode::assemble(&program).len();
+        let (packed, bits) = encode_packed(gen.target(), &program).unwrap();
+        assert!(
+            packed.len() * 3 < byte_size,
+            "packed {} bytes vs byte-format {byte_size}",
+            packed.len()
+        );
+        // A Fig. 3-style machine: each instruction fits in a few dozen
+        // bits.
+        let per_inst = bits / program.instructions.len();
+        assert!(per_inst < 96, "{per_inst} bits per instruction");
+    }
+
+    #[test]
+    fn large_immediates_use_the_escape() {
+        let f = parse_function("func f(a) { x = a + 1000000; return x; }").unwrap();
+        let gen = CodeGenerator::new(archs::example_arch(4));
+        let (program, _) = gen.compile_function(&f).unwrap();
+        let (bytes, _) = encode_packed(gen.target(), &program).unwrap();
+        let decoded =
+            decode_packed(gen.target(), &bytes, program.instructions.len()).unwrap();
+        assert_eq!(
+            strip_names(program.instructions.clone()),
+            strip_names(decoded)
+        );
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let f = parse_function("func f(a, b) { x = a * b; return x; }").unwrap();
+        let gen = CodeGenerator::new(archs::example_arch(4));
+        let (program, _) = gen.compile_function(&f).unwrap();
+        let (bytes, _) = encode_packed(gen.target(), &program).unwrap();
+        let truncated = &bytes[..bytes.len() / 2];
+        assert!(
+            decode_packed(gen.target(), truncated, program.instructions.len()).is_err()
+        );
+    }
+}

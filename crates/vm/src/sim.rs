@@ -1,0 +1,299 @@
+//! Cycle-level VLIW instruction-set simulator.
+//!
+//! The paper's framework (Fig. 1) feeds generated binaries to an
+//! instruction-level simulator for hardware–software co-simulation. This
+//! simulator executes [`VliwProgram`]s directly with the machine's real
+//! resources: one register file per bank, a flat data memory, and VLIW
+//! read-before-write semantics — all operand reads of an instruction
+//! observe pre-instruction state, which is exactly the assumption the
+//! register allocator's half-open live ranges rely on.
+
+use aviv::{AsmOperand, ControlOp, SlotOpcode, TransferKind, VliwProgram};
+use aviv_isdl::Target;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Simulator failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Executed `max_cycles` without returning.
+    CycleLimit(usize),
+    /// A register index exceeded its bank (corrupt program).
+    BadRegister {
+        /// The cycle where it happened.
+        cycle: usize,
+    },
+    /// A branch target pointed outside the program.
+    BadTarget {
+        /// The offending target.
+        target: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimit(n) => write!(f, "exceeded cycle limit {n}"),
+            SimError::BadRegister { cycle } => write!(f, "bad register access at cycle {cycle}"),
+            SimError::BadTarget { target } => write!(f, "branch target {target} out of range"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult {
+    /// Final memory contents.
+    pub memory: BTreeMap<i64, i64>,
+    /// Value carried by the executed `ret`, if any.
+    pub return_value: Option<i64>,
+    /// Instructions executed.
+    pub cycles: usize,
+}
+
+/// The simulator. Seed inputs with [`Simulator::set_var`] /
+/// [`Simulator::poke`], then [`Simulator::run`].
+#[derive(Debug, Clone)]
+pub struct Simulator<'p> {
+    target: &'p Target,
+    program: &'p VliwProgram,
+    regs: Vec<Vec<i64>>,
+    memory: BTreeMap<i64, i64>,
+    max_cycles: usize,
+    last_return: Option<i64>,
+}
+
+impl<'p> Simulator<'p> {
+    /// Create a simulator for `program` on `target`.
+    pub fn new(target: &'p Target, program: &'p VliwProgram) -> Self {
+        let regs = target
+            .machine
+            .banks()
+            .iter()
+            .map(|b| vec![0i64; b.size as usize])
+            .collect();
+        Simulator {
+            target,
+            program,
+            regs,
+            memory: BTreeMap::new(),
+            max_cycles: 1_000_000,
+            last_return: None,
+        }
+    }
+
+    /// Bound the number of executed instructions (default 1e6).
+    pub fn max_cycles(&mut self, n: usize) -> &mut Self {
+        self.max_cycles = n;
+        self
+    }
+
+    /// Preload a named variable (by the program's symbol table).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the program has no variable of that name.
+    pub fn set_var(&mut self, name: &str, value: i64) -> &mut Self {
+        let addr = self
+            .program
+            .var_addrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("unknown variable {name}"))
+            .1;
+        self.memory.insert(addr, value);
+        self
+    }
+
+    /// Preload an arbitrary memory word.
+    pub fn poke(&mut self, addr: i64, value: i64) -> &mut Self {
+        self.memory.insert(addr, value);
+        self
+    }
+
+    /// Read a named variable's current value.
+    pub fn read_var(&self, name: &str) -> Option<i64> {
+        let addr = self
+            .program
+            .var_addrs
+            .iter()
+            .find(|(n, _)| n == name)?
+            .1;
+        self.memory.get(&addr).copied()
+    }
+
+    fn read_reg(&self, r: aviv::Reg) -> Result<i64, SimError> {
+        self.regs
+            .get(r.bank.index())
+            .and_then(|bank| bank.get(r.index as usize))
+            .copied()
+            .ok_or(SimError::BadRegister { cycle: 0 })
+    }
+
+    fn read_operand(&self, a: &AsmOperand) -> Result<i64, SimError> {
+        match a {
+            AsmOperand::Imm(v) => Ok(*v),
+            AsmOperand::Reg(r) => self.read_reg(*r),
+        }
+    }
+
+    /// Execute until a `ret` or falling off the end.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run(&mut self) -> Result<SimResult, SimError> {
+        let mut pc = 0usize;
+        let mut cycles = 0usize;
+        while pc < self.program.instructions.len() {
+            cycles += 1;
+            if cycles > self.max_cycles {
+                return Err(SimError::CycleLimit(self.max_cycles));
+            }
+            let (next, done) = self.step(pc)?;
+            if done {
+                return Ok(SimResult {
+                    memory: self.memory.clone(),
+                    return_value: self.last_return,
+                    cycles,
+                });
+            }
+            pc = next;
+        }
+        Ok(SimResult {
+            memory: self.memory.clone(),
+            return_value: None,
+            cycles,
+        })
+    }
+
+    /// Execute exactly one instruction at `pc`; returns `(next_pc, done)`
+    /// where `done` means a `ret` executed (its value is available via
+    /// [`Simulator::last_return_value`]). Falling off the end counts as
+    /// done with no value.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn step(&mut self, pc: usize) -> Result<(usize, bool), SimError> {
+        if pc >= self.program.instructions.len() {
+            self.last_return = None;
+            return Ok((pc, true));
+        }
+        {
+            let inst = &self.program.instructions[pc];
+
+            // Read phase: latch every source before any write commits.
+            enum Write {
+                Reg(aviv::Reg, i64),
+                Mem(i64, i64),
+            }
+            let mut writes: Vec<Write> = Vec::new();
+            for slot in inst.slots.iter().flatten() {
+                let args: Result<Vec<i64>, SimError> =
+                    slot.args.iter().map(|a| self.read_operand(a)).collect();
+                let args = args?;
+                let value = match slot.opcode {
+                    SlotOpcode::Basic(op) => op.eval(&args),
+                    SlotOpcode::Complex(ci) => {
+                        self.target.machine.complexes()[ci].pattern.eval(&args)
+                    }
+                };
+                writes.push(Write::Reg(slot.dst, value));
+            }
+            for x in &inst.xfers {
+                match &x.kind {
+                    TransferKind::Move { from, to } => {
+                        writes.push(Write::Reg(*to, self.read_reg(*from)?));
+                    }
+                    TransferKind::LoadVar { addr, to, .. } => {
+                        let v = self.memory.get(addr).copied().unwrap_or(0);
+                        writes.push(Write::Reg(*to, v));
+                    }
+                    TransferKind::StoreVar { value, addr, .. } => {
+                        writes.push(Write::Mem(*addr, self.read_operand(value)?));
+                    }
+                    TransferKind::LoadDyn { addr, to } => {
+                        let a = self.read_reg(*addr)?;
+                        let v = self.memory.get(&a).copied().unwrap_or(0);
+                        writes.push(Write::Reg(*to, v));
+                    }
+                    TransferKind::StoreDyn { addr, value } => {
+                        let a = self.read_reg(*addr)?;
+                        writes.push(Write::Mem(a, self.read_reg(*value)?));
+                    }
+                }
+            }
+            // Control decision also reads pre-write state.
+            let mut next_pc = pc + 1;
+            let mut returned: Option<Option<i64>> = None;
+            match &inst.control {
+                None => {}
+                Some(ControlOp::Jump(t)) => next_pc = *t,
+                Some(ControlOp::BranchNz { cond, target })
+                    if self.read_operand(cond)? != 0 =>
+                {
+                    next_pc = *target;
+                }
+                Some(ControlOp::BranchNz { .. }) => {}
+                Some(ControlOp::Return(v)) => {
+                    let val = match v {
+                        None => None,
+                        Some(op) => Some(self.read_operand(op)?),
+                    };
+                    returned = Some(val);
+                }
+            }
+
+            // Write phase.
+            for w in writes {
+                match w {
+                    Write::Reg(r, v) => {
+                        let bank = self
+                            .regs
+                            .get_mut(r.bank.index())
+                            .ok_or(SimError::BadRegister { cycle: pc })?;
+                        let cell = bank
+                            .get_mut(r.index as usize)
+                            .ok_or(SimError::BadRegister { cycle: pc })?;
+                        *cell = v;
+                    }
+                    Write::Mem(a, v) => {
+                        self.memory.insert(a, v);
+                    }
+                }
+            }
+
+            if let Some(val) = returned {
+                self.last_return = val;
+                return Ok((next_pc, true));
+            }
+            if next_pc > self.program.instructions.len() {
+                return Err(SimError::BadTarget { target: next_pc });
+            }
+            if next_pc == self.program.instructions.len() {
+                self.last_return = None;
+                return Ok((next_pc, true));
+            }
+            Ok((next_pc, false))
+        }
+    }
+
+    /// The value of the most recently executed `ret` (for steppers).
+    pub fn last_return_value(&self) -> Option<i64> {
+        self.last_return
+    }
+
+    /// Snapshot of every register bank.
+    pub fn registers_snapshot(&self) -> Vec<Vec<i64>> {
+        self.regs.clone()
+    }
+
+    /// Snapshot of memory.
+    pub fn memory_snapshot(&self) -> BTreeMap<i64, i64> {
+        self.memory.clone()
+    }
+}

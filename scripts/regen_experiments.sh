@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerate every experiment artifact referenced by EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT=${1:-/tmp/aviv-experiments}
+mkdir -p "$OUT"
+cargo build --release -q -p aviv-bench
+run() { echo "== $1"; cargo run --release -q -p aviv-bench --bin "$1" -- "${@:2}" > "$OUT/$1.txt" 2>&1; }
+run table1
+run table2
+run table_pressure
+run baseline_table
+run scaling
+run figures
+run kernel_table
+run random_suite 60
+echo "artifacts in $OUT"

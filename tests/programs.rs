@@ -1,0 +1,288 @@
+//! A corpus of complete programs — loops, nested control flow, dynamic
+//! memory — each compiled for several machines and differentially checked
+//! against the reference interpreter on multiple inputs.
+
+use aviv::CodegenOptions;
+use aviv_ir::parse_function;
+use aviv_isdl::archs;
+use aviv_vm::check_function;
+
+fn check_all(src: &str, cases: &[&[i64]]) {
+    let f = parse_function(src).unwrap();
+    for machine in [
+        archs::example_arch(4),
+        archs::arch_two(4),
+        archs::wide_arch(4),
+    ] {
+        for args in cases {
+            let name = machine.name.clone();
+            check_function(
+                &f,
+                machine.clone(),
+                CodegenOptions::heuristics_on(),
+                args,
+                &[],
+            )
+            .unwrap_or_else(|e| panic!("{name} args {args:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn fibonacci_iterative() {
+    let src = "func fib(n) {
+        a = 0;
+        b = 1;
+        i = 0;
+    head:
+        if (i >= n) goto done;
+        t = a + b;
+        a = b;
+        b = t;
+        i = i + 1;
+        goto head;
+    done:
+        return a;
+    }";
+    check_all(src, &[&[0], &[1], &[7], &[15]]);
+    // Sanity: fib(7) = 13.
+    let f = parse_function(src).unwrap();
+    assert_eq!(
+        aviv_ir::run_function(&f, &[7]).unwrap().return_value,
+        Some(13)
+    );
+}
+
+#[test]
+fn collatz_steps() {
+    let src = "func collatz(n) {
+        steps = 0;
+    head:
+        if (n <= 1) goto done;
+        h = n >> 1;
+        r = n - (h + h);
+        if (r == 0) goto even;
+        n = n * 3 + 1;
+        goto count;
+    even:
+        n = h;
+    count:
+        steps = steps + 1;
+        goto head;
+    done:
+        return steps;
+    }";
+    // `>>` exists only on the wide machine among the defaults.
+    let f = parse_function(src).unwrap();
+    for n in [1i64, 6, 27] {
+        check_function(
+            &f,
+            archs::wide_arch(4),
+            CodegenOptions::heuristics_on(),
+            &[n],
+            &[],
+        )
+        .unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+    assert_eq!(
+        aviv_ir::run_function(&f, &[6]).unwrap().return_value,
+        Some(8)
+    );
+}
+
+#[test]
+fn integer_square_root() {
+    // Newton iteration with integer division emulated by subtraction-free
+    // guess refinement (the paper archs lack div; use the wide arch).
+    let src = "func isqrt(n) {
+        x = n;
+        if (n <= 1) goto done;
+        x = n / 2;
+    refine:
+        y = (x + n / x) / 2;
+        if (y >= x) goto done;
+        x = y;
+        goto refine;
+    done:
+        return x;
+    }";
+    let f = parse_function(src).unwrap();
+    for n in [0i64, 1, 2, 15, 16, 17, 99, 100, 10_000] {
+        check_function(
+            &f,
+            archs::wide_arch(4),
+            CodegenOptions::heuristics_on(),
+            &[n],
+            &[],
+        )
+        .unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+    assert_eq!(
+        aviv_ir::run_function(&f, &[99]).unwrap().return_value,
+        Some(9)
+    );
+}
+
+#[test]
+fn bubble_sort_in_memory() {
+    let src = "func sort(base, n) {
+        i = 0;
+    outer:
+        if (i >= n) goto done;
+        j = 0;
+        limit = n - i;
+        limit = limit - 1;
+    inner:
+        if (j >= limit) goto next_i;
+        a = mem[base + j];
+        b = mem[base + j + 1];
+        if (a <= b) goto no_swap;
+        mem[base + j] = b;
+        mem[base + j + 1] = a;
+    no_swap:
+        j = j + 1;
+        goto inner;
+    next_i:
+        i = i + 1;
+        goto outer;
+    done:
+        return 0;
+    }";
+    let f = parse_function(src).unwrap();
+    let base = 4096i64;
+    let data = [5i64, -2, 9, 0, 3, 3, -7];
+    let mem: Vec<(i64, i64)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (base + i as i64, v))
+        .collect();
+    check_function(
+        &f,
+        archs::example_arch(4),
+        CodegenOptions::heuristics_on(),
+        &[base, data.len() as i64],
+        &mem,
+    )
+    .unwrap();
+    // Interpreter agrees the result is sorted.
+    let mut interp = aviv_ir::Interpreter::new(&f);
+    interp.args(&[base, data.len() as i64]);
+    for &(a, v) in &mem {
+        interp.poke(a, v);
+    }
+    let result = interp.run().unwrap();
+    let sorted: Vec<i64> = (0..data.len() as i64)
+        .map(|i| result.memory[&(base + i)])
+        .collect();
+    let mut want = data.to_vec();
+    want.sort_unstable();
+    assert_eq!(sorted, want);
+}
+
+#[test]
+fn matrix_2x2_multiply() {
+    // C = A * B over mem[]: A at base, B at base+4, C at base+8.
+    let src = "func matmul(base) {
+        a00 = mem[base];     a01 = mem[base + 1];
+        a10 = mem[base + 2]; a11 = mem[base + 3];
+        b00 = mem[base + 4]; b01 = mem[base + 5];
+        b10 = mem[base + 6]; b11 = mem[base + 7];
+        mem[base + 8]  = a00 * b00 + a01 * b10;
+        mem[base + 9]  = a00 * b01 + a01 * b11;
+        mem[base + 10] = a10 * b00 + a11 * b10;
+        mem[base + 11] = a10 * b01 + a11 * b11;
+        return 0;
+    }";
+    let f = parse_function(src).unwrap();
+    let base = 8192i64;
+    let a = [1i64, 2, 3, 4];
+    let b = [5i64, 6, 7, 8];
+    let mut mem: Vec<(i64, i64)> = Vec::new();
+    for (i, &v) in a.iter().chain(b.iter()).enumerate() {
+        mem.push((base + i as i64, v));
+    }
+    for machine in [archs::example_arch(4), archs::dsp_arch(4)] {
+        check_function(
+            &f,
+            machine,
+            CodegenOptions::heuristics_on(),
+            &[base],
+            &mem,
+        )
+        .unwrap();
+    }
+    // C = [[19,22],[43,50]].
+    let mut interp = aviv_ir::Interpreter::new(&f);
+    interp.args(&[base]);
+    for &(addr, v) in &mem {
+        interp.poke(addr, v);
+    }
+    let r = interp.run().unwrap();
+    assert_eq!(
+        (0..4)
+            .map(|i| r.memory[&(base + 8 + i)])
+            .collect::<Vec<_>>(),
+        vec![19, 22, 43, 50]
+    );
+}
+
+#[test]
+fn popcount_via_shifts() {
+    let src = "func popcount(x) {
+        count = 0;
+        i = 0;
+    head:
+        if (i >= 16) goto done;
+        bit = x & 1;
+        count = count + bit;
+        x = x >> 1;
+        i = i + 1;
+        goto head;
+    done:
+        return count;
+    }";
+    let f = parse_function(src).unwrap();
+    for x in [0i64, 1, 0b1011, 0xffff, 0x5555] {
+        check_function(
+            &f,
+            archs::wide_arch(4),
+            CodegenOptions::heuristics_on(),
+            &[x],
+            &[],
+        )
+        .unwrap_or_else(|e| panic!("x={x}: {e}"));
+    }
+    assert_eq!(
+        aviv_ir::run_function(&f, &[0b1011]).unwrap().return_value,
+        Some(3)
+    );
+}
+
+#[test]
+fn clamped_moving_average() {
+    // A windowed average with saturation, DSP-style.
+    let src = "func avg4(base, lo, hi) {
+        s = mem[base] + mem[base + 1];
+        s = s + mem[base + 2] + mem[base + 3];
+        a = s / 4;
+        a = max(min(a, hi), lo);
+        return a;
+    }";
+    let f = parse_function(src).unwrap();
+    let base = 2048i64;
+    let mem = [(base, 10i64), (base + 1, 20), (base + 2, 90), (base + 3, 40)];
+    check_function(
+        &f,
+        archs::wide_arch(4),
+        CodegenOptions::heuristics_on(),
+        &[base, 0, 35],
+        &mem,
+    )
+    .unwrap();
+    let mut interp = aviv_ir::Interpreter::new(&f);
+    interp.args(&[base, 0, 35]);
+    for &(a, v) in &mem {
+        interp.poke(a, v);
+    }
+    assert_eq!(interp.run().unwrap().return_value, Some(35)); // clamped
+}
