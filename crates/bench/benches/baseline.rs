@@ -15,8 +15,7 @@ fn bench_baseline_vs_aviv(c: &mut Criterion) {
     let f = ex.function();
     let mut group = c.benchmark_group("generator_ex4");
 
-    let gen = CodeGenerator::new(archs::example_arch(4))
-        .options(CodegenOptions::heuristics_on());
+    let gen = CodeGenerator::new(archs::example_arch(4)).options(CodegenOptions::heuristics_on());
     group.bench_function("aviv_concurrent", |b| {
         b.iter(|| {
             let mut syms = f.syms.clone();

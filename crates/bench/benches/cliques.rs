@@ -32,13 +32,9 @@ fn bench_clique_generation(c: &mut Criterion) {
         let nodes = graph.alive();
         for (tag, window) in [("window2", Some(2u32)), ("no_window", None)] {
             let matrix = ParallelismMatrix::build(&graph, &target, &nodes, window);
-            group.bench_with_input(
-                BenchmarkId::new(tag, n_ops),
-                &matrix,
-                |b, matrix| {
-                    b.iter(|| black_box(gen_max_cliques(matrix).len()));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(tag, n_ops), &matrix, |b, matrix| {
+                b.iter(|| black_box(gen_max_cliques(matrix).len()));
+            });
         }
     }
     group.finish();

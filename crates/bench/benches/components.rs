@@ -48,7 +48,13 @@ fn bench_components(c: &mut Criterion) {
     let mut syms = f.syms.clone();
     let schedule = aviv::cover::cover(&mut graph, &target, &mut syms, &options).unwrap();
     group.bench_function("register_allocation", |b| {
-        b.iter(|| black_box(aviv::regalloc::allocate(&graph, &target, &schedule).unwrap().len()))
+        b.iter(|| {
+            black_box(
+                aviv::regalloc::allocate(&graph, &target, &schedule)
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
 
     // Whole-function compile + simulate.

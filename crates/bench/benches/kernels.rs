@@ -13,8 +13,7 @@ fn bench_kernels(c: &mut Criterion) {
         let f = kernel.function();
         for machine in [archs::wide_arch(4), archs::dsp_arch(4)] {
             // Skip kernels the machine cannot implement.
-            let gen = CodeGenerator::new(machine.clone())
-                .options(CodegenOptions::heuristics_on());
+            let gen = CodeGenerator::new(machine.clone()).options(CodegenOptions::heuristics_on());
             let mut syms = f.syms.clone();
             let mut layout = MemLayout::for_function(&f);
             if gen
@@ -23,20 +22,16 @@ fn bench_kernels(c: &mut Criterion) {
             {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(kernel.name, &machine.name),
-                &f,
-                |b, f| {
-                    b.iter(|| {
-                        let mut syms = f.syms.clone();
-                        let mut layout = MemLayout::for_function(f);
-                        let r = gen
-                            .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
-                            .unwrap();
-                        black_box(r.report.instructions)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kernel.name, &machine.name), &f, |b, f| {
+                b.iter(|| {
+                    let mut syms = f.syms.clone();
+                    let mut layout = MemLayout::for_function(f);
+                    let r = gen
+                        .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+                        .unwrap();
+                    black_box(r.report.instructions)
+                })
+            });
         }
     }
     group.finish();

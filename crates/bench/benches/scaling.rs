@@ -1,9 +1,10 @@
 //! End-to-end compile time vs basic-block size (the growth pattern
-//! behind the paper's CPU-time columns).
+//! behind the paper's CPU-time columns), plus sequential-vs-parallel
+//! whole-function compilation across worker counts.
 
 use aviv::{CodeGenerator, CodegenOptions};
 use aviv_bench::compare::example_arch_rand_config;
-use aviv_ir::randdag::random_block;
+use aviv_ir::randdag::{random_block, random_function};
 use aviv_ir::MemLayout;
 use aviv_isdl::archs;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -14,8 +15,8 @@ fn bench_scaling(c: &mut Criterion) {
     for n_ops in [6usize, 10, 14, 18, 24, 32] {
         let cfg = example_arch_rand_config(n_ops);
         let f = random_block(&cfg, 42);
-        let gen = CodeGenerator::new(archs::example_arch(4))
-            .options(CodegenOptions::heuristics_on());
+        let gen =
+            CodeGenerator::new(archs::example_arch(4)).options(CodegenOptions::heuristics_on());
         group.bench_with_input(BenchmarkId::new("heuristics_on", n_ops), &f, |b, f| {
             b.iter(|| {
                 let mut syms = f.syms.clone();
@@ -35,8 +36,8 @@ fn bench_scaling(c: &mut Criterion) {
     for n_ops in [6usize, 8] {
         let cfg = example_arch_rand_config(n_ops);
         let f = random_block(&cfg, 42);
-        let gen = CodeGenerator::new(archs::example_arch(4))
-            .options(CodegenOptions::heuristics_off());
+        let gen =
+            CodeGenerator::new(archs::example_arch(4)).options(CodegenOptions::heuristics_off());
         group2.bench_with_input(BenchmarkId::new("heuristics_off", n_ops), &f, |b, f| {
             b.iter(|| {
                 let mut syms = f.syms.clone();
@@ -51,5 +52,34 @@ fn bench_scaling(c: &mut Criterion) {
     group2.finish();
 }
 
-criterion_group!(benches, bench_scaling);
+/// Whole-function compile time over worker counts: the same multi-block
+/// program compiled with `jobs` = 1, 2, 4, 0 (one per core). The merge
+/// stage keeps the output byte-identical, so any difference is pure
+/// planning wall time.
+fn bench_parallel_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_blocks");
+    group.sample_size(10);
+    for n_blocks in [8usize, 16] {
+        let cfg = example_arch_rand_config(14);
+        let f = random_function(&cfg, n_blocks, 42);
+        for jobs in [1usize, 2, 4, 0] {
+            let gen = CodeGenerator::new(archs::example_arch(4))
+                .options(CodegenOptions::heuristics_on().with_jobs(jobs));
+            let label = if jobs == 0 {
+                format!("{n_blocks}blocks/jobs_auto")
+            } else {
+                format!("{n_blocks}blocks/jobs{jobs}")
+            };
+            group.bench_with_input(BenchmarkId::from_parameter(label), &f, |b, f| {
+                b.iter(|| {
+                    let (program, _) = gen.compile_function(f).unwrap();
+                    black_box(program.instructions.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_parallel_blocks);
 criterion_main!(benches);

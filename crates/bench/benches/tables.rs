@@ -32,8 +32,8 @@ fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_compile");
     for ex in table2_examples() {
         let f = ex.function();
-        let gen = CodeGenerator::new(archs::arch_two(ex.regs))
-            .options(CodegenOptions::heuristics_on());
+        let gen =
+            CodeGenerator::new(archs::arch_two(ex.regs)).options(CodegenOptions::heuristics_on());
         group.bench_function(ex.name, |b| {
             b.iter(|| {
                 let mut syms = f.syms.clone();

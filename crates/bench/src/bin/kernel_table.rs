@@ -24,8 +24,7 @@ fn main() {
         let f = k.function();
         print!("{:12}", k.name);
         for machine in &machines {
-            let gen = CodeGenerator::new(machine.clone())
-                .options(CodegenOptions::heuristics_on());
+            let gen = CodeGenerator::new(machine.clone()).options(CodegenOptions::heuristics_on());
             let mut syms = f.syms.clone();
             let mut layout = MemLayout::for_function(&f);
             match gen.compile_block(&f.blocks[0].dag, &mut syms, &mut layout) {

@@ -35,13 +35,8 @@ fn main() {
             runs += 1;
             let name = machine.name.clone();
             let args = [seed as i64 % 100 - 50, 7, -3];
-            if let Err(e) = check_function(
-                &f,
-                machine,
-                CodegenOptions::heuristics_on(),
-                &args,
-                &[],
-            ) {
+            if let Err(e) = check_function(&f, machine, CodegenOptions::heuristics_on(), &args, &[])
+            {
                 eprintln!("FAIL seed {seed} n_ops {n_ops} on {name}: {e}");
                 failures += 1;
             }

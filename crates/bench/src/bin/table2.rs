@@ -15,7 +15,10 @@ fn main() {
     let rows = table2(&config);
     print!(
         "{}",
-        render("Table II: code generation for target architecture II", &rows)
+        render(
+            "Table II: code generation for target architecture II",
+            &rows
+        )
     );
     println!("\nAviv column: heuristics on (heuristics off in parentheses).");
 }

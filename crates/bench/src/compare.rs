@@ -56,9 +56,7 @@ pub fn compare_block(name: &str, f: &aviv_ir::Function, machine: Machine) -> Com
 pub fn compare_examples() -> Vec<CompareRow> {
     crate::examples::table_examples()
         .iter()
-        .map(|ex: &Example| {
-            compare_block(ex.name, &ex.function(), archs::example_arch(ex.regs))
-        })
+        .map(|ex: &Example| compare_block(ex.name, &ex.function(), archs::example_arch(ex.regs)))
         .collect()
 }
 
@@ -84,11 +82,7 @@ pub fn compare_random(n_ops: usize, seeds: std::ops::Range<u64>) -> Vec<CompareR
     seeds
         .map(|seed| {
             let f = random_block(&cfg, seed);
-            compare_block(
-                &format!("rand{n_ops}/{seed}"),
-                &f,
-                archs::example_arch(4),
-            )
+            compare_block(&format!("rand{n_ops}/{seed}"), &f, archs::example_arch(4))
         })
         .collect()
 }
@@ -149,8 +143,8 @@ pub fn scaling_sweep(sizes: &[usize], off_limit: usize, seed: u64) -> Vec<ScaleP
             let sndag = SplitNodeDag::build(dag, &target).expect("supported ops only");
             let stats = sndag.stats(dag);
 
-            let gen = CodeGenerator::new(archs::example_arch(4))
-                .options(CodegenOptions::heuristics_on());
+            let gen =
+                CodeGenerator::new(archs::example_arch(4)).options(CodegenOptions::heuristics_on());
             let t0 = Instant::now();
             let mut syms = f.syms.clone();
             let mut layout = MemLayout::for_function(&f);

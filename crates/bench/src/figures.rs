@@ -102,9 +102,8 @@ pub fn fig7_fig8() -> String {
     let graph = CoverGraph::build(dag, &sndag, &target, &res.assignments[0]);
     let nodes = graph.alive();
     let matrix = ParallelismMatrix::build(&graph, &target, &nodes, None);
-    let mut out = String::from(
-        "Figure 7: pairwise parallelism matrix (1 = cannot execute in parallel)\n",
-    );
+    let mut out =
+        String::from("Figure 7: pairwise parallelism matrix (1 = cannot execute in parallel)\n");
     out.push_str(&matrix.render());
     out.push_str("\nFigure 8 output: maximal cliques of the compatibility graph\n");
     for (i, c) in gen_max_cliques(&matrix).iter().enumerate() {
@@ -135,13 +134,12 @@ pub fn fig9() -> String {
     let r = gen
         .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
         .expect("compiles with spills");
-    let mut out = String::from(
-        "Figure 9: inserting loads and spills into the Split-Node DAG\n",
-    );
+    let mut out = String::from("Figure 9: inserting loads and spills into the Split-Node DAG\n");
     let _ = writeln!(
         out,
         "block needs {} instructions with 2 regs/file; {} spill(s):",
-        r.report.instructions, r.schedule.spills.len()
+        r.report.instructions,
+        r.schedule.spills.len()
     );
     for s in &r.schedule.spills {
         let spill_desc = s
@@ -201,7 +199,9 @@ mod tests {
     #[test]
     fn all_figures_nonempty() {
         let text = all_figures();
-        for frag in ["Figure 2", "Figure 3", "Figure 4", "Figure 6", "Figure 7", "Figure 9"] {
+        for frag in [
+            "Figure 2", "Figure 3", "Figure 4", "Figure 6", "Figure 7", "Figure 9",
+        ] {
             assert!(text.contains(frag), "missing {frag}");
         }
     }

@@ -151,7 +151,11 @@ mod tests {
     fn arithmetic_kernels_on_paper_archs() {
         for k in [DOT4, BIQUAD, CMUL, BUTTERFLY] {
             let f = k.function();
-            for machine in [archs::example_arch(4), archs::arch_two(4), archs::dsp_arch(4)] {
+            for machine in [
+                archs::example_arch(4),
+                archs::arch_two(4),
+                archs::dsp_arch(4),
+            ] {
                 let name = machine.name.clone();
                 check_function(&f, machine, CodegenOptions::heuristics_on(), k.args, &[])
                     .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name, name));

@@ -12,7 +12,9 @@ pub mod figures;
 pub mod kernels;
 pub mod tables;
 
+pub use compare::{
+    compare_examples, compare_random, render_compare, render_scaling, scaling_sweep,
+};
 pub use examples::{table2_examples, table_examples, Example};
 pub use kernels::{all_kernels, Kernel};
-pub use compare::{compare_examples, compare_random, render_compare, render_scaling, scaling_sweep};
 pub use tables::{render, run_row, table1, table2, TableConfig, TableRow};

@@ -101,8 +101,7 @@ pub fn run_row(ex: &Example, machine: Machine, config: &TableConfig) -> TableRow
 
     // Optimal.
     let hand = if config.run_hand {
-        optimal_block(dag, &sndag, &target, &OptimalConfig::default())
-            .map(|r| r.instructions)
+        optimal_block(dag, &sndag, &target, &OptimalConfig::default()).map(|r| r.instructions)
     } else {
         None
     };
@@ -154,11 +153,7 @@ pub fn render(title: &str, rows: &[TableRow]) -> String {
             None => r.aviv.to_string(),
         };
         let time = match r.time_off {
-            Some(off) => format!(
-                "{:.3} ({:.3})",
-                r.time_on.as_secs_f64(),
-                off.as_secs_f64()
-            ),
+            Some(off) => format!("{:.3} ({:.3})", r.time_on.as_secs_f64(), off.as_secs_f64()),
             None => format!("{:.3}", r.time_on.as_secs_f64()),
         };
         out.push_str(&format!(

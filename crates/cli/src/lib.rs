@@ -54,6 +54,9 @@ pub struct Options {
     pub output: Option<String>,
     /// Heuristic preset: "on" (default), "thorough", or "off".
     pub preset: String,
+    /// Worker threads for per-block covering: 1 = sequential (default),
+    /// 0 = one per available core. Output is identical for any value.
+    pub jobs: usize,
     /// Simulate with `name=value` bindings after compiling.
     pub simulate: Option<Vec<(String, i64)>>,
     /// Print utilization statistics.
@@ -89,6 +92,10 @@ options:
                                       what to produce (default: asm)
   -o, --output <path>                 write to a file instead of stdout
   --preset on|thorough|off            heuristic preset (default: on)
+  --jobs <n>                          worker threads for per-block
+                                      covering (1 = sequential, 0 = one
+                                      per core; default: 1). The output
+                                      is identical for every value
   --simulate k=v[,k=v...]             run the program with these inputs
   --stats                             print utilization statistics
   --explain                           print per-block decisions
@@ -110,6 +117,7 @@ impl Options {
         let mut emit = Emit::Asm;
         let mut output = None;
         let mut preset = "on".to_string();
+        let mut jobs = 1usize;
         let mut simulate = None;
         let mut stats = false;
         let mut explain = false;
@@ -120,8 +128,11 @@ impl Options {
             match a.as_str() {
                 "-h" | "--help" => return Err(err(USAGE)),
                 "--machine" => {
-                    machine_path =
-                        Some(it.next().ok_or_else(|| err("--machine needs a path"))?.clone());
+                    machine_path = Some(
+                        it.next()
+                            .ok_or_else(|| err("--machine needs a path"))?
+                            .clone(),
+                    );
                 }
                 "--emit" => {
                     let kind = it.next().ok_or_else(|| err("--emit needs a kind"))?;
@@ -136,13 +147,26 @@ impl Options {
                     };
                 }
                 "-o" | "--output" => {
-                    output = Some(it.next().ok_or_else(|| err("--output needs a path"))?.clone());
+                    output = Some(
+                        it.next()
+                            .ok_or_else(|| err("--output needs a path"))?
+                            .clone(),
+                    );
                 }
                 "--preset" => {
-                    preset = it.next().ok_or_else(|| err("--preset needs a name"))?.clone();
+                    preset = it
+                        .next()
+                        .ok_or_else(|| err("--preset needs a name"))?
+                        .clone();
                     if !matches!(preset.as_str(), "on" | "thorough" | "off") {
                         return Err(err(format!("unknown preset `{preset}`")));
                     }
+                }
+                "--jobs" => {
+                    let n = it.next().ok_or_else(|| err("--jobs needs a count"))?;
+                    jobs = n
+                        .parse()
+                        .map_err(|_| err(format!("bad worker count `{n}`")))?;
                 }
                 "--simulate" => {
                     let spec = it.next().ok_or_else(|| err("--simulate needs k=v list"))?;
@@ -173,6 +197,7 @@ impl Options {
             emit,
             output,
             preset,
+            jobs,
             simulate,
             stats,
             explain,
@@ -199,8 +224,7 @@ pub struct Outcome {
 pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<Outcome, CliError> {
     let machine =
         parse_machine(machine_src).map_err(|e| err(format!("machine description: {e}")))?;
-    let function =
-        parse_function(program_src).map_err(|e| err(format!("program: {e}")))?;
+    let function = parse_function(program_src).map_err(|e| err(format!("program: {e}")))?;
 
     if options.emit == Emit::Isdl {
         return Ok(Outcome {
@@ -213,7 +237,8 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
         "thorough" => CodegenOptions::thorough(),
         "off" => CodegenOptions::heuristics_off(),
         _ => CodegenOptions::heuristics_on(),
-    };
+    }
+    .with_jobs(options.jobs);
     let mut outcome = Outcome::default();
     let generator = CodeGenerator::new(machine).options(preset);
     let target = generator.target().clone();
@@ -238,13 +263,9 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
             let block = generator
                 .compile_block(&function.blocks[0].dag, &mut syms, &mut layout)
                 .map_err(|e| err(format!("compile: {e}")))?;
-            outcome.output = aviv::covergraph_to_dot(
-                &block.graph,
-                &target,
-                &syms,
-                Some(&block.schedule),
-            )
-            .into_bytes();
+            outcome.output =
+                aviv::covergraph_to_dot(&block.graph, &target, &syms, Some(&block.schedule))
+                    .into_bytes();
             return Ok(outcome);
         }
         _ => {}
@@ -397,10 +418,14 @@ mod tests {
     fn parse_rejects_bad_args() {
         assert!(Options::parse(&["--emit".into()]).is_err());
         assert!(Options::parse(&["prog.av".into()]).is_err());
-        assert!(
-            Options::parse(&["--machine".into(), "m".into(), "p".into(), "--emit".into(), "wat".into()])
-                .is_err()
-        );
+        assert!(Options::parse(&[
+            "--machine".into(),
+            "m".into(),
+            "p".into(),
+            "--emit".into(),
+            "wat".into()
+        ])
+        .is_err());
         let help = Options::parse(&["--help".into()]).unwrap_err();
         assert!(help.0.contains("usage"));
     }
@@ -465,6 +490,27 @@ mod tests {
         let out = drive(&opts(&["--emit", "rom"]), MACHINE, PROGRAM).unwrap();
         assert!(!out.output.is_empty());
         assert!(out.report.contains("ROM image:"), "{}", out.report);
+    }
+
+    #[test]
+    fn jobs_flag_parses_and_output_matches_sequential() {
+        assert_eq!(opts(&[]).jobs, 1);
+        assert_eq!(opts(&["--jobs", "4"]).jobs, 4);
+        assert_eq!(opts(&["--jobs", "0"]).jobs, 0);
+        assert!(Options::parse(&[
+            "--machine".into(),
+            "m".into(),
+            "p".into(),
+            "--jobs".into(),
+            "lots".into()
+        ])
+        .is_err());
+
+        let program = "func f(a, b) { x = a * b + 1; if (x > 3) goto t;
+            y = x + 2; t: return x; }";
+        let seq = drive(&opts(&[]), MACHINE, program).unwrap();
+        let par = drive(&opts(&["--jobs", "4"]), MACHINE, program).unwrap();
+        assert_eq!(seq.output, par.output, "--jobs must not change output");
     }
 
     #[test]

@@ -46,7 +46,11 @@ fn compiles_and_prints_assembly() {
         .args(["--machine", &machine, &program])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let asm = String::from_utf8_lossy(&out.stdout);
     assert!(asm.contains("mul"), "{asm}");
     assert!(asm.contains("bnz"), "{asm}");

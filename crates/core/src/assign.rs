@@ -137,9 +137,7 @@ pub fn explore_traced(
             // Incremental cost of each alternative in this branch.
             let mut costs: Vec<i64> = Vec::with_capacity(alts.len());
             for alt in alts {
-                let mut cost = incremental_cost(
-                    dag, target, &desc_sets, &uses, br, node, alt,
-                );
+                let mut cost = incremental_cost(dag, target, &desc_sets, &uses, br, node, alt);
                 if options.pressure_aware_assignment {
                     cost += pressure_penalty(dag, target, br, node, alt);
                 }
@@ -167,8 +165,7 @@ pub fn explore_traced(
                 if let AltKind::Complex { covers, .. } = &alt.kind {
                     let mut overlap = false;
                     for &c in covers {
-                        if c != node && (nb.covered[c.index()] || nb.choice[c.index()].is_some())
-                        {
+                        if c != node && (nb.covered[c.index()] || nb.choice[c.index()].is_some()) {
                             overlap = true;
                             break;
                         }
@@ -392,10 +389,7 @@ mod tests {
     use aviv_ir::parse_function;
     use aviv_isdl::archs;
 
-    fn setup(
-        src: &str,
-        machine: aviv_isdl::Machine,
-    ) -> (aviv_ir::Function, Target, SplitNodeDag) {
+    fn setup(src: &str, machine: aviv_isdl::Machine) -> (aviv_ir::Function, Target, SplitNodeDag) {
         let f = parse_function(src).unwrap();
         let target = Target::new(machine);
         let sn = SplitNodeDag::build(&f.blocks[0].dag, &target).unwrap();
@@ -459,8 +453,7 @@ mod tests {
             .find(|(_, n)| n.op == aviv_ir::Op::Sub)
             .map(|(id, _)| id)
             .unwrap();
-        let sub_probes: Vec<&TraceEntry> =
-            trace.entries.iter().filter(|e| e.node == sub).collect();
+        let sub_probes: Vec<&TraceEntry> = trace.entries.iter().filter(|e| e.node == sub).collect();
         assert_eq!(sub_probes.len(), 2, "SUB has two alternatives");
         let on_u1 = sub_probes.iter().find(|e| e.desc.contains("U1")).unwrap();
         let on_u2 = sub_probes.iter().find(|e| e.desc.contains("U2")).unwrap();
@@ -530,10 +523,7 @@ mod tests {
             .map(|(id, _)| id)
             .unwrap();
         let ai = best.choice[add.index()].unwrap();
-        assert!(matches!(
-            sn.alts(add)[ai].kind,
-            AltKind::Complex { .. }
-        ));
+        assert!(matches!(sn.alts(add)[ai].kind, AltKind::Complex { .. }));
         // The swallowed MUL has no choice of its own.
         let mul = dag
             .iter()

@@ -116,7 +116,11 @@ impl ParallelismMatrix {
         for i in 0..n {
             out.push_str(&format!("{:>5} ", self.ids[i].to_string()));
             for j in 0..n {
-                let v = if i == j || !self.compatible(i, j) { 1 } else { 0 };
+                let v = if i == j || !self.compatible(i, j) {
+                    1
+                } else {
+                    0
+                };
                 out.push_str(&format!("{v:>5}"));
             }
             out.push('\n');
@@ -148,16 +152,18 @@ fn gen_rec(
     seen: &mut std::collections::HashSet<Vec<usize>>,
 ) {
     let n = m.len();
-    let compatible_with_clique =
-        |clique: &BitSet, i: usize| !clique.contains(i) && clique.iter().all(|c| m.compatible(c, i));
+    let compatible_with_clique = |clique: &BitSet, i: usize| {
+        !clique.contains(i) && clique.iter().all(|c| m.compatible(c, i))
+    };
 
     // First loop: add every node that can join and does not preclude any
     // other candidate. The pruning condition: if such a node has a smaller
     // id than `index`, this whole branch was already generated from that
     // node's seed — terminate.
     loop {
-        let candidates: Vec<usize> =
-            (0..n).filter(|&i| compatible_with_clique(&clique, i)).collect();
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&i| compatible_with_clique(&clique, i))
+            .collect();
         let mut grew = false;
         for &i in &candidates {
             if !compatible_with_clique(&clique, i) {
@@ -303,9 +309,8 @@ pub fn brute_force_max_cliques(m: &ParallelismMatrix) -> Vec<BitSet> {
             continue;
         }
         // Maximal: no outside node compatible with all members.
-        let maximal = (0..n).all(|o| {
-            members.contains(&o) || members.iter().any(|&i| !m.compatible(i, o))
-        });
+        let maximal =
+            (0..n).all(|o| members.contains(&o) || members.iter().any(|&i| !m.compatible(i, o)));
         if maximal {
             let mut b = BitSet::new(n);
             for i in members {

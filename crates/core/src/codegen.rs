@@ -24,12 +24,13 @@ use crate::emit::{
 use crate::options::CodegenOptions;
 use crate::peephole;
 use crate::regalloc::{allocate, Allocation, RegAllocError};
-use aviv_ir::{BlockDag, Function, MemLayout, NodeId, SymbolTable, Terminator};
+use aviv_ir::{BlockDag, Function, MemLayout, NodeId, Sym, SymbolTable, Terminator};
 use aviv_isdl::{Machine, Target};
 use aviv_splitdag::{SplitDagError, SplitNodeDag};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Code-generation failure.
@@ -104,6 +105,38 @@ pub struct BlockResult {
     pub report: BlockReport,
 }
 
+/// The pure result of planning one basic block against an immutable
+/// snapshot of the symbol table: everything up to (but not including)
+/// emission, with the spill slots the block wants recorded as appended
+/// *names* rather than as mutations of shared state.
+///
+/// Plans for different blocks are independent, so a function's blocks can
+/// be planned concurrently ([`CodegenOptions::jobs`]) and then applied in
+/// block order by [`CodeGenerator::apply_plan`], which renames each
+/// plan-local spill slot to its final function-wide symbol. The merge
+/// reproduces exactly the symbol ids and names a sequential run picks, so
+/// the emitted program is byte-identical for any worker count.
+#[derive(Debug, Clone)]
+pub struct BlockPlan {
+    graph: CoverGraph,
+    schedule: Schedule,
+    alloc: Allocation,
+    /// Names interned beyond the snapshot during covering, in creation
+    /// order; their plan-local ids are `snapshot_len..`.
+    appended_syms: Vec<String>,
+    snapshot_len: usize,
+    /// Partial report; `instructions` and final `time` are filled in by
+    /// [`CodeGenerator::apply_plan`].
+    report: BlockReport,
+}
+
+impl BlockPlan {
+    /// Spill-slot names this block wants appended to the symbol table.
+    pub fn appended_syms(&self) -> &[String] {
+        &self.appended_syms
+    }
+}
+
 /// Statistics from compiling a whole function.
 #[derive(Debug, Clone, Default)]
 pub struct FunctionReport {
@@ -171,6 +204,9 @@ impl CodeGenerator {
 
     /// Compile one basic block. `syms` and `layout` may gain spill slots.
     ///
+    /// Equivalent to [`CodeGenerator::plan_block`] against the current
+    /// table followed by [`CodeGenerator::apply_plan`].
+    ///
     /// # Errors
     ///
     /// See [`CodegenError`].
@@ -180,6 +216,23 @@ impl CodeGenerator {
         syms: &mut SymbolTable,
         layout: &mut MemLayout,
     ) -> Result<BlockResult, CodegenError> {
+        let plan = self.plan_block(dag, syms)?;
+        Ok(self.apply_plan(plan, syms, layout))
+    }
+
+    /// Plan one basic block against an immutable `snapshot` of the symbol
+    /// table: assignment exploration, covering, register allocation, and
+    /// peephole — everything except emission. Mutates nothing, so any
+    /// number of blocks can be planned concurrently from one snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`CodegenError`].
+    pub fn plan_block(
+        &self,
+        dag: &BlockDag,
+        snapshot: &SymbolTable,
+    ) -> Result<BlockPlan, CodegenError> {
         let start = Instant::now();
         let sndag = SplitNodeDag::build(dag, &self.target)?;
         let stats = sndag.stats(dag);
@@ -193,7 +246,7 @@ impl CodeGenerator {
         let mut best: Option<(CoverGraph, Schedule, SymbolTable)> = None;
         let mut last_err: Option<CoverError> = None;
         for assignment in &assignments {
-            let mut scratch_syms = syms.clone();
+            let mut scratch_syms = snapshot.clone();
             let mut graph = CoverGraph::build(dag, &sndag, &self.target, assignment);
             debug_assert!(graph.verify(&self.target).is_ok());
             let result = cover(&mut graph, &self.target, &mut scratch_syms, &self.options)
@@ -202,7 +255,7 @@ impl CodeGenerator {
                     // Extreme register pressure can wedge the concurrent
                     // engine; retry with the guaranteed-progress
                     // sequential fallback on a fresh graph.
-                    let mut scratch = syms.clone();
+                    let mut scratch = snapshot.clone();
                     let mut g = CoverGraph::build(dag, &sndag, &self.target, assignment);
                     let s = crate::cover::cover_sequential(&mut g, &self.target, &mut scratch)?;
                     scratch_syms = scratch;
@@ -224,10 +277,9 @@ impl CodeGenerator {
         let (mut graph, mut schedule, winner_syms) = best.ok_or(CodegenError::Cover(
             last_err.unwrap_or(CoverError::SpillLimit),
         ))?;
-        *syms = winner_syms;
 
-        let mut alloc = allocate(&graph, &self.target, &schedule)
-            .map_err(CodegenError::RegAlloc)?;
+        let mut alloc =
+            allocate(&graph, &self.target, &schedule).map_err(CodegenError::RegAlloc)?;
 
         // Peephole: try to undo pessimistic spills and recompact.
         let before_peephole = schedule.len();
@@ -236,15 +288,14 @@ impl CodeGenerator {
         }
         let peephole_removed = before_peephole - schedule.len();
 
-        // Register any new spill slots with the layout.
-        for (sym, _) in syms.iter() {
-            if sym.index() >= layout_len(layout) {
-                layout.reserve_slot(sym);
-            }
-        }
+        // The only table mutation covering performs is appending fresh
+        // spill slots; record the names so the merge can replay them.
+        let appended_syms = winner_syms
+            .iter()
+            .skip(snapshot.len())
+            .map(|(_, name)| name.to_string())
+            .collect();
 
-        let instructions = emit_block(&graph, &self.target, &schedule, &alloc, syms, layout);
-        let live_out = live_out_operands(&graph, &alloc);
         let report = BlockReport {
             orig_nodes: stats.orig_nodes,
             sndag_nodes: stats.sn_nodes,
@@ -253,31 +304,108 @@ impl CodeGenerator {
             assignments_explored: assignments.len(),
             truncated,
             spills: schedule.spills.len(),
-            instructions: instructions.len(),
+            instructions: 0, // filled in by apply_plan
             peephole_removed,
             time: start.elapsed(),
         };
-        Ok(BlockResult {
-            instructions,
+        Ok(BlockPlan {
             graph,
             schedule,
             alloc,
-            live_out,
+            appended_syms,
+            snapshot_len: snapshot.len(),
             report,
         })
+    }
+
+    /// Apply a [`BlockPlan`] to the function-wide symbol table and memory
+    /// layout, then emit the block. Plan-local spill symbols are renamed
+    /// into `syms` in creation order — reproducing exactly the names and
+    /// ids a sequential run picks — and their slots reserved in `layout`.
+    ///
+    /// Plans must be applied in block order, against the same table their
+    /// snapshots were taken from (plus earlier blocks' applications).
+    pub fn apply_plan(
+        &self,
+        mut plan: BlockPlan,
+        syms: &mut SymbolTable,
+        layout: &mut MemLayout,
+    ) -> BlockResult {
+        let start = Instant::now();
+        if !plan.appended_syms.is_empty() {
+            let mut remap: HashMap<Sym, Sym> = HashMap::new();
+            for (i, name) in plan.appended_syms.iter().enumerate() {
+                let local = Sym((plan.snapshot_len + i) as u32);
+                let merged = syms.fresh_like(name);
+                if merged != local {
+                    remap.insert(local, merged);
+                }
+            }
+            if !remap.is_empty() {
+                plan.graph.remap_syms(&remap);
+                for r in &mut plan.schedule.spills {
+                    if let Some(&m) = remap.get(&r.slot) {
+                        r.slot = m;
+                    }
+                }
+            }
+        }
+
+        // Register any new spill slots with the layout.
+        for (sym, _) in syms.iter() {
+            if sym.index() >= layout.known_symbols() {
+                layout.reserve_slot(sym);
+            }
+        }
+
+        let instructions = emit_block(
+            &plan.graph,
+            &self.target,
+            &plan.schedule,
+            &plan.alloc,
+            syms,
+            layout,
+        );
+        let live_out = live_out_operands(&plan.graph, &plan.alloc);
+        let mut report = plan.report;
+        report.instructions = instructions.len();
+        report.time += start.elapsed();
+        BlockResult {
+            instructions,
+            graph: plan.graph,
+            schedule: plan.schedule,
+            alloc: plan.alloc,
+            live_out,
+            report,
+        }
     }
 
     /// Compile a whole function, lowering control flow conventionally
     /// (§III-C) and resolving branch targets.
     ///
+    /// Blocks are planned independently against a snapshot of the symbol
+    /// table — concurrently when [`CodegenOptions::jobs`] is not 1 — and
+    /// merged in block order, so the output is byte-identical for every
+    /// worker count.
+    ///
     /// # Errors
     ///
-    /// See [`CodegenError`].
+    /// See [`CodegenError`]. With several failing blocks, the error
+    /// reported is the first in block order regardless of worker count.
     pub fn compile_function(
         &self,
         f: &Function,
     ) -> Result<(VliwProgram, FunctionReport), CodegenError> {
-        let mut syms = f.syms.clone();
+        let snapshot = f.syms.clone();
+        let dags: Vec<&BlockDag> = f.iter().map(|(_, b)| &b.dag).collect();
+        let jobs = effective_jobs(self.options.jobs, dags.len());
+        let plans: Vec<Result<BlockPlan, CodegenError>> = if jobs <= 1 {
+            dags.iter().map(|d| self.plan_block(d, &snapshot)).collect()
+        } else {
+            self.plan_blocks_parallel(&dags, &snapshot, jobs)
+        };
+
+        let mut syms = snapshot;
         let mut layout = MemLayout::for_function(f);
         let n_units = self.target.machine.units().len();
 
@@ -287,9 +415,9 @@ impl CodeGenerator {
         let mut pending_targets: Vec<(usize, usize)> = Vec::new(); // (instr, block)
         let mut report = FunctionReport::default();
 
-        for (bid, block) in f.iter() {
+        for ((bid, block), plan) in f.iter().zip(plans) {
             block_starts.push(instructions.len());
-            let result = self.compile_block(&block.dag, &mut syms, &mut layout)?;
+            let result = self.apply_plan(plan?, &mut syms, &mut layout);
             report.blocks.push(result.report.clone());
             instructions.extend(result.instructions.iter().cloned());
 
@@ -327,12 +455,8 @@ impl CodeGenerator {
                     }
                 }
                 Terminator::Return(v) => {
-                    let val = v.map(|n| {
-                        *result
-                            .live_out
-                            .get(&n)
-                            .expect("return value is live-out")
-                    });
+                    let val =
+                        v.map(|n| *result.live_out.get(&n).expect("return value is live-out"));
                     let mut inst = VliwInstruction::nop(n_units);
                     inst.control = Some(ControlOp::Return(val));
                     instructions.push(inst);
@@ -365,12 +489,60 @@ impl CodeGenerator {
             report,
         ))
     }
+
+    /// Plan all blocks on a scoped worker pool. Workers steal block
+    /// indices from a shared counter (blocks vary wildly in cost, so a
+    /// static partition would idle half the pool); results land in their
+    /// block's slot, keeping the outcome independent of worker timing.
+    fn plan_blocks_parallel(
+        &self,
+        dags: &[&BlockDag],
+        snapshot: &SymbolTable,
+        jobs: usize,
+    ) -> Vec<Result<BlockPlan, CodegenError>> {
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<BlockPlan, CodegenError>>> = Vec::new();
+        slots.resize_with(dags.len(), || None);
+        std::thread::scope(|s| {
+            let next = &next;
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= dags.len() {
+                                break;
+                            }
+                            done.push((i, self.plan_block(dags[i], snapshot)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, plan) in h.join().expect("planner thread panicked") {
+                    slots[i] = Some(plan);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|p| p.expect("every block planned exactly once"))
+            .collect()
+    }
 }
 
-/// Number of symbols the layout already knows addresses for.
-fn layout_len(layout: &MemLayout) -> usize {
-    // MemLayout has no direct length accessor; reserve_slot asserts
-    // in-order registration, so track via a probe: addresses are the
-    // symbol indices.
-    layout.known_symbols()
+/// Resolve the `jobs` option against the machine and the work: `0` means
+/// one worker per available core, and the pool never exceeds the block
+/// count.
+fn effective_jobs(requested: usize, blocks: usize) -> usize {
+    let j = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    j.min(blocks).max(1)
 }

@@ -127,10 +127,7 @@ impl State {
                 .filter(|u| !covered.contains(u.index()))
                 .count();
             if !covered.contains(id.index())
-                && graph
-                    .preds(id)
-                    .iter()
-                    .all(|p| covered.contains(p.index()))
+                && graph.preds(id).iter().all(|p| covered.contains(p.index()))
             {
                 ready.push(id);
             }
@@ -181,8 +178,8 @@ impl State {
                     continue;
                 }
                 // Live after the group?
-                let live = self.pinned.contains(id.index())
-                    || graph.uses(id).iter().any(|u| !done(*u));
+                let live =
+                    self.pinned.contains(id.index()) || graph.uses(id).iter().any(|u| !done(*u));
                 if !live {
                     continue;
                 }
@@ -221,11 +218,7 @@ impl State {
             if rem == 0 {
                 continue;
             }
-            let uses_in_group = graph
-                .uses(id)
-                .iter()
-                .filter(|u| group.contains(u))
-                .count();
+            let uses_in_group = graph.uses(id).iter().filter(|u| group.contains(u)).count();
             if uses_in_group >= rem {
                 if let Some(bank) = graph.node(id).dest_bank(target) {
                     p[bank.index()] -= 1;
@@ -265,8 +258,7 @@ impl Pool {
             .into_iter()
             .filter(|n| !covered.contains(n.index()))
             .collect();
-        let matrix =
-            ParallelismMatrix::build(graph, target, &nodes, options.clique_level_window);
+        let matrix = ParallelismMatrix::build(graph, target, &nodes, options.clique_level_window);
         let raw = gen_max_cliques(&matrix);
         let cliques = legalize(raw, &matrix, graph, target);
         Pool { matrix, cliques }
@@ -277,9 +269,7 @@ impl Pool {
         self.cliques[ci]
             .iter()
             .map(|i| self.matrix.ids[i])
-            .filter(|id| {
-                !state.covered.contains(id.index()) && state.ready.contains(id)
-            })
+            .filter(|id| !state.covered.contains(id.index()) && state.ready.contains(id))
             .collect()
     }
 }
@@ -440,10 +430,12 @@ pub fn cover(
                         None => break, // only stores left; must be feasible
                     }
                 }
-                if !g.is_empty() && state.policy_ok(graph, target, &g)
-                    && best.as_ref().is_none_or(|b| g.len() > b.len()) {
-                        best = Some(g);
-                    }
+                if !g.is_empty()
+                    && state.policy_ok(graph, target, &g)
+                    && best.as_ref().is_none_or(|b| g.len() > b.len())
+                {
+                    best = Some(g);
+                }
             }
             best
         };
@@ -527,10 +519,7 @@ pub fn cover(
                 // unblock would spin forever.
                 let is_protected = |id: CnId| {
                     focus_closure.as_ref().is_some_and(|closure| {
-                        graph
-                            .uses(id)
-                            .iter()
-                            .any(|u| closure.contains(u.index()))
+                        graph.uses(id).iter().any(|u| closure.contains(u.index()))
                     })
                 };
                 let candidates: Vec<CnId> = graph
@@ -660,9 +649,7 @@ fn lookahead_estimate(
         let mut best: Vec<CnId> = Vec::new();
         for ci in 0..pool.cliques.len() {
             let g = pool.ready_members(ci, &state);
-            if g.len() > best.len()
-                && state.pressure_after(graph, target, &g).is_some()
-            {
+            if g.len() > best.len() && state.pressure_after(graph, target, &g).is_some() {
                 best = g;
             }
         }
@@ -871,21 +858,16 @@ pub fn cover_sequential(
                 covered.insert(r.index());
                 steps.push(vec![r]);
                 // Eager eviction of the fresh value.
-                let has_pending_use =
-                    graph.uses(r).iter().any(|u| !covered.contains(u.index()));
+                let has_pending_use = graph.uses(r).iter().any(|u| !covered.contains(u.index()));
                 if has_pending_use
                     && graph.node(r).dest_bank(target).is_some()
                     && !no_eager.contains(r.index())
-                    && !graph
-                        .live_out()
-                        .iter()
-                        .any(|&(_, op)| op == Operand::Cn(r))
+                    && !graph.live_out().iter().any(|&(_, op)| op == Operand::Cn(r))
                 {
                     if spills.len() >= spill_limit {
                         return Err(CoverError::SpillLimit);
                     }
-                    let (slot, outcome) =
-                        graph.relieve_pressure(target, syms, r, &covered);
+                    let (slot, outcome) = graph.relieve_pressure(target, syms, r, &covered);
                     covered.grow(graph.len());
                     no_eager.grow(graph.len());
                     for &nn in &outcome.new_nodes {

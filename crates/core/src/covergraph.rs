@@ -227,15 +227,7 @@ impl CoverGraph {
             let operand = match dag.node(orig).op {
                 Op::Const => Operand::Imm(dag.node(orig).imm.unwrap()),
                 Op::Input => {
-                    let bank = (0..target.machine.banks().len() as u32)
-                        .map(BankId)
-                        .min_by_key(|&bk| {
-                            target
-                                .xfers
-                                .cost(Location::Mem, Location::Bank(bk))
-                                .unwrap_or(usize::MAX)
-                        })
-                        .expect("machine has banks");
+                    let bank = target.load_bank.expect("machine has banks");
                     b.resolve(orig, bank)
                 }
                 _ => Operand::Cn(
@@ -384,9 +376,7 @@ impl CoverGraph {
                 indeg[s] -= 1;
                 if indeg[s] == 0 {
                     // Insert keeping the stack roughly id-sorted.
-                    let pos = queue
-                        .binary_search_by(|&q| s.cmp(&q))
-                        .unwrap_or_else(|p| p);
+                    let pos = queue.binary_search_by(|&q| s.cmp(&q)).unwrap_or_else(|p| p);
                     queue.insert(pos, s);
                 }
             }
@@ -633,9 +623,7 @@ impl CoverGraph {
             if self.dead.contains(i) || covered.contains(i) || protected.contains(&i) {
                 continue;
             }
-            if self.nodes[i]
-                .args.contains(&Operand::Cn(victim))
-            {
+            if self.nodes[i].args.contains(&Operand::Cn(victim)) {
                 worklist.push((victim, CnId(i as u32)));
             }
         }
@@ -655,9 +643,7 @@ impl CoverGraph {
                     if self.dead.contains(i) || covered.contains(i) {
                         continue;
                     }
-                    if self.nodes[i]
-                        .args.contains(&Operand::Cn(consumer))
-                    {
+                    if self.nodes[i].args.contains(&Operand::Cn(consumer)) {
                         worklist.push((consumer, CnId(i as u32)));
                     }
                 }
@@ -696,9 +682,7 @@ impl CoverGraph {
             if dead.contains(i) {
                 continue;
             }
-            self.nodes[i]
-                .deps
-                .retain(|d| !dead.contains(d.index()));
+            self.nodes[i].deps.retain(|d| !dead.contains(d.index()));
         }
     }
 
@@ -752,9 +736,7 @@ impl CoverGraph {
     /// The bank a consumer reads its register operands from.
     fn operand_bank(&self, target: &Target, consumer: CnId) -> BankId {
         match self.nodes[consumer.index()].kind {
-            CnKind::Op { unit, .. } | CnKind::Complex { unit, .. } => {
-                target.machine.bank_of(unit)
-            }
+            CnKind::Op { unit, .. } | CnKind::Complex { unit, .. } => target.machine.bank_of(unit),
             CnKind::Move { from, .. } => from,
             CnKind::StoreVar { from, .. } => from.expect("store of a register value"),
             CnKind::LoadDyn { bank, .. } | CnKind::StoreDyn { bank, .. } => bank,
@@ -867,10 +849,7 @@ impl CoverGraph {
                     if !matches!(n.kind, CnKind::LoadVar { .. }) {
                         let need = self.operand_bank(target, id);
                         if pb != Some(need) {
-                            return Err(format!(
-                                "{id}: operand {c} in {:?}, needs {:?}",
-                                pb, need
-                            ));
+                            return Err(format!("{id}: operand {c} in {:?}, needs {:?}", pb, need));
                         }
                     }
                 }
@@ -885,6 +864,24 @@ impl CoverGraph {
             .filter(|&i| !self.dead.contains(i))
             .map(|i| CnId(i as u32))
             .collect()
+    }
+
+    /// Rewrite every variable reference according to `map` (symbols not
+    /// in the map are untouched). Used by the merge stage of parallel
+    /// compilation: a block planned against a symbol-table snapshot names
+    /// its spill slots locally, and the merge renames them to their final
+    /// function-wide symbols before emission.
+    pub fn remap_syms(&mut self, map: &HashMap<Sym, Sym>) {
+        for n in &mut self.nodes {
+            match &mut n.kind {
+                CnKind::LoadVar { sym, .. } | CnKind::StoreVar { sym, .. } => {
+                    if let Some(&m) = map.get(sym) {
+                        *sym = m;
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 }
 
@@ -1085,8 +1082,7 @@ impl<'a> GraphBuilder<'a> {
                         // first (degenerate but legal).
                         None
                     } else {
-                        let p = self.value_of_orig[vnode.index()]
-                            .expect("value materialized");
+                        let p = self.value_of_orig[vnode.index()].expect("value materialized");
                         Some(
                             self.nodes[p.index()]
                                 .dest_bank(self.target)
@@ -1095,22 +1091,7 @@ impl<'a> GraphBuilder<'a> {
                     };
                     let src_bank = match producer_bank {
                         Some(b) => b,
-                        None => {
-                            // Pick the bank closest to memory for the
-                            // round trip.
-                            let m = &self.target;
-                            (0..m.machine.banks().len() as u32)
-                                .map(BankId)
-                                .min_by_key(|&b| {
-                                    m.xfers
-                                        .cost(Location::Mem, Location::Bank(b))
-                                        .unwrap_or(usize::MAX)
-                                        + m.xfers
-                                            .cost(Location::Bank(b), Location::Mem)
-                                            .unwrap_or(usize::MAX)
-                                })
-                                .expect("machine has banks")
-                        }
+                        None => self.target.round_trip_bank.expect("machine has banks"),
                     };
                     let value = self.resolve(vnode, src_bank);
                     let path = self.choose_path(Location::Bank(src_bank), Location::Mem);
@@ -1164,15 +1145,13 @@ impl<'a> GraphBuilder<'a> {
                     };
                     if n.op == Op::Load {
                         let addr = self.resolve(n.args[0], bank);
-                        let cn =
-                            self.push(CnKind::LoadDyn { orig, bus, bank }, vec![addr]);
+                        let cn = self.push(CnKind::LoadDyn { orig, bus, bank }, vec![addr]);
                         self.value_of_orig[orig.index()] = Some(cn);
                         self.mem_cn.insert(orig, cn);
                     } else {
                         let addr = self.resolve(n.args[0], bank);
                         let val = self.resolve(n.args[1], bank);
-                        let cn = self
-                            .push(CnKind::StoreDyn { orig, bus, bank }, vec![addr, val]);
+                        let cn = self.push(CnKind::StoreDyn { orig, bus, bank }, vec![addr, val]);
                         self.mem_cn.insert(orig, cn);
                     }
                 }
@@ -1246,8 +1225,7 @@ impl<'a> GraphBuilder<'a> {
         }
         // Memory serialization edges.
         for &(earlier, later) in self.dag.mem_deps() {
-            if let (Some(&a), Some(&b)) = (self.mem_cn.get(&earlier), self.mem_cn.get(&later))
-            {
+            if let (Some(&a), Some(&b)) = (self.mem_cn.get(&earlier), self.mem_cn.get(&later)) {
                 if a != b && !self.nodes[b.index()].deps.contains(&a) {
                     self.nodes[b.index()].deps.push(a);
                 }

@@ -177,9 +177,7 @@ impl VliwProgram {
                     let unit = &target.machine.units()[ui];
                     let opname = match s.opcode {
                         SlotOpcode::Basic(op) => op.mnemonic().to_string(),
-                        SlotOpcode::Complex(ci) => {
-                            target.machine.complexes()[ci].name.clone()
-                        }
+                        SlotOpcode::Complex(ci) => target.machine.complexes()[ci].name.clone(),
                     };
                     let args: Vec<String> = s.args.iter().map(|a| a.to_string()).collect();
                     fields.push(format!(
@@ -351,7 +349,10 @@ pub fn emit_block(
 
 fn place_slot(inst: &mut VliwInstruction, unit: UnitId, slot: SlotOp) {
     let cell = &mut inst.slots[unit.index()];
-    assert!(cell.is_none(), "unit {unit} double-booked in one instruction");
+    assert!(
+        cell.is_none(),
+        "unit {unit} double-booked in one instruction"
+    );
     *cell = Some(slot);
 }
 

@@ -21,13 +21,15 @@ pub mod regalloc;
 pub mod report;
 
 pub use assign::{explore, Assignment, ExploreResult, ExploreTrace};
-pub use codegen::{BlockReport, BlockResult, CodeGenerator, CodegenError, FunctionReport};
+pub use codegen::{
+    BlockPlan, BlockReport, BlockResult, CodeGenerator, CodegenError, FunctionReport,
+};
+pub use cover::{cover, verify_schedule, CoverError, Schedule, SpillRecord};
+pub use covergraph::{CnId, CnKind, CoverGraph, CoverNode, Operand, Resource};
 pub use emit::{
     AsmOperand, ControlOp, SlotOp, SlotOpcode, TransferKind, TransferOp, VliwInstruction,
     VliwProgram,
 };
-pub use cover::{cover, verify_schedule, CoverError, Schedule, SpillRecord};
-pub use covergraph::{CnId, CnKind, CoverGraph, CoverNode, Operand, Resource};
 pub use optimal::{optimal_block, OptimalConfig, OptimalResult};
 pub use options::CodegenOptions;
 pub use regalloc::{allocate, verify_allocation, Allocation, Reg, RegAllocError};

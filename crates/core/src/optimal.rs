@@ -279,9 +279,11 @@ impl<'a> Bb<'a> {
                 continue;
             };
             let live = self.pinned.contains(id.index())
-                || self.graph.uses(id).iter().any(|u| {
-                    !covered.contains(u.index()) && !group.contains(u)
-                });
+                || self
+                    .graph
+                    .uses(id)
+                    .iter()
+                    .any(|u| !covered.contains(u.index()) && !group.contains(u));
             if live {
                 pressure[bank.index()] += 1;
             }
@@ -313,13 +315,8 @@ mod tests {
         let f = parse_function(src).unwrap();
         let target = Target::new(machine);
         let sndag = SplitNodeDag::build(&f.blocks[0].dag, &target).unwrap();
-        optimal_block(
-            &f.blocks[0].dag,
-            &sndag,
-            &target,
-            &OptimalConfig::default(),
-        )
-        .expect("spill-free schedule exists")
+        optimal_block(&f.blocks[0].dag, &sndag, &target, &OptimalConfig::default())
+            .expect("spill-free schedule exists")
     }
 
     #[test]
@@ -364,10 +361,7 @@ mod tests {
 
     #[test]
     fn optimal_on_single_alu_is_serial_with_pairing() {
-        let r = optimal(
-            "func f(a, b, c) { x = (a + b) * c; }",
-            archs::single_alu(4),
-        );
+        let r = optimal("func f(a, b, c) { x = (a + b) * c; }", archs::single_alu(4));
         // 4 bus ops (3 loads + 1 store) can pair with the 2 unit ops only
         // when independent: best is 5.
         assert_eq!(r.instructions, 5);

@@ -43,6 +43,13 @@ pub struct CodegenOptions {
     /// require spills"). Off by default to match the published
     /// algorithm; the ablation bench measures its effect.
     pub pressure_aware_assignment: bool,
+    /// Worker threads for per-block covering in `compile_function`: `1`
+    /// (the default) plans blocks in the calling thread; `0` uses one
+    /// worker per available CPU core; any other value caps the pool at
+    /// that many workers. Output is byte-identical for every setting —
+    /// blocks are planned against an immutable symbol-table snapshot and
+    /// merged in block order.
+    pub jobs: usize,
 }
 
 impl CodegenOptions {
@@ -58,6 +65,7 @@ impl CodegenOptions {
             lookahead: true,
             peephole: true,
             pressure_aware_assignment: false,
+            jobs: 1,
         }
     }
 
@@ -77,6 +85,7 @@ impl CodegenOptions {
             lookahead: true,
             peephole: true,
             pressure_aware_assignment: false,
+            jobs: 1,
         }
     }
 
@@ -95,7 +104,16 @@ impl CodegenOptions {
             lookahead: true,
             peephole: true,
             pressure_aware_assignment: false,
+            jobs: 1,
         }
+    }
+}
+
+impl CodegenOptions {
+    /// Set the worker-thread count (see [`CodegenOptions::jobs`]).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 }
 

@@ -128,8 +128,7 @@ fn compact(
     alloc: &mut Allocation,
 ) {
     let mut trial: Vec<Vec<CnId>> = Vec::new();
-    let mut placed_step: std::collections::HashMap<CnId, usize> =
-        std::collections::HashMap::new();
+    let mut placed_step: std::collections::HashMap<CnId, usize> = std::collections::HashMap::new();
     for step in &schedule.steps {
         for &id in step {
             let min_step = graph

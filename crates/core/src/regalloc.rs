@@ -129,7 +129,10 @@ pub fn allocate(
         if pinned[id.index()] {
             last = end; // live past the block
         }
-        per_bank.entry(bank).or_default().push(Range { id, def, last });
+        per_bank
+            .entry(bank)
+            .or_default()
+            .push(Range { id, def, last });
     }
 
     let mut alloc = Allocation::default();
@@ -202,13 +205,7 @@ pub fn allocate(
                     clique_size: k + 1,
                 })?;
             color[i] = Some(c);
-            alloc.regs.insert(
-                ranges[i].id,
-                Reg {
-                    bank,
-                    index: c,
-                },
-            );
+            alloc.regs.insert(ranges[i].id, Reg { bank, index: c });
         }
     }
     Ok(alloc)
@@ -264,11 +261,7 @@ pub fn verify_allocation(
     for i in 0..ranges.len() {
         for j in (i + 1)..ranges.len() {
             let (a, b) = (&ranges[i], &ranges[j]);
-            if a.1 == b.1
-                && alloc.reg(a.0) == alloc.reg(b.0)
-                && a.2 < b.3
-                && b.2 < a.3
-            {
+            if a.1 == b.1 && alloc.reg(a.0) == alloc.reg(b.0) && a.2 < b.3 && b.2 < a.3 {
                 return Err(format!(
                     "{} and {} share {} while both live",
                     a.0,

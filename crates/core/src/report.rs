@@ -79,11 +79,9 @@ fn describe_node(
             target.machine.bank(*from).name,
             target.machine.bank(*to).name
         ),
-        CnKind::LoadVar { sym, to, .. } => format!(
-            "ld {}->{}",
-            syms.name(*sym),
-            target.machine.bank(*to).name
-        ),
+        CnKind::LoadVar { sym, to, .. } => {
+            format!("ld {}->{}", syms.name(*sym), target.machine.bank(*to).name)
+        }
         CnKind::StoreVar { sym, .. } => format!("st {}", syms.name(*sym)),
         CnKind::LoadDyn { bank, .. } => {
             format!("ld mem[]->{}", target.machine.bank(*bank).name)
@@ -147,8 +145,8 @@ mod tests {
             }",
         )
         .unwrap();
-        let gen = CodeGenerator::new(archs::example_arch(2))
-            .options(CodegenOptions::heuristics_on());
+        let gen =
+            CodeGenerator::new(archs::example_arch(2)).options(CodegenOptions::heuristics_on());
         let mut syms = f.syms.clone();
         let mut layout = MemLayout::for_function(&f);
         let r = gen

@@ -1,0 +1,130 @@
+//! Parallel compilation must be invisible in the output: for any worker
+//! count, `compile_function` has to emit a program byte-identical to the
+//! sequential (`jobs = 1`) run. Blocks are planned against an immutable
+//! symbol-table snapshot and merged in block order, so this holds by
+//! construction — these tests pin it against every shipped asset and
+//! against random multi-block programs.
+
+use aviv::{CodeGenerator, CodegenOptions};
+use aviv_ir::randdag::{random_function, RandDagConfig};
+use aviv_ir::{parse_function, Function};
+use aviv_isdl::{parse_machine, Machine};
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn assets_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../assets")
+}
+
+fn load_machine(name: &str) -> Machine {
+    let src = fs::read_to_string(assets_dir().join(name)).unwrap();
+    parse_machine(&src).unwrap()
+}
+
+fn load_function(name: &str) -> Function {
+    let src = fs::read_to_string(assets_dir().join(name)).unwrap();
+    parse_function(&src).unwrap()
+}
+
+/// Compile `f` with the given worker count; everything else defaults.
+fn compile_with_jobs(
+    f: &Function,
+    machine: Machine,
+    jobs: usize,
+) -> Result<(aviv::VliwProgram, String), aviv::CodegenError> {
+    let gen = CodeGenerator::new(machine).options(CodegenOptions::default().with_jobs(jobs));
+    let (program, _) = gen.compile_function(f)?;
+    let rendered = program.render(gen.target());
+    Ok((program, rendered))
+}
+
+#[test]
+fn sum_loop_on_fig3_is_identical_across_worker_counts() {
+    let f = load_function("sum_loop.av");
+    let (seq, seq_text) = compile_with_jobs(&f, load_machine("fig3.isdl"), 1).unwrap();
+    let (par, par_text) = compile_with_jobs(&f, load_machine("fig3.isdl"), 4).unwrap();
+    assert_eq!(seq, par, "VliwProgram differs between jobs=1 and jobs=4");
+    assert_eq!(seq_text, par_text, "rendered assembly differs");
+    // jobs=0 (one worker per core) must agree too.
+    let (auto, _) = compile_with_jobs(&f, load_machine("fig3.isdl"), 0).unwrap();
+    assert_eq!(seq, auto, "VliwProgram differs between jobs=1 and jobs=0");
+}
+
+#[test]
+fn every_asset_pair_is_identical_across_worker_counts() {
+    let dir = assets_dir();
+    let mut programs = Vec::new();
+    let mut machines = Vec::new();
+    for entry in fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("av") => programs.push(path),
+            Some("isdl") => machines.push(path),
+            _ => {}
+        }
+    }
+    programs.sort();
+    machines.sort();
+    assert!(!programs.is_empty() && !machines.is_empty());
+
+    for p in &programs {
+        let f = parse_function(&fs::read_to_string(p).unwrap()).unwrap();
+        for m in &machines {
+            let machine = parse_machine(&fs::read_to_string(m).unwrap()).unwrap();
+            let seq = compile_with_jobs(&f, machine.clone(), 1);
+            let par = compile_with_jobs(&f, machine, 3);
+            let label = format!("{:?} on {:?}", p.file_name(), m.file_name());
+            match (seq, par) {
+                (Ok((sp, st)), Ok((pp, pt))) => {
+                    assert_eq!(sp, pp, "{label}: program differs");
+                    assert_eq!(st, pt, "{label}: rendering differs");
+                }
+                // Unsupported combinations must fail either way.
+                (Err(_), Err(_)) => {}
+                (s, p) => panic!(
+                    "{label}: jobs=1 and jobs=3 disagree about success: \
+                     seq ok = {}, par ok = {}",
+                    s.is_ok(),
+                    p.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn random_multiblock_programs_compile_identically(
+        seed in 0u64..10_000,
+        n_blocks in 2usize..9,
+        n_ops in 3usize..10,
+        regs in 2u32..5,
+    ) {
+        let cfg = RandDagConfig {
+            n_ops,
+            n_inputs: 3,
+            n_outputs: 2,
+            ..Default::default()
+        };
+        let f = random_function(&cfg, n_blocks, seed);
+        let machine = aviv_isdl::archs::example_arch(regs);
+        let seq = compile_with_jobs(&f, machine.clone(), 1);
+        let par = compile_with_jobs(&f, machine, 4);
+        match (seq, par) {
+            (Ok((sp, st)), Ok((pp, pt))) => {
+                prop_assert_eq!(&sp, &pp);
+                prop_assert_eq!(st, pt);
+            }
+            (Err(_), Err(_)) => {}
+            (s, p) => {
+                return Err(TestCaseError::fail(format!(
+                    "jobs=1 ok = {}, jobs=4 ok = {}",
+                    s.is_ok(),
+                    p.is_ok()
+                )));
+            }
+        }
+    }
+}

@@ -51,11 +51,7 @@ fn matrix_conflicts_reflect_units_buses_and_paths() {
                     }
                     _ => false,
                 };
-            assert_eq!(
-                !m.compatible(i, j),
-                expect_conflict,
-                "{a} vs {b}"
-            );
+            assert_eq!(!m.compatible(i, j), expect_conflict, "{a} vs {b}");
         }
     }
 }
@@ -121,12 +117,7 @@ fn legalize_enforces_isdl_constraints() {
         // Count muls per clique across units.
         let muls = c
             .iter()
-            .filter(|&i| {
-                matches!(
-                    graph.node(m.ids[i]).kind,
-                    CnKind::Op { op: Op::Mul, .. }
-                )
-            })
+            .filter(|&i| matches!(graph.node(m.ids[i]).kind, CnKind::Op { op: Op::Mul, .. }))
             .count();
         assert!(muls <= 1, "constraint allows at most one mul per cycle");
     }
@@ -140,8 +131,7 @@ fn legalize_enforces_isdl_constraints() {
     assert!(covered.iter().all(|&c| c));
 
     // The constraint shows in final schedules too.
-    let f = parse_function("func f(a, b, c, d) { x = a * b; y = c * d; out = x + y; }")
-        .unwrap();
+    let f = parse_function("func f(a, b, c, d) { x = a * b; y = c * d; out = x + y; }").unwrap();
     let gen = CodeGenerator::with_target(target.clone());
     let mut syms = f.syms.clone();
     let mut layout = MemLayout::for_function(&f);
@@ -270,7 +260,10 @@ fn emitted_assembly_mentions_machine_resources() {
     let asm = program.render(gen.target());
     assert!(asm.contains("DB:"), "bus transfers shown\n{asm}");
     assert!(asm.contains("ret"), "return shown\n{asm}");
-    assert!(asm.contains(";a") || asm.contains("[0]"), "loads annotated\n{asm}");
+    assert!(
+        asm.contains(";a") || asm.contains("[0]"),
+        "loads annotated\n{asm}"
+    );
 }
 
 #[test]

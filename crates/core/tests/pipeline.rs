@@ -17,13 +17,7 @@ fn compile(src: &str, machine: aviv_isdl::Machine, options: CodegenOptions) -> a
         .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
         .unwrap();
     verify_schedule(&result.graph, gen.target(), &result.schedule).unwrap();
-    verify_allocation(
-        &result.graph,
-        gen.target(),
-        &result.schedule,
-        &result.alloc,
-    )
-    .unwrap();
+    verify_allocation(&result.graph, gen.target(), &result.schedule, &result.alloc).unwrap();
     result
 }
 
@@ -55,7 +49,11 @@ fn fig2_block_compiles_on_both_archs() {
 fn heuristics_off_is_no_worse() {
     let src = "func f(a, b, c) { t = a + b; u = t * c; v = u - t; out = v; }";
     let on = compile(src, archs::example_arch(4), CodegenOptions::heuristics_on());
-    let off = compile(src, archs::example_arch(4), CodegenOptions::heuristics_off());
+    let off = compile(
+        src,
+        archs::example_arch(4),
+        CodegenOptions::heuristics_off(),
+    );
     assert!(
         off.report.instructions <= on.report.instructions,
         "off={} on={}",
@@ -92,9 +90,10 @@ fn mac_complex_instruction_is_used() {
         CodegenOptions::heuristics_on(),
     );
     let uses_mac = r.instructions.iter().any(|inst| {
-        inst.slots.iter().flatten().any(|s| {
-            matches!(s.opcode, aviv::SlotOpcode::Complex(_))
-        })
+        inst.slots
+            .iter()
+            .flatten()
+            .any(|s| matches!(s.opcode, aviv::SlotOpcode::Complex(_)))
     });
     assert!(uses_mac, "MAC should cover mul+add");
 }
@@ -137,14 +136,14 @@ fn whole_function_with_control_flow() {
     let (program, report) = gen.compile_function(&f).unwrap();
     assert_eq!(report.blocks.len(), 3);
     assert_eq!(program.block_starts.len(), 3);
-    assert!(program.instructions.iter().any(|i| matches!(
-        i.control,
-        Some(aviv::ControlOp::BranchNz { .. })
-    )));
-    assert!(program.instructions.iter().any(|i| matches!(
-        i.control,
-        Some(aviv::ControlOp::Return(_))
-    )));
+    assert!(program
+        .instructions
+        .iter()
+        .any(|i| matches!(i.control, Some(aviv::ControlOp::BranchNz { .. }))));
+    assert!(program
+        .instructions
+        .iter()
+        .any(|i| matches!(i.control, Some(aviv::ControlOp::Return(_)))));
     // Render produces text mentioning every unit used.
     let asm = program.render(gen.target());
     assert!(asm.contains("bb0:") && asm.contains("CTRL"));

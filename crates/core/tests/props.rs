@@ -183,7 +183,6 @@ proptest! {
     }
 }
 
-
 // The guaranteed-progress claim: the sequential fallback alone covers
 // every assignment of every random block at every register budget the
 // machine's operations permit (>= max arity).

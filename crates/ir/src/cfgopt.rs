@@ -146,9 +146,7 @@ pub fn merge_linear_chains(f: &mut Function) -> usize {
     loop {
         let preds = f.predecessors();
         let candidate = f.iter().find_map(|(a, block)| match block.term {
-            Terminator::Jump(b)
-                if b != a && b != f.entry && preds[b.index()].len() == 1 =>
-            {
+            Terminator::Jump(b) if b != a && b != f.entry && preds[b.index()].len() == 1 => {
                 Some((a, b))
             }
             _ => None,

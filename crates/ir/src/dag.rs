@@ -367,11 +367,7 @@ impl BlockDag {
             let desc = match n.op {
                 Op::Const => format!("const {}", n.imm.unwrap()),
                 Op::Input => format!("input {}", syms.name(n.sym.unwrap())),
-                Op::StoreVar => format!(
-                    "storev {} <- {}",
-                    syms.name(n.sym.unwrap()),
-                    n.args[0]
-                ),
+                Op::StoreVar => format!("storev {} <- {}", syms.name(n.sym.unwrap()), n.args[0]),
                 _ => {
                     let args: Vec<String> = n.args.iter().map(|a| a.to_string()).collect();
                     format!("{} {}", n.op, args.join(", "))

@@ -185,8 +185,7 @@ impl<'f> Interpreter<'f> {
                     pending_var_stores.push((addr, v));
                 }
                 op => {
-                    let args: Vec<i64> =
-                        node.args.iter().map(|a| values[a.index()]).collect();
+                    let args: Vec<i64> = node.args.iter().map(|a| values[a.index()]).collect();
                     values[id.index()] = op.eval(&args);
                 }
             }
@@ -223,10 +222,7 @@ pub fn run_function(func: &Function, args: &[i64]) -> Result<InterpResult, Inter
 /// Evaluate a single straight-line block in isolation given named inputs;
 /// returns the block-exit value of every named variable that was stored.
 /// Used heavily by codegen differential tests.
-pub fn eval_block_isolated(
-    func: &Function,
-    inputs: &[(&str, i64)],
-) -> BTreeMap<String, i64> {
+pub fn eval_block_isolated(func: &Function, inputs: &[(&str, i64)]) -> BTreeMap<String, i64> {
     let mut interp = Interpreter::new(func);
     for (name, v) in inputs {
         if let Some(sym) = func.syms.get(name) {
@@ -289,10 +285,9 @@ mod tests {
 
     #[test]
     fn dynamic_memory_roundtrip() {
-        let f = parse_function(
-            "func f(p) { mem[p] = 41; x = mem[p] + 1; mem[p + 1] = x; return x; }",
-        )
-        .unwrap();
+        let f =
+            parse_function("func f(p) { mem[p] = 41; x = mem[p] + 1; mem[p + 1] = x; return x; }")
+                .unwrap();
         let mut i = Interpreter::new(&f);
         i.args(&[2048]);
         let r = i.run().unwrap();

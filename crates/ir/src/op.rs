@@ -93,7 +93,10 @@ impl Op {
     /// True for operations whose first two operands commute.
     pub fn is_commutative(self) -> bool {
         use Op::*;
-        matches!(self, Add | Mul | And | Or | Xor | Min | Max | CmpEq | CmpNe | Mac)
+        matches!(
+            self,
+            Add | Mul | And | Or | Xor | Min | Max | CmpEq | CmpNe | Mac
+        )
     }
 
     /// True for the root-only store operations that anchor live-out values.

@@ -94,17 +94,13 @@ pub fn prune_dead_stores(f: &mut Function, observable: &[Sym]) -> usize {
     // Drop StoreVar roots of dead variables, then clean dead nodes.
     let mut removed = 0usize;
     for (i, block) in f.blocks.iter_mut().enumerate() {
-        let dead_syms: HashSet<Sym> = kill[i]
-            .difference(&live_out[i])
-            .copied()
-            .collect();
+        let dead_syms: HashSet<Sym> = kill[i].difference(&live_out[i]).copied().collect();
         if dead_syms.is_empty() {
             continue;
         }
-        let (new_dag, map) =
-            rebuild_filtered(&block.dag, false, |node| {
-                !(node.op == Op::StoreVar && dead_syms.contains(&node.sym.unwrap()))
-            });
+        let (new_dag, map) = rebuild_filtered(&block.dag, false, |node| {
+            !(node.op == Op::StoreVar && dead_syms.contains(&node.sym.unwrap()))
+        });
         removed += block
             .dag
             .stores()
@@ -128,11 +124,7 @@ pub fn prune_dead_stores(f: &mut Function, observable: &[Sym]) -> usize {
 /// # Errors
 ///
 /// Returns `Err` if the block is not a self-loop of the expected shape.
-pub fn unroll_self_loop(
-    f: &mut Function,
-    block: BlockId,
-    factor: usize,
-) -> Result<(), String> {
+pub fn unroll_self_loop(f: &mut Function, block: BlockId, factor: usize) -> Result<(), String> {
     if factor < 2 {
         return Ok(());
     }
@@ -152,9 +144,8 @@ pub fn unroll_self_loop(
     };
     let body = b.dag.clone();
     let mut merged = body.clone();
-    let mut cond_map: Vec<Option<NodeId>> = (0..merged.len() as u32)
-        .map(|i| Some(NodeId(i)))
-        .collect();
+    let mut cond_map: Vec<Option<NodeId>> =
+        (0..merged.len() as u32).map(|i| Some(NodeId(i))).collect();
     for _ in 1..factor {
         // The accumulated block's live-outs are the previous iteration's
         // exit condition — the whole point of unrolling is to drop those
@@ -227,7 +218,8 @@ pub fn merge_sequential(first: &mut BlockDag, second: &BlockDag) -> Vec<Option<N
 
     // Memory chain ends of the rebuilt first half.
     let last_mem_first = (0..merged.len() as u32)
-        .map(NodeId).rfind(|&id| matches!(merged.node(id).op, Op::Load | Op::Store));
+        .map(NodeId)
+        .rfind(|&id| matches!(merged.node(id).op, Op::Load | Op::Store));
 
     // Copy `second`, resolving inputs through `binding`.
     let mut map: Vec<Option<NodeId>> = vec![None; second.len()];
@@ -244,8 +236,7 @@ pub fn merge_sequential(first: &mut BlockDag, second: &BlockDag) -> Vec<Option<N
             }
             Op::Const => merged.add_const(node.imm.unwrap()),
             Op::Store => {
-                let args: Vec<NodeId> =
-                    node.args.iter().map(|a| map[a.index()].unwrap()).collect();
+                let args: Vec<NodeId> = node.args.iter().map(|a| map[a.index()].unwrap()).collect();
                 merged.add_store(args[0], args[1])
             }
             Op::StoreVar => {
@@ -253,8 +244,7 @@ pub fn merge_sequential(first: &mut BlockDag, second: &BlockDag) -> Vec<Option<N
                 merged.add_store_var(node.sym.unwrap(), v)
             }
             op => {
-                let args: Vec<NodeId> =
-                    node.args.iter().map(|a| map[a.index()].unwrap()).collect();
+                let args: Vec<NodeId> = node.args.iter().map(|a| map[a.index()].unwrap()).collect();
                 merged.add_op(op, &args)
             }
         };
@@ -404,8 +394,7 @@ pub(crate) fn rebuild_with(
                 out.add_store_var(node.sym.unwrap(), v)
             }
             op => {
-                let args: Vec<NodeId> =
-                    node.args.iter().map(|a| map[a.index()].unwrap()).collect();
+                let args: Vec<NodeId> = node.args.iter().map(|a| map[a.index()].unwrap()).collect();
                 let rewritten = rewrite.and_then(|r| r(&mut out, op, &args));
                 if let Some(n) = rewritten {
                     n

@@ -727,10 +727,8 @@ mod tests {
 
     #[test]
     fn straight_line_builds_one_block() {
-        let f = parse_function(
-            "func f(a, b, c) {\n  t = a + b;\n  u = t * c;\n  out = u - t;\n}",
-        )
-        .unwrap();
+        let f = parse_function("func f(a, b, c) {\n  t = a + b;\n  u = t * c;\n  out = u - t;\n}")
+            .unwrap();
         assert_eq!(f.blocks.len(), 1);
         let dag = &f.blocks[0].dag;
         // 3 inputs + add + mul + sub + 3 storev
@@ -779,10 +777,7 @@ mod tests {
 
     #[test]
     fn mem_ops_are_serialized() {
-        let f = parse_function(
-            "func f(p) { mem[p] = 1; x = mem[p]; mem[p + 1] = x; }",
-        )
-        .unwrap();
+        let f = parse_function("func f(p) { mem[p] = 1; x = mem[p]; mem[p + 1] = x; }").unwrap();
         let dag = &f.blocks[0].dag;
         assert!(dag.mem_deps().len() >= 2, "store->load and load->store");
         // Serialization edges participate in dependence.
@@ -815,10 +810,12 @@ mod tests {
         let e = parse_function("func f() { x = ; }").unwrap_err();
         assert!(e.line >= 1 && e.col > 1, "{e}");
         assert!(parse_function("func f() { goto nowhere; }").is_err());
-        assert!(parse_function("func f() { a: a: }").is_err() || {
-            // duplicate label via two blocks
-            parse_function("func f() { a: x = 1; a: y = 2; }").is_err()
-        });
+        assert!(
+            parse_function("func f() { a: a: }").is_err() || {
+                // duplicate label via two blocks
+                parse_function("func f() { a: x = 1; a: y = 2; }").is_err()
+            }
+        );
     }
 
     #[test]

@@ -95,7 +95,10 @@ pub fn to_source(f: &Function) -> String {
                     );
                 }
                 op => {
-                    let expr = render_op(op, &node.args.iter().map(|&a| operand(a)).collect::<Vec<_>>());
+                    let expr = render_op(
+                        op,
+                        &node.args.iter().map(|&a| operand(a)).collect::<Vec<_>>(),
+                    );
                     let _ = writeln!(out, "    {} = {};", temp_name(bi, id), expr);
                 }
             }
@@ -160,7 +163,13 @@ fn render_op(op: Op, args: &[String]) -> String {
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         s.insert(0, 'f');
@@ -260,10 +269,9 @@ mod tests {
 
     #[test]
     fn optimized_functions_still_print() {
-        let mut f = parse_function(
-            "func f(a) { x = (2 + 3) * a; y = x * 1; z = y + 0; return z; }",
-        )
-        .unwrap();
+        let mut f =
+            parse_function("func f(a) { x = (2 + 3) * a; y = x * 1; z = y + 0; return z; }")
+                .unwrap();
         crate::opt::fold_constants(&mut f);
         crate::simplify::simplify(&mut f);
         round_trip(&to_source(&f), &[11]);

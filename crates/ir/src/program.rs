@@ -153,9 +153,7 @@ impl Function {
             return Err("entry block out of range".into());
         }
         for (id, b) in self.iter() {
-            b.dag
-                .validate()
-                .map_err(|e| format!("{id}: {e}"))?;
+            b.dag.validate().map_err(|e| format!("{id}: {e}"))?;
             for s in b.term.successors() {
                 if s.index() >= self.blocks.len() {
                     return Err(format!("{id}: successor {s} out of range"));

@@ -101,12 +101,7 @@ pub fn random_block(cfg: &RandDagConfig, seed: u64) -> Function {
     }
 
     // Store the last n_outputs computed values.
-    let outs: Vec<NodeId> = pool
-        .iter()
-        .rev()
-        .take(cfg.n_outputs)
-        .copied()
-        .collect();
+    let outs: Vec<NodeId> = pool.iter().rev().take(cfg.n_outputs).copied().collect();
     for (i, v) in outs.into_iter().enumerate() {
         let s = syms.intern(&format!("out{i}"));
         dag.add_store_var(s, v);
@@ -124,6 +119,120 @@ pub fn random_block(cfg: &RandDagConfig, seed: u64) -> Function {
         syms,
     };
     debug_assert!(f.validate().is_ok());
+    f
+}
+
+/// Generate a multi-block function from `seed`.
+///
+/// Block 0 reads the function parameters; later blocks read variables
+/// stored by earlier blocks (and parameters), so real dataflow crosses
+/// every block boundary. Non-final blocks either fall through, jump, or
+/// branch on a fresh comparison to a later block — the CFG is
+/// forward-only and every block is reachable via its fallthrough edge.
+/// The final block returns its last computed value.
+///
+/// Each block is shaped by `cfg` exactly as in [`random_block`]. The
+/// determinism property tests compile these with different worker counts
+/// and require byte-identical programs.
+pub fn random_function(cfg: &RandDagConfig, n_blocks: usize, seed: u64) -> Function {
+    assert!(n_blocks >= 1);
+    assert!(cfg.n_ops >= 1 && cfg.n_inputs >= 1 && cfg.n_outputs >= 1);
+    assert!(!cfg.ops.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut syms = SymbolTable::new();
+    let params: Vec<_> = (0..cfg.n_inputs)
+        .map(|i| syms.intern(&format!("in{i}")))
+        .collect();
+
+    // Variables visible to the block being built: parameters plus the
+    // outputs of every earlier block.
+    let mut avail = params.clone();
+    let locality = cfg.locality.clamp(0.0, 1.0);
+    let const_prob = cfg.const_prob.clamp(0.0, 1.0);
+
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for b in 0..n_blocks {
+        let mut dag = BlockDag::new();
+        let mut pool: Vec<NodeId> = (0..cfg.n_inputs)
+            .map(|_| dag.add_input(*avail.choose(&mut rng).unwrap()))
+            .collect();
+
+        let pick = |rng: &mut StdRng, pool: &[NodeId]| -> NodeId {
+            if pool.len() == 1 {
+                return pool[0];
+            }
+            pool[if rng.gen::<f64>() < locality {
+                let lo = pool.len().saturating_sub((pool.len() / 4).max(1));
+                rng.gen_range(lo..pool.len())
+            } else {
+                rng.gen_range(0..pool.len())
+            }]
+        };
+
+        let mut made = 0usize;
+        while made < cfg.n_ops {
+            let op = *cfg.ops.choose(&mut rng).unwrap();
+            let args: Vec<NodeId> = (0..op.arity())
+                .map(|_| {
+                    if const_prob > 0.0 && rng.gen::<f64>() < const_prob {
+                        dag.add_const(rng.gen_range(-8i64..9))
+                    } else {
+                        pick(&mut rng, &pool)
+                    }
+                })
+                .collect();
+            let before = dag.len();
+            let n = dag.add_op(op, &args);
+            if dag.len() > before {
+                pool.push(n);
+                made += 1;
+            }
+        }
+
+        // Store the last n_outputs values to this block's own variables;
+        // later blocks may read them.
+        let outs: Vec<NodeId> = pool.iter().rev().take(cfg.n_outputs).copied().collect();
+        for (i, v) in outs.into_iter().enumerate() {
+            let s = syms.intern(&format!("b{b}v{i}"));
+            dag.add_store_var(s, v);
+            avail.push(s);
+        }
+
+        let last_val = *pool.last().expect("block computes at least one value");
+        let next = BlockId((b + 1) as u32);
+        let term = if b + 1 == n_blocks {
+            let rsym = syms.fresh("__ret");
+            dag.mark_live_out(rsym, last_val);
+            Terminator::Return(Some(last_val))
+        } else if rng.gen::<f64>() < 0.6 {
+            let zero = dag.add_const(0);
+            let cond = dag.add_op(Op::CmpGt, &[last_val, zero]);
+            let csym = syms.fresh("__cond");
+            dag.mark_live_out(csym, cond);
+            Terminator::Branch {
+                cond,
+                if_true: BlockId(rng.gen_range((b + 1)..n_blocks) as u32),
+                if_false: next,
+            }
+        } else {
+            Terminator::Jump(next)
+        };
+
+        blocks.push(BasicBlock {
+            label: None,
+            dag,
+            term,
+        });
+    }
+
+    let f = Function {
+        name: format!("randf{seed}"),
+        params,
+        blocks,
+        entry: BlockId(0),
+        syms,
+    };
+    debug_assert!(f.validate().is_ok(), "{:?}", f.validate());
     f
 }
 
@@ -170,6 +279,39 @@ mod tests {
             assert_eq!(op_nodes, n_ops);
             assert!(dag.validate().is_ok());
         }
+    }
+
+    #[test]
+    fn random_function_validates_and_runs() {
+        let cfg = RandDagConfig {
+            n_ops: 6,
+            n_inputs: 3,
+            n_outputs: 2,
+            ..Default::default()
+        };
+        for seed in 0..15 {
+            for n_blocks in [1usize, 2, 5, 9] {
+                let f = random_function(&cfg, n_blocks, seed);
+                assert_eq!(f.blocks.len(), n_blocks);
+                f.validate().unwrap();
+                run_function(&f, &[3, -1, 7]).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn random_function_is_deterministic() {
+        let cfg = RandDagConfig::default();
+        let a = random_function(&cfg, 6, 99);
+        let b = random_function(&cfg, 6, 99);
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+            assert_eq!(x.dag.len(), y.dag.len());
+            assert_eq!(x.term, y.term);
+        }
+        let ra = run_function(&a, &[1, 2, 3, 4]).unwrap();
+        let rb = run_function(&b, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(ra.memory, rb.memory);
     }
 
     #[test]

@@ -26,13 +26,8 @@ pub fn strength_reduce(f: &mut Function) -> usize {
     let mut rewritten = 0usize;
     for block in &mut f.blocks {
         let before = count_op(&block.dag, Op::Mul);
-        let (new_dag, map) = rebuild_with(
-            &block.dag,
-            false,
-            |_| true,
-            &[],
-            Some(&strength_rewrite),
-        );
+        let (new_dag, map) =
+            rebuild_with(&block.dag, false, |_| true, &[], Some(&strength_rewrite));
         remap_term(&mut block.term, &map);
         block.dag = new_dag;
         rewritten += before.saturating_sub(count_op(&block.dag, Op::Mul));
@@ -267,8 +262,7 @@ mod tests {
         assert_eq!(n, 2, "a*8 and 4*a rewritten, a*3 kept");
         let after = run_function(&f, &[5]).unwrap();
         assert_eq!(before.return_value, after.return_value);
-        let shls = f
-            .blocks[0]
+        let shls = f.blocks[0]
             .dag
             .iter()
             .filter(|(_, node)| node.op == Op::Shl)

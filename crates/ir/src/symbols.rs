@@ -85,6 +85,22 @@ impl SymbolTable {
         }
     }
 
+    /// Re-intern a compiler-generated name produced by [`fresh`] on a
+    /// snapshot of this table: the trailing digits are stripped to
+    /// recover the prefix and a fresh non-colliding name is interned.
+    ///
+    /// This is the merge half of snapshot-based compilation: a worker
+    /// covering a block against an immutable copy of the table names its
+    /// spill slots locally; replaying those names here in creation order
+    /// yields exactly the ids and names a sequential run would have
+    /// produced.
+    ///
+    /// [`fresh`]: SymbolTable::fresh
+    pub fn fresh_like(&mut self, name: &str) -> Sym {
+        let prefix = name.trim_end_matches(|c: char| c.is_ascii_digit());
+        self.fresh(prefix)
+    }
+
     /// Iterate over `(Sym, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
         self.names
@@ -116,6 +132,35 @@ mod tests {
         let f = t.fresh("spill");
         assert_ne!(t.name(f), "spill2");
         assert!(t.name(f).starts_with("spill"));
+    }
+
+    #[test]
+    fn fresh_like_replays_snapshot_names() {
+        // A worker names spills against a snapshot; replaying them on the
+        // original table gives identical ids and names.
+        let mut base = SymbolTable::new();
+        base.intern("a");
+        let mut snap = base.clone();
+        let s0 = snap.fresh("__spill");
+        let s1 = snap.fresh("__spill");
+        let r0 = base.fresh_like(snap.name(s0));
+        let r1 = base.fresh_like(snap.name(s1));
+        assert_eq!((r0, base.name(r0)), (s0, snap.name(s0)));
+        assert_eq!((r1, base.name(r1)), (s1, snap.name(s1)));
+    }
+
+    #[test]
+    fn fresh_like_diverges_when_tables_differ() {
+        // When the merged table already gained other spills, replay picks
+        // the next free name, exactly as a sequential fresh() would.
+        let mut base = SymbolTable::new();
+        let mut snap = base.clone();
+        let earlier = base.fresh("__spill"); // another block's slot
+        let s = snap.fresh("__spill"); // this block's local slot
+        let r = base.fresh_like(snap.name(s));
+        assert_ne!(r, earlier);
+        assert_eq!(base.name(r), "__spill1");
+        let _ = s;
     }
 
     #[test]

@@ -167,9 +167,7 @@ impl TransferDb {
                         }
                         // Extend only shortest paths.
                         for hop in edges.get(&dst).into_iter().flatten() {
-                            if !best_cost.contains_key(&hop.to)
-                                || best_cost[&hop.to] == depth + 1
-                            {
+                            if !best_cost.contains_key(&hop.to) || best_cost[&hop.to] == depth + 1 {
                                 let mut q = p.clone();
                                 q.hops.push(*hop);
                                 next.push(q);
@@ -193,9 +191,7 @@ impl TransferDb {
         if from == to {
             return &[];
         }
-        self.paths
-            .get(&(from, to))
-            .map_or(&[], |v| v.as_slice())
+        self.paths.get(&(from, to)).map_or(&[], |v| v.as_slice())
     }
 
     /// Cost (hop count) of the shortest transfer, or `None` when
@@ -333,6 +329,14 @@ pub struct Target {
     pub ops: OpDb,
     /// Data-transfer path database.
     pub xfers: TransferDb,
+    /// The bank cheapest to load into from memory — where live-out input
+    /// leaves are materialized. Precomputed so every block (and every
+    /// worker thread) shares one answer instead of rescanning the
+    /// transfer database.
+    pub load_bank: Option<crate::model::BankId>,
+    /// The bank with the cheapest memory round trip (load + store) — the
+    /// staging bank for memory-to-memory copies.
+    pub round_trip_bank: Option<crate::model::BankId>,
 }
 
 impl Target {
@@ -340,10 +344,28 @@ impl Target {
     pub fn new(machine: Machine) -> Self {
         let ops = OpDb::new(&machine);
         let xfers = TransferDb::new(&machine);
+        let banks = (0..machine.banks().len() as u32).map(crate::model::BankId);
+        let load_bank = banks.clone().min_by_key(|&b| {
+            xfers
+                .cost(Location::Mem, Location::Bank(b))
+                .unwrap_or(usize::MAX)
+        });
+        let round_trip_bank = banks.min_by_key(|&b| {
+            xfers
+                .cost(Location::Mem, Location::Bank(b))
+                .unwrap_or(usize::MAX)
+                .saturating_add(
+                    xfers
+                        .cost(Location::Bank(b), Location::Mem)
+                        .unwrap_or(usize::MAX),
+                )
+        });
         Target {
             machine,
             ops,
             xfers,
+            load_bank,
+            round_trip_bank,
         }
     }
 }

@@ -939,11 +939,7 @@ mod edit_tests {
         assert!(m.without_unit("U9").is_err());
         assert!(m.without_op("U3", Op::Sub).is_err());
         // Removing every unit is invalid.
-        let one = m
-            .without_unit("U3")
-            .unwrap()
-            .without_unit("U2")
-            .unwrap();
+        let one = m.without_unit("U3").unwrap().without_unit("U2").unwrap();
         assert!(one.without_unit("U1").is_err());
     }
 

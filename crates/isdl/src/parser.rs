@@ -201,7 +201,6 @@ impl<'a> P<'a> {
             Ok(false)
         }
     }
-
 }
 
 /// Parse a machine description.
@@ -312,9 +311,9 @@ pub fn parse_machine(src: &str) -> Result<Machine, IsdlError> {
                     "forbid" => None,
                     "at_most" => Some(p.expect_num()?),
                     other => {
-                        return Err(p.err(format!(
-                            "expected `forbid` or `at_most`, found `{other}`"
-                        )))
+                        return Err(
+                            p.err(format!("expected `forbid` or `at_most`, found `{other}`"))
+                        )
                     }
                 };
                 p.expect_punct('{')?;

@@ -138,8 +138,7 @@ mod tests {
             }
         }
         for (ba, bb) in a.buses().iter().zip(b.buses()) {
-            if ba.name != bb.name || ba.capacity != bb.capacity || ba.endpoints != bb.endpoints
-            {
+            if ba.name != bb.name || ba.capacity != bb.capacity || ba.endpoints != bb.endpoints {
                 return false;
             }
         }
@@ -168,8 +167,7 @@ mod tests {
             archs::wide_arch(8),
         ] {
             let text = to_isdl(&m);
-            let back = parse_machine(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", m.name));
+            let back = parse_machine(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", m.name));
             assert!(machines_equal(&m, &back), "{} round trip:\n{text}", m.name);
         }
     }

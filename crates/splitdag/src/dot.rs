@@ -14,15 +14,16 @@ pub fn sndag_to_dot(sndag: &SplitNodeDag, dag: &BlockDag, target: &Target) -> St
     for (i, node) in sndag.nodes().iter().enumerate() {
         let id = SnId(i as u32);
         let (label, shape) = match &node.kind {
-            SnKind::Split { orig } => (
-                format!("split {orig}\\n{}", dag.node(*orig).op),
-                "diamond",
-            ),
+            SnKind::Split { orig } => (format!("split {orig}\\n{}", dag.node(*orig).op), "diamond"),
             SnKind::Alt { orig, unit, op } => (
                 format!("{} on {}\\n[{orig}]", op, target.machine.unit(*unit).name),
                 "box",
             ),
-            SnKind::ComplexAlt { orig, complex, unit } => (
+            SnKind::ComplexAlt {
+                orig,
+                complex,
+                unit,
+            } => (
                 format!(
                     "{} on {}\\n[{orig}]",
                     target.machine.complexes()[*complex].name,
@@ -48,10 +49,7 @@ pub fn sndag_to_dot(sndag: &SplitNodeDag, dag: &BlockDag, target: &Target) -> St
                 "ellipse",
             ),
             SnKind::Leaf { orig } => (format!("leaf {orig}"), "plaintext"),
-            SnKind::Imm { orig } => (
-                format!("imm {}", dag.node(*orig).imm.unwrap()),
-                "plaintext",
-            ),
+            SnKind::Imm { orig } => (format!("imm {}", dag.node(*orig).imm.unwrap()), "plaintext"),
             SnKind::StoreNode { orig, .. } => (format!("store [{orig}]"), "house"),
         };
         let _ = writeln!(out, "  {id} [label=\"{label}\", shape={shape}];");

@@ -11,7 +11,7 @@
 //! fusing would save nothing).
 
 use aviv_ir::{BlockDag, NodeId};
-use aviv_isdl::{Machine, PatTree};
+use aviv_isdl::{PatTree, Target};
 
 /// One way a complex instruction can cover part of the DAG.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,11 +29,17 @@ pub struct ComplexMatch {
     pub operands: Vec<NodeId>,
 }
 
-/// Find every complex-instruction match in `dag` for `machine`.
+/// Find every complex-instruction match in `dag` for `target`.
 ///
 /// Matches are returned grouped by root in node order; the Split-Node DAG
 /// adds each as an extra alternative under the root's split node.
-pub fn match_complexes(dag: &BlockDag, machine: &Machine) -> Vec<ComplexMatch> {
+///
+/// Candidate patterns come from the target's precomputed root-op index
+/// ([`aviv_isdl::OpDb::complexes_rooted_at`]): the table is built once per
+/// target and shared read-only across blocks and worker threads, so each
+/// node only tries the patterns whose root operation matches its own.
+pub fn match_complexes(dag: &BlockDag, target: &Target) -> Vec<ComplexMatch> {
+    let machine = &target.machine;
     let uses = dag.uses();
     let root_ids: std::collections::HashSet<NodeId> = dag.roots().into_iter().collect();
     let mut out = Vec::new();
@@ -41,7 +47,8 @@ pub fn match_complexes(dag: &BlockDag, machine: &Machine) -> Vec<ComplexMatch> {
         if node.op.is_leaf() || node.op.is_store() {
             continue;
         }
-        for (ci, cx) in machine.complexes().iter().enumerate() {
+        for &ci in target.ops.complexes_rooted_at(node.op) {
+            let cx = &machine.complexes()[ci];
             let mut operands: Vec<Option<NodeId>> = vec![None; cx.pattern.arg_count()];
             let mut covers = Vec::new();
             if try_match(
@@ -139,8 +146,8 @@ mod tests {
     #[test]
     fn mac_matches_mul_feeding_add() {
         let f = parse_function("func f(a, b, c) { y = a * b + c; }").unwrap();
-        let m = dsp_arch(4);
-        let matches = match_complexes(&f.blocks[0].dag, &m);
+        let t = Target::new(dsp_arch(4));
+        let matches = match_complexes(&f.blocks[0].dag, &t);
         assert_eq!(matches.len(), 1);
         let mm = &matches[0];
         assert_eq!(mm.covers.len(), 2, "add and mul");
@@ -161,8 +168,8 @@ mod tests {
         // id, which puts `c` first here; the matcher must retry the
         // swapped order to find the mul.
         let f = parse_function("func f(a, b, c) { y = c + a * b; }").unwrap();
-        let m = dsp_arch(4);
-        let matches = match_complexes(&f.blocks[0].dag, &m);
+        let t = Target::new(dsp_arch(4));
+        let matches = match_complexes(&f.blocks[0].dag, &t);
         assert_eq!(matches.len(), 1, "commutative retry finds the mul");
     }
 
@@ -170,8 +177,8 @@ mod tests {
     fn multi_use_interior_blocks_match() {
         // The mul result is also stored, so it cannot be swallowed.
         let f = parse_function("func f(a, b, c) { t = a * b; y = t + c; z = t; }").unwrap();
-        let m = dsp_arch(4);
-        let matches = match_complexes(&f.blocks[0].dag, &m);
+        let t = Target::new(dsp_arch(4));
+        let matches = match_complexes(&f.blocks[0].dag, &t);
         assert!(matches.is_empty());
     }
 
@@ -190,17 +197,16 @@ mod tests {
         let m = b.build().unwrap();
 
         let f = parse_function("func f(a, b) { x = a * a; y = a * b; }").unwrap();
-        let matches = match_complexes(&f.blocks[0].dag, &m);
+        let matches = match_complexes(&f.blocks[0].dag, &Target::new(m));
         assert_eq!(matches.len(), 1, "only a*a matches sq");
         assert_eq!(matches[0].operands.len(), 1);
     }
 
     #[test]
     fn two_macs_in_one_block() {
-        let f =
-            parse_function("func f(a, b, c, d, e) { x = a * b + c; y = d * e + x; }").unwrap();
-        let m = dsp_arch(4);
-        let matches = match_complexes(&f.blocks[0].dag, &m);
+        let f = parse_function("func f(a, b, c, d, e) { x = a * b + c; y = d * e + x; }").unwrap();
+        let t = Target::new(dsp_arch(4));
+        let matches = match_complexes(&f.blocks[0].dag, &t);
         // x's add has a mul child (a*b): match. y's add has mul (d*e): match.
         assert_eq!(matches.len(), 2);
     }
@@ -208,7 +214,7 @@ mod tests {
     #[test]
     fn no_complexes_no_matches() {
         let f = parse_function("func f(a, b, c) { y = a * b + c; }").unwrap();
-        let m = aviv_isdl::archs::example_arch(4);
-        assert!(match_complexes(&f.blocks[0].dag, &m).is_empty());
+        let t = Target::new(aviv_isdl::archs::example_arch(4));
+        assert!(match_complexes(&f.blocks[0].dag, &t).is_empty());
     }
 }

@@ -211,7 +211,10 @@ impl fmt::Display for SplitDagError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SplitDagError::UnsupportedOp { op, node } => {
-                write!(f, "operation {op} at {node} has no implementation on this machine")
+                write!(
+                    f,
+                    "operation {op} at {node} has no implementation on this machine"
+                )
             }
             SplitDagError::NoMemoryPath { node } => {
                 write!(f, "no bus reaches memory for node {node}")
@@ -432,7 +435,7 @@ struct Builder<'a> {
 
 impl<'a> Builder<'a> {
     fn new(dag: &'a BlockDag, target: &'a Target) -> Self {
-        let matches = match_complexes(dag, &target.machine);
+        let matches = match_complexes(dag, target);
         let mut covered_by = vec![Vec::new(); dag.len()];
         for (mi, m) in matches.iter().enumerate() {
             for &c in &m.covers {
@@ -597,10 +600,7 @@ impl<'a> Builder<'a> {
                     let val_port = self.port_into(node.args[0], Location::Mem);
                     // Use the first memory bus for bookkeeping; the actual
                     // bus is determined by the chosen transfer path.
-                    let (bus, bank) = mem_ports.first().copied().unwrap_or((
-                        BusId(0),
-                        BankId(0),
-                    ));
+                    let (bus, bank) = mem_ports.first().copied().unwrap_or((BusId(0), BankId(0)));
                     let sn = self.push(
                         SnKind::StoreNode {
                             orig: id,
@@ -623,14 +623,7 @@ impl<'a> Builder<'a> {
                             .iter()
                             .map(|&a| self.port_into(a, Location::Bank(bank)))
                             .collect();
-                        let sn = self.push(
-                            SnKind::Alt {
-                                orig: id,
-                                unit,
-                                op,
-                            },
-                            ports,
-                        );
+                        let sn = self.push(SnKind::Alt { orig: id, unit, op }, ports);
                         alt_sns.push(sn);
                         self.alts[id.index()].push(AltInfo {
                             sn,
@@ -767,7 +760,10 @@ mod tests {
         let f = parse_function("func f(a, b) { x = a / b; }").unwrap();
         let target = Target::new(archs::example_arch(4));
         let err = SplitNodeDag::build(&f.blocks[0].dag, &target).unwrap_err();
-        assert!(matches!(err, SplitDagError::UnsupportedOp { op: Op::Div, .. }));
+        assert!(matches!(
+            err,
+            SplitDagError::UnsupportedOp { op: Op::Div, .. }
+        ));
     }
 
     #[test]
@@ -803,7 +799,15 @@ mod tests {
         let leaf_xfers = sn
             .nodes()
             .iter()
-            .filter(|n| matches!(n.kind, SnKind::Transfer { from: Location::Mem, .. }))
+            .filter(|n| {
+                matches!(
+                    n.kind,
+                    SnKind::Transfer {
+                        from: Location::Mem,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(leaf_xfers <= n_banks, "{leaf_xfers} > {n_banks}");
     }
@@ -859,10 +863,7 @@ mod tests {
 
     #[test]
     fn render_names_units_and_transfers() {
-        let (f, target, sn) = build(
-            "func f(a, b) { x = a * b; }",
-            archs::example_arch(4),
-        );
+        let (f, target, sn) = build("func f(a, b) { x = a * b; }", archs::example_arch(4));
         let text = sn.render(&f.blocks[0].dag, &target);
         assert!(text.contains("U2") && text.contains("U3"));
         assert!(text.contains("xfer"));

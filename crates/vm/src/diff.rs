@@ -75,9 +75,7 @@ pub fn check_function(
         "diff harness assumes named variables stay below the dynamic region"
     );
     let generator = CodeGenerator::new(machine).options(options);
-    let (program, _report) = generator
-        .compile_function(f)
-        .map_err(DiffError::Compile)?;
+    let (program, _report) = generator.compile_function(f).map_err(DiffError::Compile)?;
 
     // Interpreter run.
     let layout = MemLayout::for_function(f);

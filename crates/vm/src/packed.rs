@@ -56,7 +56,10 @@ impl BitWriter {
 
     fn push(&mut self, value: u64, width: u32) {
         debug_assert!(width <= 64);
-        debug_assert!(width == 64 || value < (1u64 << width), "{value} !< 2^{width}");
+        debug_assert!(
+            width == 64 || value < (1u64 << width),
+            "{value} !< 2^{width}"
+        );
         for i in 0..width {
             let b = (value >> i) & 1;
             if self.bit == 0 {
@@ -96,12 +99,9 @@ impl<'a> BitReader<'a> {
         for i in 0..width {
             let byte = self.pos / 8;
             let bit = self.pos % 8;
-            let b = self
-                .bytes
-                .get(byte)
-                .ok_or_else(|| PackedError {
-                    msg: "unexpected end of bitstream".into(),
-                })?;
+            let b = self.bytes.get(byte).ok_or_else(|| PackedError {
+                msg: "unexpected end of bitstream".into(),
+            })?;
             v |= (((b >> bit) & 1) as u64) << i;
             self.pos += 1;
         }
@@ -140,7 +140,11 @@ impl Layout {
             .iter()
             .map(|u| width_for(1 + u.ops.len() + m.complexes().len()))
             .collect();
-        let reg_w = m.banks().iter().map(|b| width_for(b.size as usize)).collect();
+        let reg_w = m
+            .banks()
+            .iter()
+            .map(|b| width_for(b.size as usize))
+            .collect();
         let bank_w = width_for(m.banks().len());
         let bus_w = width_for(m.buses().len());
         let max_xfers: u32 = m.buses().iter().map(|b| b.capacity).sum();
@@ -221,7 +225,10 @@ fn pull_operand(r: &mut BitReader, layout: &Layout) -> Result<AsmOperand, Packed
 /// Fails when an instruction does not fit the machine (e.g. a slot op the
 /// unit cannot perform) — impossible for generator output, checked for
 /// robustness.
-pub fn encode_packed(target: &Target, program: &VliwProgram) -> Result<(Vec<u8>, usize), PackedError> {
+pub fn encode_packed(
+    target: &Target,
+    program: &VliwProgram,
+) -> Result<(Vec<u8>, usize), PackedError> {
     let layout = Layout::new(target);
     let m = &target.machine;
     let mut w = BitWriter::new();
@@ -234,12 +241,11 @@ pub fn encode_packed(target: &Target, program: &VliwProgram) -> Result<(Vec<u8>,
                 Some(s) => {
                     let (code, arity) = match s.opcode {
                         SlotOpcode::Basic(op) => {
-                            let pos = unit
-                                .ops
-                                .iter()
-                                .position(|c| c.op == op)
-                                .ok_or_else(|| PackedError {
-                                    msg: format!("unit {} cannot {op}", unit.name),
+                            let pos =
+                                unit.ops.iter().position(|c| c.op == op).ok_or_else(|| {
+                                    PackedError {
+                                        msg: format!("unit {} cannot {op}", unit.name),
+                                    }
                                 })?;
                             (1 + pos as u64, op.arity())
                         }
@@ -435,8 +441,9 @@ mod tests {
         for inst in &mut insts {
             for x in &mut inst.xfers {
                 match &mut x.kind {
-                    TransferKind::LoadVar { name, .. }
-                    | TransferKind::StoreVar { name, .. } => name.clear(),
+                    TransferKind::LoadVar { name, .. } | TransferKind::StoreVar { name, .. } => {
+                        name.clear()
+                    }
                     _ => {}
                 }
             }
@@ -449,8 +456,7 @@ mod tests {
         let gen = CodeGenerator::new(machine);
         let (program, _) = gen.compile_function(&f).unwrap();
         let (bytes, bits) = encode_packed(gen.target(), &program).unwrap();
-        let decoded =
-            decode_packed(gen.target(), &bytes, program.instructions.len()).unwrap();
+        let decoded = decode_packed(gen.target(), &bytes, program.instructions.len()).unwrap();
         assert_eq!(
             strip_names(program.instructions.clone()),
             strip_names(decoded)
@@ -478,10 +484,8 @@ mod tests {
 
     #[test]
     fn packed_is_denser_than_byte_encoding() {
-        let f = parse_function(
-            "func f(a, b, c, d) { x = (a + b) * (c - d); y = x + a; out = y; }",
-        )
-        .unwrap();
+        let f = parse_function("func f(a, b, c, d) { x = (a + b) * (c - d); y = x + a; out = y; }")
+            .unwrap();
         let gen = CodeGenerator::new(archs::example_arch(4));
         let (program, _) = gen.compile_function(&f).unwrap();
         let byte_size = crate::encode::assemble(&program).len();
@@ -503,8 +507,7 @@ mod tests {
         let gen = CodeGenerator::new(archs::example_arch(4));
         let (program, _) = gen.compile_function(&f).unwrap();
         let (bytes, _) = encode_packed(gen.target(), &program).unwrap();
-        let decoded =
-            decode_packed(gen.target(), &bytes, program.instructions.len()).unwrap();
+        let decoded = decode_packed(gen.target(), &bytes, program.instructions.len()).unwrap();
         assert_eq!(
             strip_names(program.instructions.clone()),
             strip_names(decoded)
@@ -518,8 +521,6 @@ mod tests {
         let (program, _) = gen.compile_function(&f).unwrap();
         let (bytes, _) = encode_packed(gen.target(), &program).unwrap();
         let truncated = &bytes[..bytes.len() / 2];
-        assert!(
-            decode_packed(gen.target(), truncated, program.instructions.len()).is_err()
-        );
+        assert!(decode_packed(gen.target(), truncated, program.instructions.len()).is_err());
     }
 }

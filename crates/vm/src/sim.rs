@@ -116,12 +116,7 @@ impl<'p> Simulator<'p> {
 
     /// Read a named variable's current value.
     pub fn read_var(&self, name: &str) -> Option<i64> {
-        let addr = self
-            .program
-            .var_addrs
-            .iter()
-            .find(|(n, _)| n == name)?
-            .1;
+        let addr = self.program.var_addrs.iter().find(|(n, _)| n == name)?.1;
         self.memory.get(&addr).copied()
     }
 
@@ -233,9 +228,7 @@ impl<'p> Simulator<'p> {
             match &inst.control {
                 None => {}
                 Some(ControlOp::Jump(t)) => next_pc = *t,
-                Some(ControlOp::BranchNz { cond, target })
-                    if self.read_operand(cond)? != 0 =>
-                {
+                Some(ControlOp::BranchNz { cond, target }) if self.read_operand(cond)? != 0 => {
                     next_pc = *target;
                 }
                 Some(ControlOp::BranchNz { .. }) => {}

@@ -131,9 +131,7 @@ mod tests {
 
     #[test]
     fn counts_are_consistent() {
-        let (s, target) = stats_for(
-            "func f(a, b, c) { x = (a + b) * c; y = x - a; return y; }",
-        );
+        let (s, target) = stats_for("func f(a, b, c) { x = (a + b) * c; y = x - a; return y; }");
         assert!(s.instructions > 0);
         assert!(s.code_bytes > 0);
         assert_eq!(s.unit_slots_used.len(), target.machine.units().len());
@@ -149,10 +147,9 @@ mod tests {
 
     #[test]
     fn single_bus_never_exceeds_capacity_per_instruction() {
-        let f = parse_function(
-            "func f(a, b, c, d) { x = (a + b) * (c - d); y = x + a; return y; }",
-        )
-        .unwrap();
+        let f =
+            parse_function("func f(a, b, c, d) { x = (a + b) * (c - d); y = x + a; return y; }")
+                .unwrap();
         let gen = CodeGenerator::new(archs::example_arch(4));
         let (program, _) = gen.compile_function(&f).unwrap();
         for inst in &program.instructions {

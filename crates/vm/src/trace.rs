@@ -220,8 +220,7 @@ mod tests {
         let f = parse_function("func f(a, b) { x = a * b; }").unwrap();
         let gen = CodeGenerator::new(archs::example_arch(4));
         let (program, _) = gen.compile_function(&f).unwrap();
-        let (trace, _) =
-            run_traced(gen.target(), &program, &[("a", 2), ("b", 3)], &[]).unwrap();
+        let (trace, _) = run_traced(gen.target(), &program, &[("a", 2), ("b", 3)], &[]).unwrap();
         assert_eq!(trace.branches_taken(), 0);
     }
 }

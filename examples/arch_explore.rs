@@ -93,8 +93,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     ranked.sort_by_key(|&(_, size, bits)| (size, bits));
     let (best, size, bits) = &ranked[0];
-    println!(
-        "\nbest datapath for this workload: {best} at {size} instructions ({bits} ROM bits)"
-    );
+    println!("\nbest datapath for this workload: {best} at {size} instructions ({bits} ROM bits)");
     Ok(())
 }

@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", sndag_to_dot(&sndag, &f.blocks[0].dag, &target));
 
     // 2. Compile and explain the decisions.
-    let gen = CodeGenerator::with_target(target.clone())
-        .options(CodegenOptions::heuristics_on());
+    let gen = CodeGenerator::with_target(target.clone()).options(CodegenOptions::heuristics_on());
     let mut syms = f.syms.clone();
     let mut layout = MemLayout::for_function(&f);
     let result = gen.compile_block(&f.blocks[0].dag, &mut syms, &mut layout)?;

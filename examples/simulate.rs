@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Compile.
     let (program, report) = gen.compile_function(&f)?;
     println!("{}", program.render(gen.target()));
-    println!("{} instructions across {} blocks", report.total_instructions, report.blocks.len());
+    println!(
+        "{} instructions across {} blocks",
+        report.total_instructions,
+        report.blocks.len()
+    );
 
     // Assemble to binary and load it back — the paper's ISDL-generated
     // assembler step.

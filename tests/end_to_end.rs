@@ -38,14 +38,8 @@ fn gcd_runs_on_every_architecture() {
         archs::chained_arch(4),
     ] {
         let name = machine.name.clone();
-        check_function(
-            &f,
-            machine,
-            CodegenOptions::heuristics_on(),
-            &[48, 18],
-            &[],
-        )
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_function(&f, machine, CodegenOptions::heuristics_on(), &[48, 18], &[])
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
 

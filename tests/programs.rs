@@ -202,14 +202,7 @@ fn matrix_2x2_multiply() {
         mem.push((base + i as i64, v));
     }
     for machine in [archs::example_arch(4), archs::dsp_arch(4)] {
-        check_function(
-            &f,
-            machine,
-            CodegenOptions::heuristics_on(),
-            &[base],
-            &mem,
-        )
-        .unwrap();
+        check_function(&f, machine, CodegenOptions::heuristics_on(), &[base], &mem).unwrap();
     }
     // C = [[19,22],[43,50]].
     let mut interp = aviv_ir::Interpreter::new(&f);
@@ -270,7 +263,12 @@ fn clamped_moving_average() {
     }";
     let f = parse_function(src).unwrap();
     let base = 2048i64;
-    let mem = [(base, 10i64), (base + 1, 20), (base + 2, 90), (base + 3, 40)];
+    let mem = [
+        (base, 10i64),
+        (base + 1, 20),
+        (base + 2, 90),
+        (base + 3, 40),
+    ];
     check_function(
         &f,
         archs::wide_arch(4),

@@ -1,0 +1,235 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates registry, so the workspace vendors
+//! the *subset* of the `criterion` 0.5 API its benches use: `Criterion`,
+//! benchmark groups with `bench_function` / `bench_with_input` /
+//! `sample_size` / `measurement_time`, [`BenchmarkId`], `Bencher::iter`,
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then batches of
+//! iterations until the measurement budget (default 1 s) or the sample
+//! cap is reached, reporting the mean wall time per iteration. There are
+//! no statistics, plots, or saved baselines — `cargo bench` output is a
+//! plain table on stdout.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: a name plus an optional
+/// parameter rendered as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of the parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as benchmark ids (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Mean wall time per iteration of the last `iter` call.
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its mean wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (routines here are heavyweight
+        // compiles; long spin-ups would waste the budget).
+        black_box(routine());
+        let budget = self.measurement_time;
+        let cap = self.sample_size.max(1) as u64;
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while iters < cap && start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.iters = iters.max(1);
+        self.mean = total / (self.iters as u32);
+    }
+}
+
+/// One group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `routine` under `id`.
+    pub fn bench_function<R>(&mut self, id: impl IntoBenchmarkId, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        routine(&mut b);
+        self.criterion.report(&full, b.mean, b.iters);
+        self
+    }
+
+    /// Benchmark `routine` applied to `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// End the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmark `routine` outside any group.
+    pub fn bench_function<R>(&mut self, id: impl IntoBenchmarkId, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let full = id.into_id();
+        let mut b = Bencher {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        routine(&mut b);
+        self.report(&full, b.mean, b.iters);
+        self
+    }
+
+    fn report(&mut self, id: &str, mean: Duration, iters: u64) {
+        println!("{id:<56} time: {mean:>12.3?}   ({iters} iters)");
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(20));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        c.bench_function("free", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn harness_runs_and_terminates() {
+        benches();
+    }
+}
