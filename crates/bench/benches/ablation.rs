@@ -49,7 +49,7 @@ fn bench_ablation(c: &mut Criterion) {
                     .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
                     .unwrap();
                 black_box(r.report.instructions)
-            })
+            });
         });
     }
     group.finish();
@@ -75,7 +75,7 @@ fn bench_exhaustive_small(c: &mut Criterion) {
                     .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
                     .unwrap();
                 black_box(r.report.instructions)
-            })
+            });
         });
     }
     group.finish();

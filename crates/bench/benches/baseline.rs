@@ -24,7 +24,7 @@ fn bench_baseline_vs_aviv(c: &mut Criterion) {
                 .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
                 .unwrap();
             black_box(r.report.instructions)
-        })
+        });
     });
 
     let base = BaselineGenerator::new(archs::example_arch(4));
@@ -36,7 +36,7 @@ fn bench_baseline_vs_aviv(c: &mut Criterion) {
                 .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
                 .unwrap();
             black_box(r.size)
-        })
+        });
     });
     group.finish();
 }

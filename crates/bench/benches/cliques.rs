@@ -46,7 +46,7 @@ fn bench_legalize(c: &mut Criterion) {
     let matrix = ParallelismMatrix::build(&graph, &target, &nodes, Some(2));
     let cliques = gen_max_cliques(&matrix);
     c.bench_function("legalize_16ops", |b| {
-        b.iter(|| black_box(legalize(cliques.clone(), &matrix, &graph, &target).len()))
+        b.iter(|| black_box(legalize(cliques.clone(), &matrix, &graph, &target).len()));
     });
 }
 

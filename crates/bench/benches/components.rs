@@ -22,17 +22,17 @@ fn bench_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("stages_ex4");
 
     group.bench_function("sndag_build", |b| {
-        b.iter(|| black_box(SplitNodeDag::build(dag, &target).unwrap().len()))
+        b.iter(|| black_box(SplitNodeDag::build(dag, &target).unwrap().len()));
     });
 
     let sndag = SplitNodeDag::build(dag, &target).unwrap();
     group.bench_function("assignment_explore", |b| {
-        b.iter(|| black_box(explore(dag, &sndag, &target, &options).assignments.len()))
+        b.iter(|| black_box(explore(dag, &sndag, &target, &options).assignments.len()));
     });
 
     let res = explore(dag, &sndag, &target, &options);
     group.bench_function("covergraph_build", |b| {
-        b.iter(|| black_box(CoverGraph::build(dag, &sndag, &target, &res.assignments[0]).len()))
+        b.iter(|| black_box(CoverGraph::build(dag, &sndag, &target, &res.assignments[0]).len()));
     });
 
     group.bench_function("cover_schedule", |b| {
@@ -41,7 +41,7 @@ fn bench_components(c: &mut Criterion) {
             let mut syms = f.syms.clone();
             let s = aviv::cover::cover(&mut graph, &target, &mut syms, &options).unwrap();
             black_box(s.len())
-        })
+        });
     });
 
     let mut graph = CoverGraph::build(dag, &sndag, &target, &res.assignments[0]);
@@ -54,7 +54,7 @@ fn bench_components(c: &mut Criterion) {
                     .unwrap()
                     .len(),
             )
-        })
+        });
     });
 
     // Whole-function compile + simulate.
@@ -68,7 +68,7 @@ fn bench_components(c: &mut Criterion) {
                 sim.poke(layout.addr(p), i as i64 + 1);
             }
             black_box(sim.run().unwrap().cycles)
-        })
+        });
     });
     group.finish();
 }

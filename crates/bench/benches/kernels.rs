@@ -30,7 +30,7 @@ fn bench_kernels(c: &mut Criterion) {
                         .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
                         .unwrap();
                     black_box(r.report.instructions)
-                })
+                });
             });
         }
     }

@@ -25,7 +25,7 @@ fn bench_scaling(c: &mut Criterion) {
                     .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
                     .unwrap();
                 black_box(r.report.instructions)
-            })
+            });
         });
     }
     group.finish();
@@ -46,7 +46,7 @@ fn bench_scaling(c: &mut Criterion) {
                     .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
                     .unwrap();
                 black_box(r.report.instructions)
-            })
+            });
         });
     }
     group2.finish();
@@ -74,7 +74,7 @@ fn bench_parallel_blocks(c: &mut Criterion) {
                 b.iter(|| {
                     let (program, _) = gen.compile_function(f).unwrap();
                     black_box(program.instructions.len())
-                })
+                });
             });
         }
     }

@@ -22,7 +22,7 @@ fn bench_table1(c: &mut Criterion) {
                     .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
                     .unwrap();
                 black_box(r.report.instructions)
-            })
+            });
         });
     }
     group.finish();
@@ -42,7 +42,7 @@ fn bench_table2(c: &mut Criterion) {
                     .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
                     .unwrap();
                 black_box(r.report.instructions)
-            })
+            });
         });
     }
     group.finish();

@@ -19,8 +19,7 @@ fn main() {
         let target = Target::new(archs::example_arch(ex.regs));
         let sndag = SplitNodeDag::build(dag, &target).expect("supported");
         let hand = optimal_block(dag, &sndag, &target, &OptimalConfig::default())
-            .map(|r| r.instructions.to_string())
-            .unwrap_or_else(|| "-".into());
+            .map_or_else(|| "-".into(), |r| r.instructions.to_string());
         let mut cells = Vec::new();
         for pa in [false, true] {
             let mut o = CodegenOptions::thorough();

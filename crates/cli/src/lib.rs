@@ -12,16 +12,20 @@
 //! avivc --machine fig3.isdl program.av --simulate a=3,b=4
 //! avivc --machine fig3.isdl program.av --stats --explain
 //! avivc --machine fig3.isdl program.av --baseline   # sequential codegen
+//! avivc --machine fig3.isdl program.av --verify     # invariant-checked
+//! avivc lint fig3.isdl                              # machine lint
+//! avivc lint fig3.isdl --format json
 //! ```
 //!
 //! The argument parser is deliberately dependency-free; see
-//! [`Options::parse`] for the accepted grammar.
+//! [`Command::parse`] for the accepted grammar.
 
 #![warn(missing_docs)]
 
+use aviv::verify::{lint_machine, render_report, Format, Severity};
 use aviv::{CodeGenerator, CodegenOptions, VliwProgram};
 use aviv_ir::{parse_function, Function, MemLayout};
-use aviv_isdl::{parse_machine, Target};
+use aviv_isdl::{parse_machine, parse_machine_lenient, Target};
 use std::fmt::Write as _;
 
 /// What the driver should produce.
@@ -65,6 +69,63 @@ pub struct Options {
     pub explain: bool,
     /// Use the sequential baseline generator instead of AVIV.
     pub baseline: bool,
+    /// Force the pipeline invariant verifier on (it already defaults on
+    /// in debug builds).
+    pub verify: bool,
+}
+
+/// What `avivc` was asked to do.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Compile a program for a machine (the default mode).
+    Compile(Options),
+    /// `avivc lint <machine.isdl>`: statically analyze a machine
+    /// description and report coded diagnostics.
+    Lint(LintOptions),
+}
+
+/// Options for the `lint` subcommand.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Path to the machine description to lint.
+    pub machine_path: String,
+    /// Report format.
+    pub format: Format,
+}
+
+impl Command {
+    /// Parse an argument vector (without the program name), dispatching
+    /// on the `lint` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] describing the first problem.
+    pub fn parse(args: &[String]) -> Result<Command, CliError> {
+        if args.first().is_some_and(|a| a == "lint") {
+            let mut machine_path = None;
+            let mut format = Format::Text;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "-h" | "--help" => return Err(err(USAGE)),
+                    "--format" => {
+                        let f = it.next().ok_or_else(|| err("--format needs text|json"))?;
+                        format = f.parse().map_err(err)?;
+                    }
+                    other if !other.starts_with('-') && machine_path.is_none() => {
+                        machine_path = Some(other.to_string());
+                    }
+                    other => return Err(err(format!("unknown argument `{other}`\n{USAGE}"))),
+                }
+            }
+            Ok(Command::Lint(LintOptions {
+                machine_path: machine_path.ok_or_else(|| err("lint needs a machine path"))?,
+                format,
+            }))
+        } else {
+            Options::parse(args).map(Command::Compile)
+        }
+    }
 }
 
 /// A user-facing driver error.
@@ -86,6 +147,7 @@ fn err(msg: impl Into<String>) -> CliError {
 /// Usage text.
 pub const USAGE: &str = "\
 usage: avivc --machine <file.isdl> <program.av> [options]
+       avivc lint <file.isdl> [--format text|json]
 
 options:
   --emit asm|bin|rom|dot|sndag-dot|isdl
@@ -101,7 +163,15 @@ options:
   --explain                           print per-block decisions
   --baseline                          use the sequential phase-ordered
                                       generator instead of AVIV
+  --verify                            run the pipeline invariant verifier
+                                      (default in debug builds); compile
+                                      fails on any violation
+  --format text|json                  lint report format (default: text)
   -h, --help                          this text
+
+`avivc lint` statically analyzes a machine description and reports coded
+diagnostics (see docs/diagnostics.md); it exits nonzero when any
+error-severity finding is reported.
 ";
 
 impl Options {
@@ -122,6 +192,7 @@ impl Options {
         let mut stats = false;
         let mut explain = false;
         let mut baseline = false;
+        let mut verify = false;
 
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -185,6 +256,7 @@ impl Options {
                 "--stats" => stats = true,
                 "--explain" => explain = true,
                 "--baseline" => baseline = true,
+                "--verify" => verify = true,
                 other if !other.starts_with('-') && program_path.is_none() => {
                     program_path = Some(other.to_string());
                 }
@@ -202,6 +274,7 @@ impl Options {
             stats,
             explain,
             baseline,
+            verify,
         })
     }
 }
@@ -233,12 +306,15 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
         });
     }
 
-    let preset = match options.preset.as_str() {
+    let mut preset = match options.preset.as_str() {
         "thorough" => CodegenOptions::thorough(),
         "off" => CodegenOptions::heuristics_off(),
         _ => CodegenOptions::heuristics_on(),
     }
     .with_jobs(options.jobs);
+    if options.verify {
+        preset = preset.with_verify(true);
+    }
     let mut outcome = Outcome::default();
     let generator = CodeGenerator::new(machine).options(preset);
     let target = generator.target().clone();
@@ -317,6 +393,26 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
         _ => unreachable!("handled above"),
     };
     Ok(outcome)
+}
+
+/// Run the `lint` subcommand on an in-memory machine description.
+///
+/// Returns the rendered report plus whether any error-severity finding
+/// was reported (the binary exits nonzero in that case). The machine is
+/// parsed leniently so semantic defects the strict validator refuses —
+/// orphan banks, dead constraints — are reported with codes instead of
+/// aborting at the first problem.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] only for lexical/syntax problems or dangling
+/// references; semantic defects become diagnostics.
+pub fn run_lint(options: &LintOptions, machine_src: &str) -> Result<(String, bool), CliError> {
+    let machine =
+        parse_machine_lenient(machine_src).map_err(|e| err(format!("machine description: {e}")))?;
+    let diags = lint_machine(&machine);
+    let has_errors = diags.iter().any(|d| d.severity() == Severity::Error);
+    Ok((render_report(&diags, options.format), has_errors))
 }
 
 fn drive_baseline(
@@ -410,7 +506,7 @@ mod tests {
             "m.isdl".to_string(),
             "prog.av".to_string(),
         ];
-        args.extend(extra.iter().map(|s| s.to_string()));
+        args.extend(extra.iter().map(std::string::ToString::to_string));
         Options::parse(&args).unwrap()
     }
 
@@ -519,5 +615,84 @@ mod tests {
             let out = drive(&opts(&["--preset", preset]), MACHINE, PROGRAM).unwrap();
             assert!(!out.output.is_empty(), "{preset}");
         }
+    }
+
+    #[test]
+    fn verify_flag_compiles_clean_programs() {
+        let out = drive(&opts(&["--verify"]), MACHINE, PROGRAM).unwrap();
+        assert!(!out.output.is_empty());
+        assert!(opts(&["--verify"]).verify);
+        assert!(!opts(&[]).verify);
+    }
+
+    #[test]
+    fn lint_subcommand_parses() {
+        let cmd = Command::parse(&["lint".into(), "m.isdl".into()]).unwrap();
+        let Command::Lint(lint) = cmd else {
+            panic!("expected lint command");
+        };
+        assert_eq!(lint.machine_path, "m.isdl");
+        assert_eq!(lint.format, Format::Text);
+
+        let cmd = Command::parse(&[
+            "lint".into(),
+            "m.isdl".into(),
+            "--format".into(),
+            "json".into(),
+        ])
+        .unwrap();
+        let Command::Lint(lint) = cmd else {
+            panic!("expected lint command");
+        };
+        assert_eq!(lint.format, Format::Json);
+
+        assert!(Command::parse(&["lint".into()]).is_err());
+        assert!(
+            Command::parse(&["lint".into(), "m".into(), "--format".into(), "yaml".into()]).is_err()
+        );
+        // Non-lint argument vectors still parse as compiles.
+        assert!(matches!(
+            Command::parse(&["--machine".into(), "m".into(), "p".into()]),
+            Ok(Command::Compile(_))
+        ));
+    }
+
+    #[test]
+    fn lint_reports_clean_machine() {
+        let lint = LintOptions {
+            machine_path: "m.isdl".into(),
+            format: Format::Text,
+        };
+        let (report, has_errors) = run_lint(&lint, MACHINE).unwrap();
+        assert!(!has_errors);
+        assert!(report.contains("0 errors, 0 warnings"), "{report}");
+    }
+
+    #[test]
+    fn lint_reports_orphan_bank_with_code() {
+        // RF2 is on no bus: the strict parser refuses this machine, the
+        // lenient lint path reports it as E002.
+        let broken = "machine Broken {
+            unit U1 { ops { add } regfile R1[4]; }
+            unit U2 { ops { add } regfile R2[4]; }
+            memory DM;
+            bus DB capacity 1 connects { R1, DM };
+        }";
+        assert!(aviv_isdl::parse_machine(broken).is_err());
+        let lint = LintOptions {
+            machine_path: "m.isdl".into(),
+            format: Format::Text,
+        };
+        let (report, has_errors) = run_lint(&lint, broken).unwrap();
+        assert!(has_errors);
+        assert!(report.contains("error[E002]"), "{report}");
+
+        let json = LintOptions {
+            machine_path: "m.isdl".into(),
+            format: Format::Json,
+        };
+        let (report, _) = run_lint(&json, broken).unwrap();
+        assert!(report.contains("\"code\":\"E002\""), "{report}");
+        assert!(report.contains("\"errors\":1"), "{report}");
     }
 }

@@ -1,52 +1,76 @@
 //! `avivc` — compile programs for ISDL-described machines.
 
-use aviv_cli::{drive, Options};
+use aviv_cli::{drive, run_lint, Command};
 use std::io::Write as _;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let options = match Options::parse(&args) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let machine_src = match std::fs::read_to_string(&options.machine_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", options.machine_path);
-            return ExitCode::FAILURE;
-        }
-    };
-    let program_src = match std::fs::read_to_string(&options.program_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", options.program_path);
-            return ExitCode::FAILURE;
-        }
-    };
-    match drive(&options, &machine_src, &program_src) {
-        Ok(outcome) => {
-            if !outcome.report.is_empty() {
-                eprint!("{}", outcome.report);
-            }
-            match options.output.as_deref() {
-                None | Some("-") => {
-                    let mut stdout = std::io::stdout().lock();
-                    if stdout.write_all(&outcome.output).is_err() {
-                        return ExitCode::FAILURE;
+    match Command::parse(&args) {
+        Ok(Command::Lint(options)) => {
+            let machine_src = match std::fs::read_to_string(&options.machine_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", options.machine_path);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_lint(&options, &machine_src) {
+                Ok((report, has_errors)) => {
+                    print!("{report}");
+                    if has_errors {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
                     }
                 }
-                Some(path) => {
-                    if let Err(e) = std::fs::write(path, &outcome.output) {
-                        eprintln!("cannot write {path}: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
                 }
             }
-            ExitCode::SUCCESS
+        }
+        Ok(Command::Compile(options)) => {
+            let machine_src = match std::fs::read_to_string(&options.machine_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", options.machine_path);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let program_src = match std::fs::read_to_string(&options.program_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", options.program_path);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match drive(&options, &machine_src, &program_src) {
+                Ok(outcome) => {
+                    if !outcome.report.is_empty() {
+                        eprint!("{}", outcome.report);
+                    }
+                    match options.output.as_deref() {
+                        None | Some("-") => {
+                            let mut stdout = std::io::stdout().lock();
+                            if stdout.write_all(&outcome.output).is_err() {
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                        Some(path) => {
+                            if let Err(e) = std::fs::write(path, &outcome.output) {
+                                eprintln!("cannot write {path}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Err(e) => {
             eprintln!("{e}");

@@ -43,6 +43,9 @@ pub enum CodegenError {
     /// Detailed allocation failed (indicates a covering bug; surfaced for
     /// property tests rather than panicking).
     RegAlloc(RegAllocError),
+    /// The pipeline invariant verifier ([`crate::invariants`]) found a
+    /// violation; only raised when [`CodegenOptions::verify`] is set.
+    Invariant(Vec<aviv_verify::Diagnostic>),
 }
 
 impl fmt::Display for CodegenError {
@@ -51,6 +54,13 @@ impl fmt::Display for CodegenError {
             CodegenError::Unsupported(e) => write!(f, "unsupported: {e}"),
             CodegenError::Cover(e) => write!(f, "covering failed: {e}"),
             CodegenError::RegAlloc(e) => write!(f, "register allocation failed: {e}"),
+            CodegenError::Invariant(diags) => {
+                write!(f, "pipeline invariant violated: {}", diags[0])?;
+                if diags.len() > 1 {
+                    write!(f, " (+{} more)", diags.len() - 1)?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -288,6 +298,20 @@ impl CodeGenerator {
         }
         let peephole_removed = before_peephole - schedule.len();
 
+        if self.options.verify {
+            let diags = crate::invariants::verify_block(
+                &self.target,
+                dag,
+                &sndag,
+                &graph,
+                &schedule,
+                &alloc,
+            );
+            if !diags.is_empty() {
+                return Err(CodegenError::Invariant(diags));
+            }
+        }
+
         // The only table mutation covering performs is appending fresh
         // spill slots; record the names so the merge can replay them.
         let appended_syms = winner_syms
@@ -479,15 +503,19 @@ impl CodeGenerator {
             .iter()
             .map(|(s, name)| (name.to_string(), layout.addr(s)))
             .collect();
-        Ok((
-            VliwProgram {
-                machine_name: self.target.machine.name.clone(),
-                instructions,
-                block_starts,
-                var_addrs,
-            },
-            report,
-        ))
+        let program = VliwProgram {
+            machine_name: self.target.machine.name.clone(),
+            instructions,
+            block_starts,
+            var_addrs,
+        };
+        if self.options.verify {
+            let diags = crate::invariants::verify_program(&self.target, &program);
+            if !diags.is_empty() {
+                return Err(CodegenError::Invariant(diags));
+            }
+        }
+        Ok((program, report))
     }
 
     /// Plan all blocks on a scoped worker pool. Workers steal block
@@ -538,9 +566,7 @@ impl CodeGenerator {
 /// count.
 fn effective_jobs(requested: usize, blocks: usize) -> usize {
     let j = if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     } else {
         requested
     };

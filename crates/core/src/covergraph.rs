@@ -496,9 +496,8 @@ impl CoverGraph {
                     from: Some(from),
                 }
             } else {
-                let (from, to) = match (hop.from, hop.to) {
-                    (Location::Bank(f), Location::Bank(t)) => (f, t),
-                    _ => unreachable!("memory is never an intermediate hop"),
+                let (Location::Bank(from), Location::Bank(to)) = (hop.from, hop.to) else {
+                    unreachable!("memory is never an intermediate hop")
                 };
                 CnKind::Move {
                     bus: hop.bus,
@@ -849,7 +848,7 @@ impl CoverGraph {
                     if !matches!(n.kind, CnKind::LoadVar { .. }) {
                         let need = self.operand_bank(target, id);
                         if pb != Some(need) {
-                            return Err(format!("{id}: operand {c} in {:?}, needs {:?}", pb, need));
+                            return Err(format!("{id}: operand {c} in {pb:?}, needs {need:?}"));
                         }
                     }
                 }
@@ -939,7 +938,7 @@ impl<'a> GraphBuilder<'a> {
                         .iter()
                         .map(|h| self.bus_usage[h.bus.index()])
                         .sum::<usize>(),
-                    p.hops.first().map(|h| h.bus.0).unwrap_or(0),
+                    p.hops.first().map_or(0, |h| h.bus.0),
                 )
             })
             .expect("nonempty")
@@ -1016,9 +1015,8 @@ impl<'a> GraphBuilder<'a> {
                 let path = self.choose_path(Location::Bank(pbank), Location::Bank(bank));
                 let mut cur = producer;
                 for hop in &path.hops {
-                    let (f, t) = match (hop.from, hop.to) {
-                        (Location::Bank(f), Location::Bank(t)) => (f, t),
-                        _ => unreachable!("memory is never an intermediate hop"),
+                    let (Location::Bank(f), Location::Bank(t)) = (hop.from, hop.to) else {
+                        unreachable!("memory is never an intermediate hop")
                     };
                     cur = if let Some(&c) = self.move_cache.get(&(producer, t)) {
                         c
@@ -1115,9 +1113,8 @@ impl<'a> GraphBuilder<'a> {
                             self.stores_by_sym.push((sym, cn));
                             store_cn = Some(cn);
                         } else {
-                            let (f, t) = match (hop.from, hop.to) {
-                                (Location::Bank(f), Location::Bank(t)) => (f, t),
-                                _ => unreachable!(),
+                            let (Location::Bank(f), Location::Bank(t)) = (hop.from, hop.to) else {
+                                unreachable!()
                             };
                             let cn = self.push(
                                 CnKind::Move {

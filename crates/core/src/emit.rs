@@ -179,7 +179,11 @@ impl VliwProgram {
                         SlotOpcode::Basic(op) => op.mnemonic().to_string(),
                         SlotOpcode::Complex(ci) => target.machine.complexes()[ci].name.clone(),
                     };
-                    let args: Vec<String> = s.args.iter().map(|a| a.to_string()).collect();
+                    let args: Vec<String> = s
+                        .args
+                        .iter()
+                        .map(std::string::ToString::to_string)
+                        .collect();
                     fields.push(format!(
                         "{}: {} {}, {}",
                         unit.name,

@@ -14,6 +14,7 @@ pub mod codegen;
 pub mod cover;
 pub mod covergraph;
 pub mod emit;
+pub mod invariants;
 pub mod optimal;
 pub mod options;
 pub mod peephole;
@@ -30,7 +31,13 @@ pub use emit::{
     AsmOperand, ControlOp, SlotOp, SlotOpcode, TransferKind, TransferOp, VliwInstruction,
     VliwProgram,
 };
+pub use invariants::{verify_block, verify_program, verify_stage, Stage, StageState};
 pub use optimal::{optimal_block, OptimalConfig, OptimalResult};
 pub use options::CodegenOptions;
 pub use regalloc::{allocate, verify_allocation, Allocation, Reg, RegAllocError};
 pub use report::covergraph_to_dot;
+
+// Re-export the shared static-analysis crate (diagnostics framework and
+// the ISDL machine lint) so downstream users need only depend on `aviv`.
+pub use aviv_verify as verify;
+pub use aviv_verify::{lint_machine, Code, Diagnostic, Severity};

@@ -50,6 +50,13 @@ pub struct CodegenOptions {
     /// blocks are planned against an immutable symbol-table snapshot and
     /// merged in block order.
     pub jobs: usize,
+    /// Run the pipeline invariant verifier ([`crate::invariants`]) after
+    /// split-node DAG construction, covering, clique scheduling,
+    /// register allocation, and emission, failing compilation with
+    /// [`crate::CodegenError::Invariant`] on any violation. On by
+    /// default in debug builds, off in release (`avivc --verify` turns
+    /// it on).
+    pub verify: bool,
 }
 
 impl CodegenOptions {
@@ -66,6 +73,7 @@ impl CodegenOptions {
             peephole: true,
             pressure_aware_assignment: false,
             jobs: 1,
+            verify: cfg!(debug_assertions),
         }
     }
 
@@ -86,6 +94,7 @@ impl CodegenOptions {
             peephole: true,
             pressure_aware_assignment: false,
             jobs: 1,
+            verify: cfg!(debug_assertions),
         }
     }
 
@@ -105,6 +114,7 @@ impl CodegenOptions {
             peephole: true,
             pressure_aware_assignment: false,
             jobs: 1,
+            verify: cfg!(debug_assertions),
         }
     }
 }
@@ -113,6 +123,13 @@ impl CodegenOptions {
     /// Set the worker-thread count (see [`CodegenOptions::jobs`]).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Enable or disable the pipeline invariant verifier (see
+    /// [`CodegenOptions::verify`]).
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
         self
     }
 }

@@ -28,13 +28,21 @@ fn load_function(name: &str) -> Function {
 }
 
 /// Compile `f` with the given worker count; everything else defaults.
+///
+/// Invariant checking is forced on (even in release builds) so every
+/// determinism run also audits the pipeline stage contracts, and the final
+/// program is re-checked explicitly so a regression reports the stage
+/// diagnostics rather than just a byte diff.
 fn compile_with_jobs(
     f: &Function,
     machine: Machine,
     jobs: usize,
 ) -> Result<(aviv::VliwProgram, String), aviv::CodegenError> {
-    let gen = CodeGenerator::new(machine).options(CodegenOptions::default().with_jobs(jobs));
+    let gen = CodeGenerator::new(machine)
+        .options(CodegenOptions::default().with_jobs(jobs).with_verify(true));
     let (program, _) = gen.compile_function(f)?;
+    let diags = aviv::verify_program(gen.target(), &program);
+    assert!(diags.is_empty(), "invariant diagnostics: {diags:?}");
     let rendered = program.render(gen.target());
     Ok((program, rendered))
 }

@@ -369,7 +369,11 @@ impl BlockDag {
                 Op::Input => format!("input {}", syms.name(n.sym.unwrap())),
                 Op::StoreVar => format!("storev {} <- {}", syms.name(n.sym.unwrap()), n.args[0]),
                 _ => {
-                    let args: Vec<String> = n.args.iter().map(|a| a.to_string()).collect();
+                    let args: Vec<String> = n
+                        .args
+                        .iter()
+                        .map(std::string::ToString::to_string)
+                        .collect();
                     format!("{} {}", n.op, args.join(", "))
                 }
             };

@@ -289,7 +289,9 @@ pub fn accumulator_dsp() -> Machine {
     let mut u1_ops = vec![Op::Add, Op::Sub, Op::Compl, Op::Shl, Op::Shr];
     u1_ops.extend(CMPS);
     let u1 = b.unit("GP", &u1_ops, 8);
-    let u2 = b.unit("MACU", &[Op::Add, Op::Mul], 2);
+    // Three registers: the `mac` complex below reads three operands at
+    // once, so a smaller accumulator bank could never feed it (W002).
+    let u2 = b.unit("MACU", &[Op::Add, Op::Mul], 3);
     b.bus("DB", &[u1, u2], true, 1);
     b.complex(
         "mac",
@@ -316,6 +318,6 @@ mod extra_arch_tests {
         // Asymmetric banks really are asymmetric.
         let acc = accumulator_dsp();
         let sizes: Vec<u32> = acc.banks().iter().map(|b| b.size).collect();
-        assert_eq!(sizes, vec![8, 2]);
+        assert_eq!(sizes, vec![8, 3]);
     }
 }

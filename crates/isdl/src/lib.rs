@@ -34,5 +34,5 @@ pub use model::{
     BankId, Bus, BusId, ComplexInstr, Constraint, Location, Machine, MachineBuilder, OpCap,
     PatTree, RegBank, SlotPattern, Unit, UnitId,
 };
-pub use parser::{parse_machine, IsdlError};
+pub use parser::{parse_machine, parse_machine_lenient, IsdlError};
 pub use printer::to_isdl;

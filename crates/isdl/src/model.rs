@@ -272,6 +272,39 @@ impl Machine {
         Ok(m)
     }
 
+    /// Build a machine checking only referential integrity (no dangling
+    /// unit/bank/bus indices), skipping the semantic checks in
+    /// [`Machine::validate`]. Intended for static-analysis tooling that
+    /// wants to *report* semantic defects (orphan banks, dead
+    /// constraints, …) rather than refuse to construct the machine.
+    ///
+    /// Machines built this way must not be fed to the code generator; the
+    /// pipeline relies on the full [`Machine::validate`] guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first dangling reference found — see
+    /// [`Machine::validate_refs`].
+    pub fn from_parts_lenient(
+        name: String,
+        units: Vec<Unit>,
+        banks: Vec<RegBank>,
+        buses: Vec<Bus>,
+        constraints: Vec<Constraint>,
+        complexes: Vec<ComplexInstr>,
+    ) -> Result<Machine, String> {
+        let m = Machine {
+            name,
+            units,
+            banks,
+            buses,
+            constraints,
+            complexes,
+        };
+        m.validate_refs()?;
+        Ok(m)
+    }
+
     /// The functional units.
     pub fn units(&self) -> &[Unit] {
         &self.units
@@ -358,6 +391,7 @@ impl Machine {
     /// dangling bank/bus/unit references, degenerate constraints, or
     /// malformed complex patterns.
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_refs()?;
         if self.units.is_empty() {
             return Err("machine has no functional units".into());
         }
@@ -368,9 +402,6 @@ impl Machine {
             }
             if u.ops.is_empty() {
                 return Err(format!("unit {} implements no operations", u.name));
-            }
-            if u.bank.index() >= self.banks.len() {
-                return Err(format!("unit {} references missing bank", u.name));
             }
             for c in &u.ops {
                 if c.op.is_leaf() || c.op.is_store() {
@@ -393,13 +424,6 @@ impl Machine {
             if bus.capacity == 0 {
                 return Err(format!("bus {} has zero capacity", bus.name));
             }
-            for &e in &bus.endpoints {
-                if let Location::Bank(b) = e {
-                    if b.index() >= self.banks.len() {
-                        return Err(format!("bus {} references missing bank", bus.name));
-                    }
-                }
-            }
         }
         for c in &self.constraints {
             if c.members.len() < 2 {
@@ -409,32 +433,17 @@ impl Machine {
                 return Err("constraint that can never trigger".into());
             }
             for m in &c.members {
-                match *m {
-                    SlotPattern::UnitOp { unit, op } => {
-                        if unit.index() >= self.units.len() {
-                            return Err("constraint references missing unit".into());
-                        }
-                        if let Some(op) = op {
-                            if !self.units[unit.index()].can_do(op) {
-                                return Err(format!(
-                                    "constraint references op {op} not on unit {}",
-                                    self.units[unit.index()].name
-                                ));
-                            }
-                        }
-                    }
-                    SlotPattern::BusUse { bus } => {
-                        if bus.index() >= self.buses.len() {
-                            return Err("constraint references missing bus".into());
-                        }
+                if let SlotPattern::UnitOp { unit, op: Some(op) } = *m {
+                    if !self.units[unit.index()].can_do(op) {
+                        return Err(format!(
+                            "constraint references op {op} not on unit {}",
+                            self.units[unit.index()].name
+                        ));
                     }
                 }
             }
         }
         for cx in &self.complexes {
-            if cx.unit.index() >= self.units.len() {
-                return Err(format!("complex {} references missing unit", cx.name));
-            }
             if cx.pattern.op_count() < 1 {
                 return Err(format!("complex {} covers no operation", cx.name));
             }
@@ -455,7 +464,59 @@ impl Machine {
         Ok(())
     }
 
-    fn reachable_from(&self, start: Location) -> Vec<Location> {
+    /// Referential-integrity check only: every unit/bank/bus index stored
+    /// anywhere in the machine must be in range. This is the minimum
+    /// needed for read-only traversals (lints, pretty-printers) to be
+    /// panic-free; it deliberately accepts machines that
+    /// [`Machine::validate`] rejects.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first dangling reference found.
+    pub fn validate_refs(&self) -> Result<(), String> {
+        for u in &self.units {
+            if u.bank.index() >= self.banks.len() {
+                return Err(format!("unit {} references missing bank", u.name));
+            }
+        }
+        for bus in &self.buses {
+            for &e in &bus.endpoints {
+                if let Location::Bank(b) = e {
+                    if b.index() >= self.banks.len() {
+                        return Err(format!("bus {} references missing bank", bus.name));
+                    }
+                }
+            }
+        }
+        for c in &self.constraints {
+            for m in &c.members {
+                match *m {
+                    SlotPattern::UnitOp { unit, .. } => {
+                        if unit.index() >= self.units.len() {
+                            return Err("constraint references missing unit".into());
+                        }
+                    }
+                    SlotPattern::BusUse { bus } => {
+                        if bus.index() >= self.buses.len() {
+                            return Err("constraint references missing bus".into());
+                        }
+                    }
+                }
+            }
+        }
+        for cx in &self.complexes {
+            if cx.unit.index() >= self.units.len() {
+                return Err(format!("complex {} references missing unit", cx.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Every storage location reachable from `start` by chaining bus
+    /// hops (including `start` itself). The same BFS the transfer
+    /// database and [`Machine::validate`] use; public so analysis tools
+    /// can reason about connectivity without rebuilding it.
+    pub fn reachable_from(&self, start: Location) -> Vec<Location> {
         let mut seen = vec![start];
         let mut queue = vec![start];
         while let Some(loc) = queue.pop() {

@@ -211,6 +211,49 @@ impl<'a> P<'a> {
 /// problems, or with position 0:0 for semantic problems found by
 /// [`Machine::validate`].
 pub fn parse_machine(src: &str) -> Result<Machine, IsdlError> {
+    let (name, units, banks, buses, constraints, complexes) = parse_parts(src)?;
+    Machine::from_parts(name, units, banks, buses, constraints, complexes).map_err(|msg| {
+        IsdlError {
+            msg,
+            line: 0,
+            col: 0,
+        }
+    })
+}
+
+/// Parse a machine description, checking only referential integrity.
+///
+/// Accepts semantically broken machines (orphan banks, dead constraints,
+/// …) that [`parse_machine`] rejects, so static-analysis tools can report
+/// every defect instead of stopping at the first. See
+/// [`Machine::from_parts_lenient`]; the result must not be fed to the
+/// code generator.
+///
+/// # Errors
+///
+/// Returns an [`IsdlError`] for lexical/syntax problems or dangling
+/// references.
+pub fn parse_machine_lenient(src: &str) -> Result<Machine, IsdlError> {
+    let (name, units, banks, buses, constraints, complexes) = parse_parts(src)?;
+    Machine::from_parts_lenient(name, units, banks, buses, constraints, complexes).map_err(|msg| {
+        IsdlError {
+            msg,
+            line: 0,
+            col: 0,
+        }
+    })
+}
+
+type Parts = (
+    String,
+    Vec<Unit>,
+    Vec<RegBank>,
+    Vec<Bus>,
+    Vec<Constraint>,
+    Vec<ComplexInstr>,
+);
+
+fn parse_parts(src: &str) -> Result<Parts, IsdlError> {
     let mut p = P::new(src)?;
     p.expect_kw("machine")?;
     let name = p.expect_ident()?;
@@ -384,13 +427,7 @@ pub fn parse_machine(src: &str) -> Result<Machine, IsdlError> {
         }
     }
 
-    Machine::from_parts(name, units, banks, buses, constraints, complexes).map_err(|msg| {
-        IsdlError {
-            msg,
-            line: 0,
-            col: 0,
-        }
-    })
+    Ok((name, units, banks, buses, constraints, complexes))
 }
 
 /// Parse `op(sub, sub, ...)` or an operand name into a pattern tree.

@@ -1,0 +1,53 @@
+//! The broken fixtures under `tests/fixtures/` feed the verifier-crate
+//! snapshot tests.  This file pins which parse path accepts each one:
+//! the lenient parser must accept everything (so the linter can see it),
+//! while the strict parser rejects only the machine with a dangling bank.
+
+use aviv_isdl::{parse_machine, parse_machine_lenient};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+#[test]
+fn orphan_bank_needs_the_lenient_parser() {
+    let src = fixture("orphan_bank.isdl");
+    let err = parse_machine(&src).expect_err("strict parse must reject an unreachable bank");
+    assert!(
+        err.to_string().contains("RF2"),
+        "error should name the orphan bank: {err}"
+    );
+    let machine = parse_machine_lenient(&src).expect("lenient parse must accept it");
+    assert_eq!(machine.name, "OrphanBank");
+    assert_eq!(machine.banks().len(), 2);
+}
+
+#[test]
+fn uncoverable_op_passes_strict_validation() {
+    // Nothing structurally wrong: the defect (a pattern op no unit
+    // implements) is semantic and only the linter reports it.
+    let machine = parse_machine(&fixture("uncoverable_op.isdl")).unwrap();
+    assert_eq!(machine.complexes().len(), 1);
+    machine.validate().unwrap();
+}
+
+#[test]
+fn dead_complex_passes_strict_validation() {
+    let machine = parse_machine(&fixture("dead_complex.isdl")).unwrap();
+    assert_eq!(machine.complexes().len(), 1);
+    machine.validate().unwrap();
+}
+
+#[test]
+fn lenient_and_strict_agree_on_well_formed_machines() {
+    for src in [fixture("uncoverable_op.isdl"), fixture("dead_complex.isdl")] {
+        let strict = parse_machine(&src).unwrap();
+        let lenient = parse_machine_lenient(&src).unwrap();
+        assert_eq!(format!("{strict:?}"), format!("{lenient:?}"));
+    }
+}

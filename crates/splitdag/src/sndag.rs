@@ -395,7 +395,8 @@ impl SplitNodeDag {
                 .ports
                 .iter()
                 .map(|p| {
-                    let items: Vec<String> = p.iter().map(|s| s.to_string()).collect();
+                    let items: Vec<String> =
+                        p.iter().map(std::string::ToString::to_string).collect();
                     format!("[{}]", items.join(" "))
                 })
                 .collect();

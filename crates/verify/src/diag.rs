@@ -1,0 +1,301 @@
+//! The structured-diagnostic framework shared by the ISDL lint and the
+//! pipeline invariant verifier.
+//!
+//! A [`Diagnostic`] pairs a stable [`Code`] with the machine element (or
+//! pipeline location) it refers to and a one-line message. Codes are
+//! namespaced by pass: `E`/`W` for machine-description lints, `V` for
+//! pipeline invariants. The registry is documented in
+//! `docs/diagnostics.md`; codes are append-only so tooling can match on
+//! them.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The subject is broken: the machine cannot compile some programs,
+    /// or the pipeline violated an invariant the paper guarantees.
+    Error,
+    /// The subject is suspicious but usable.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. See `docs/diagnostics.md` for the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Operation referenced by the machine with no implementing unit.
+    E001,
+    /// Register bank cannot exchange values with data memory.
+    E002,
+    /// Complex-instruction pattern that can never match any DAG.
+    E003,
+    /// Degenerate hardware resource (empty unit, zero-size bank, …).
+    E004,
+    /// Dead or shadowed data-transfer path.
+    W001,
+    /// Bank smaller than an instruction's register-operand needs.
+    W002,
+    /// Constraint that can never trigger.
+    W003,
+    /// Duplicate capability (op or complex listed twice).
+    W004,
+    /// Covering broke exactly-once: an IR op is covered by zero or
+    /// several cover nodes, or the schedule dropped/duplicated a node.
+    V001,
+    /// Missing transfer: an operand is consumed from the wrong bank.
+    V002,
+    /// A scheduled step is not a pairwise-parallel clique.
+    V003,
+    /// Per-bank register pressure exceeds bank capacity at some step.
+    V004,
+    /// Emitted assembly reads a register before any write defines it.
+    V005,
+    /// Register allocation violation (bank, range, or live overlap).
+    V006,
+    /// Split-node alternative mapped to an incapable execution resource.
+    V007,
+    /// Malformed emitted program structure (branch target, slot, bus).
+    V008,
+}
+
+impl Code {
+    /// The code as printed, e.g. `"E001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::E001 => "E001",
+            Code::E002 => "E002",
+            Code::E003 => "E003",
+            Code::E004 => "E004",
+            Code::W001 => "W001",
+            Code::W002 => "W002",
+            Code::W003 => "W003",
+            Code::W004 => "W004",
+            Code::V001 => "V001",
+            Code::V002 => "V002",
+            Code::V003 => "V003",
+            Code::V004 => "V004",
+            Code::V005 => "V005",
+            Code::V006 => "V006",
+            Code::V007 => "V007",
+            Code::V008 => "V008",
+        }
+    }
+
+    /// Every code's fixed severity. `W` codes warn; everything else is
+    /// an error.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::W001 | Code::W002 | Code::W003 | Code::W004 => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line explanation of what the code means, independent of any
+    /// particular finding.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Code::E001 => "an operation is referenced but no functional unit implements it",
+            Code::E002 => "a register bank has no data-transfer path to or from memory",
+            Code::E003 => "a complex-instruction pattern can never match any expression DAG",
+            Code::E004 => "a hardware resource is degenerate and unusable",
+            Code::W001 => "a bus adds no connectivity beyond another bus and will never carry a transfer another could not",
+            Code::W002 => "a register bank is smaller than the operand needs of an instruction executing on it",
+            Code::W003 => "an instruction-legality constraint can never trigger",
+            Code::W004 => "a capability is listed more than once",
+            Code::V001 => "covering must select exactly one implementation for every IR operation and schedule every live cover node exactly once, after its dependencies",
+            Code::V002 => "every cross-bank producer→consumer edge must carry an explicit transfer node",
+            Code::V003 => "operations grouped into one VLIW step must be pairwise parallel",
+            Code::V004 => "covering must keep per-bank register pressure within bank capacity",
+            Code::V005 => "emitted assembly must define every register before reading it",
+            Code::V006 => "detailed register allocation must respect banks, sizes, and lifetimes",
+            Code::V007 => "every split-node alternative must map to an execution resource capable of the operation",
+            Code::V008 => "the emitted VLIW program must be structurally well-formed",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a coded defect at a specific machine element or pipeline
+/// location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code identifying the class of defect.
+    pub code: Code,
+    /// The machine element or pipeline location the finding refers to,
+    /// e.g. `"bank RF2"` or `"block 1, step 3"`.
+    pub element: String,
+    /// What is wrong with this particular element.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic.
+    pub fn new(code: Code, element: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            element: element.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The code's severity.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// One finding as a JSON object (hand-rolled; no serde in tree).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"element\":\"{}\",\"message\":\"{}\",\"explanation\":\"{}\"}}",
+            self.code,
+            self.severity(),
+            json_escape(&self.element),
+            json_escape(&self.message),
+            json_escape(self.code.explain()),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}: {}",
+            self.severity(),
+            self.code,
+            self.element,
+            self.message
+        )
+    }
+}
+
+/// Output format for [`render_report`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// One human-readable line per finding plus a summary line.
+    #[default]
+    Text,
+    /// A single JSON document for tooling.
+    Json,
+}
+
+impl FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Format, String> {
+        match s {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format `{other}` (expected text or json)")),
+        }
+    }
+}
+
+/// Render a batch of findings in the requested format. Errors sort
+/// before warnings; within a severity the original order is kept.
+pub fn render_report(diags: &[Diagnostic], format: Format) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by_key(|d| d.severity());
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    match format {
+        Format::Text => {
+            let mut out = String::new();
+            for d in &sorted {
+                out.push_str(&d.to_string());
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{} error{}, {} warning{}\n",
+                errors,
+                if errors == 1 { "" } else { "s" },
+                warnings,
+                if warnings == 1 { "" } else { "s" },
+            ));
+            out
+        }
+        Format::Json => {
+            let items: Vec<String> = sorted.iter().map(|d| d.to_json()).collect();
+            format!(
+                "{{\"errors\":{errors},\"warnings\":{warnings},\"diagnostics\":[{}]}}\n",
+                items.join(",")
+            )
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_severity() {
+        assert_eq!(Code::E001.severity(), Severity::Error);
+        assert_eq!(Code::W002.severity(), Severity::Warning);
+        assert_eq!(Code::V005.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn text_report_sorts_errors_first() {
+        let diags = vec![
+            Diagnostic::new(Code::W001, "bus X", "shadowed"),
+            Diagnostic::new(Code::E002, "bank RF1", "orphan"),
+        ];
+        let text = render_report(&diags, Format::Text);
+        let e = text.find("error[E002]").unwrap();
+        let w = text.find("warning[W001]").unwrap();
+        assert!(e < w);
+        assert!(text.contains("1 error, 1 warning"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let diags = vec![Diagnostic::new(Code::E001, "op \"mul\"", "line1\nline2")];
+        let json = render_report(&diags, Format::Json);
+        assert!(json.contains("\"errors\":1"));
+        assert!(json.contains("op \\\"mul\\\""));
+        assert!(json.contains("line1\\nline2"));
+    }
+
+    #[test]
+    fn format_parses() {
+        assert_eq!("json".parse::<Format>().unwrap(), Format::Json);
+        assert_eq!("text".parse::<Format>().unwrap(), Format::Text);
+        assert!("yaml".parse::<Format>().is_err());
+    }
+}

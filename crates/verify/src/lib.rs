@@ -1,0 +1,32 @@
+//! # aviv-verify — structured diagnostics and static analysis for AVIV
+//!
+//! Retargetable code generators live or die by machine-description
+//! validation: a malformed target produces silently wrong assembly or a
+//! panic deep inside covering. This crate provides the shared
+//! [`Diagnostic`] framework used by two static-analysis passes:
+//!
+//! * [`lint_machine`] — the ISDL target lint behind `avivc lint`,
+//!   reporting coded defects (`E001`…, `W001`…) in a machine
+//!   description;
+//! * the pipeline invariant verifier in `aviv::invariants` (the core
+//!   crate), which reuses [`Diagnostic`] to report stage-by-stage
+//!   violations (`V001`…) during compilation.
+//!
+//! Every diagnostic carries a stable [`Code`], a [`Severity`], the
+//! machine element (or pipeline location) it refers to, and a one-line
+//! explanation; reports render as text or JSON (see [`render_report`]).
+//! The full registry is documented in `docs/diagnostics.md`.
+//!
+//! ```
+//! use aviv_verify::{lint_machine, Code};
+//! let m = aviv_isdl::archs::example_arch(4);
+//! assert!(lint_machine(&m).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lint;
+
+pub use diag::{render_report, Code, Diagnostic, Format, Severity};
+pub use lint::lint_machine;

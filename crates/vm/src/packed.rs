@@ -442,7 +442,7 @@ mod tests {
             for x in &mut inst.xfers {
                 match &mut x.kind {
                     TransferKind::LoadVar { name, .. } | TransferKind::StoreVar { name, .. } => {
-                        name.clear()
+                        name.clear();
                     }
                     _ => {}
                 }

@@ -95,9 +95,7 @@ pub fn program_stats(target: &Target, program: &VliwProgram) -> ProgramStats {
     }
     let total_slots = program.instructions.len() * n_units;
     let used: usize = unit_slots_used.iter().sum();
-    let rom_bits = crate::packed::encode_packed(target, program)
-        .map(|(_, bits)| bits)
-        .unwrap_or(0);
+    let rom_bits = crate::packed::encode_packed(target, program).map_or(0, |(_, bits)| bits);
     ProgramStats {
         instructions: program.instructions.len(),
         code_bytes: assemble(program).len(),

@@ -248,7 +248,7 @@ proptest! {
         a2 in -50i64..50,
     ) {
         // The accumulator DSP has an 8-register general bank and a
-        // 2-register MAC bank: per-bank pressure must be tracked
+        // 3-register MAC bank: per-bank pressure must be tracked
         // independently.
         let f = random_block(&cfg(n_ops), seed);
         check_function(
