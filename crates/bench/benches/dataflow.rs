@@ -1,0 +1,40 @@
+//! Worklist-solver throughput on large random CFGs: the global analyses
+//! behind `avivc check` and the exact-liveness pruning pass must stay
+//! cheap relative to covering, which costs seconds per block at the
+//! sizes where these run in microseconds.
+
+use aviv_ir::dataflow::{all_syms, definite_assignment, liveness, reaching_defs};
+use aviv_ir::randdag::{random_function, RandDagConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_dataflow(c: &mut Criterion) {
+    let cfg = RandDagConfig {
+        n_ops: 12,
+        n_inputs: 4,
+        n_outputs: 2,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("dataflow");
+    for n_blocks in [8usize, 32, 128, 512] {
+        let f = random_function(&cfg, n_blocks, 42);
+        group.bench_with_input(BenchmarkId::new("liveness", n_blocks), &f, |b, f| {
+            let exit_live = all_syms(f);
+            b.iter(|| black_box(liveness(f, &exit_live)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("definite_assignment", n_blocks),
+            &f,
+            |b, f| {
+                b.iter(|| black_box(definite_assignment(f)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("reaching_defs", n_blocks), &f, |b, f| {
+            b.iter(|| black_box(reaching_defs(f)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataflow);
+criterion_main!(benches);

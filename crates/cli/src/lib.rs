@@ -15,6 +15,8 @@
 //! avivc --machine fig3.isdl program.av --verify     # invariant-checked
 //! avivc lint fig3.isdl                              # machine lint
 //! avivc lint fig3.isdl --format json
+//! avivc check program.av                            # program dataflow check
+//! avivc check program.av --machine fig3.isdl --deny-warnings
 //! ```
 //!
 //! The argument parser is deliberately dependency-free; see
@@ -22,8 +24,8 @@
 
 #![warn(missing_docs)]
 
-use aviv::verify::{lint_machine, render_report, Format, Severity};
-use aviv::{CodeGenerator, CodegenOptions, VliwProgram};
+use aviv::verify::{check_program, lint_machine, render_report, Format, Severity};
+use aviv::{CodeGenerator, CodegenError, CodegenOptions, VliwProgram};
 use aviv_ir::{parse_function, Function, MemLayout};
 use aviv_isdl::{parse_machine, parse_machine_lenient, Target};
 use std::fmt::Write as _;
@@ -82,6 +84,9 @@ pub enum Command {
     /// `avivc lint <machine.isdl>`: statically analyze a machine
     /// description and report coded diagnostics.
     Lint(LintOptions),
+    /// `avivc check <program.av>`: statically analyze a source program
+    /// with the global dataflow framework and report coded diagnostics.
+    Check(CheckOptions),
 }
 
 /// Options for the `lint` subcommand.
@@ -91,6 +96,23 @@ pub struct LintOptions {
     pub machine_path: String,
     /// Report format.
     pub format: Format,
+    /// Exit nonzero on warnings, not just errors.
+    pub deny_warnings: bool,
+}
+
+/// Options for the `check` subcommand.
+#[derive(Debug, Clone)]
+pub struct CheckOptions {
+    /// Path to the source program to check.
+    pub program_path: String,
+    /// Optional machine description: when present, the program is also
+    /// compiled for that machine with the pipeline invariant verifier
+    /// on, and any `V` diagnostics join the report.
+    pub machine_path: Option<String>,
+    /// Report format.
+    pub format: Format,
+    /// Exit nonzero on warnings, not just errors.
+    pub deny_warnings: bool,
 }
 
 impl Command {
@@ -104,6 +126,7 @@ impl Command {
         if args.first().is_some_and(|a| a == "lint") {
             let mut machine_path = None;
             let mut format = Format::Text;
+            let mut deny_warnings = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -112,6 +135,7 @@ impl Command {
                         let f = it.next().ok_or_else(|| err("--format needs text|json"))?;
                         format = f.parse().map_err(err)?;
                     }
+                    "--deny-warnings" => deny_warnings = true,
                     other if !other.starts_with('-') && machine_path.is_none() => {
                         machine_path = Some(other.to_string());
                     }
@@ -121,6 +145,40 @@ impl Command {
             Ok(Command::Lint(LintOptions {
                 machine_path: machine_path.ok_or_else(|| err("lint needs a machine path"))?,
                 format,
+                deny_warnings,
+            }))
+        } else if args.first().is_some_and(|a| a == "check") {
+            let mut program_path = None;
+            let mut machine_path = None;
+            let mut format = Format::Text;
+            let mut deny_warnings = false;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "-h" | "--help" => return Err(err(USAGE)),
+                    "--format" => {
+                        let f = it.next().ok_or_else(|| err("--format needs text|json"))?;
+                        format = f.parse().map_err(err)?;
+                    }
+                    "--machine" => {
+                        machine_path = Some(
+                            it.next()
+                                .ok_or_else(|| err("--machine needs a path"))?
+                                .clone(),
+                        );
+                    }
+                    "--deny-warnings" => deny_warnings = true,
+                    other if !other.starts_with('-') && program_path.is_none() => {
+                        program_path = Some(other.to_string());
+                    }
+                    other => return Err(err(format!("unknown argument `{other}`\n{USAGE}"))),
+                }
+            }
+            Ok(Command::Check(CheckOptions {
+                program_path: program_path.ok_or_else(|| err("check needs a program path"))?,
+                machine_path,
+                format,
+                deny_warnings,
             }))
         } else {
             Options::parse(args).map(Command::Compile)
@@ -147,7 +205,9 @@ fn err(msg: impl Into<String>) -> CliError {
 /// Usage text.
 pub const USAGE: &str = "\
 usage: avivc --machine <file.isdl> <program.av> [options]
-       avivc lint <file.isdl> [--format text|json]
+       avivc lint <file.isdl> [--format text|json] [--deny-warnings]
+       avivc check <program.av> [--machine <file.isdl>]
+                                [--format text|json] [--deny-warnings]
 
 options:
   --emit asm|bin|rom|dot|sndag-dot|isdl
@@ -166,12 +226,23 @@ options:
   --verify                            run the pipeline invariant verifier
                                       (default in debug builds); compile
                                       fails on any violation
-  --format text|json                  lint report format (default: text)
+  --format text|json                  lint/check report format
+                                      (default: text)
+  --deny-warnings                     lint/check exit nonzero on
+                                      warnings, not just errors
   -h, --help                          this text
 
 `avivc lint` statically analyzes a machine description and reports coded
 diagnostics (see docs/diagnostics.md); it exits nonzero when any
-error-severity finding is reported.
+error-severity finding is reported (or any finding at all under
+`--deny-warnings`).
+
+`avivc check` statically analyzes a source program with the global
+dataflow framework — uninitialized uses, unreachable blocks, dead
+stores, unused parameters, redundant copies, constant branches — and
+reports `P`-coded diagnostics under the same exit-code contract. With
+`--machine`, the program is additionally compiled for that machine with
+the pipeline invariant verifier on.
 ";
 
 impl Options {
@@ -397,11 +468,12 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
 
 /// Run the `lint` subcommand on an in-memory machine description.
 ///
-/// Returns the rendered report plus whether any error-severity finding
-/// was reported (the binary exits nonzero in that case). The machine is
-/// parsed leniently so semantic defects the strict validator refuses —
-/// orphan banks, dead constraints — are reported with codes instead of
-/// aborting at the first problem.
+/// Returns the rendered report plus whether the binary should exit
+/// nonzero: any error-severity finding, or — under `--deny-warnings` —
+/// any finding at all. The machine is parsed leniently so semantic
+/// defects the strict validator refuses — orphan banks, dead
+/// constraints — are reported with codes instead of aborting at the
+/// first problem.
 ///
 /// # Errors
 ///
@@ -411,8 +483,46 @@ pub fn run_lint(options: &LintOptions, machine_src: &str) -> Result<(String, boo
     let machine =
         parse_machine_lenient(machine_src).map_err(|e| err(format!("machine description: {e}")))?;
     let diags = lint_machine(&machine);
-    let has_errors = diags.iter().any(|d| d.severity() == Severity::Error);
-    Ok((render_report(&diags, options.format), has_errors))
+    let fail = diags.iter().any(|d| d.severity() == Severity::Error)
+        || (options.deny_warnings && !diags.is_empty());
+    Ok((render_report(&diags, options.format), fail))
+}
+
+/// Run the `check` subcommand on an in-memory program (and, when
+/// `--machine` was given, its machine description).
+///
+/// Returns the rendered report plus whether the binary should exit
+/// nonzero, under the same contract as [`run_lint`]. When a machine is
+/// supplied the program is also compiled for it with the pipeline
+/// invariant verifier forced on; invariant violations join the report
+/// as `V` diagnostics.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unparsable sources or for compile
+/// failures other than invariant violations (unsupported operations,
+/// covering failures).
+pub fn run_check(
+    options: &CheckOptions,
+    program_src: &str,
+    machine_src: Option<&str>,
+) -> Result<(String, bool), CliError> {
+    let function = parse_function(program_src).map_err(|e| err(format!("program: {e}")))?;
+    let mut diags = check_program(&function);
+    if let Some(machine_src) = machine_src {
+        let machine =
+            parse_machine(machine_src).map_err(|e| err(format!("machine description: {e}")))?;
+        let generator =
+            CodeGenerator::new(machine).options(CodegenOptions::default().with_verify(true));
+        match generator.compile_function(&function) {
+            Ok(_) => {}
+            Err(CodegenError::Invariant(v)) => diags.extend(v),
+            Err(e) => return Err(err(format!("compile: {e}"))),
+        }
+    }
+    let fail = diags.iter().any(|d| d.severity() == Severity::Error)
+        || (options.deny_warnings && !diags.is_empty());
+    Ok((render_report(&diags, options.format), fail))
 }
 
 fn drive_baseline(
@@ -662,6 +772,7 @@ mod tests {
         let lint = LintOptions {
             machine_path: "m.isdl".into(),
             format: Format::Text,
+            deny_warnings: false,
         };
         let (report, has_errors) = run_lint(&lint, MACHINE).unwrap();
         assert!(!has_errors);
@@ -682,6 +793,7 @@ mod tests {
         let lint = LintOptions {
             machine_path: "m.isdl".into(),
             format: Format::Text,
+            deny_warnings: false,
         };
         let (report, has_errors) = run_lint(&lint, broken).unwrap();
         assert!(has_errors);
@@ -690,9 +802,80 @@ mod tests {
         let json = LintOptions {
             machine_path: "m.isdl".into(),
             format: Format::Json,
+            deny_warnings: false,
         };
         let (report, _) = run_lint(&json, broken).unwrap();
         assert!(report.contains("\"code\":\"E002\""), "{report}");
         assert!(report.contains("\"errors\":1"), "{report}");
+    }
+
+    fn check_opts(extra: &[&str]) -> CheckOptions {
+        let mut args = vec!["check".to_string(), "prog.av".to_string()];
+        args.extend(extra.iter().map(std::string::ToString::to_string));
+        let Command::Check(check) = Command::parse(&args).unwrap() else {
+            panic!("expected check command");
+        };
+        check
+    }
+
+    #[test]
+    fn check_subcommand_parses() {
+        let check = check_opts(&[]);
+        assert_eq!(check.program_path, "prog.av");
+        assert_eq!(check.machine_path, None);
+        assert_eq!(check.format, Format::Text);
+        assert!(!check.deny_warnings);
+
+        let check = check_opts(&["--machine", "m.isdl", "--format", "json", "--deny-warnings"]);
+        assert_eq!(check.machine_path.as_deref(), Some("m.isdl"));
+        assert_eq!(check.format, Format::Json);
+        assert!(check.deny_warnings);
+
+        assert!(Command::parse(&["check".into()]).is_err());
+        assert!(Command::parse(&["check".into(), "p".into(), "--wat".into()]).is_err());
+    }
+
+    #[test]
+    fn lint_accepts_deny_warnings() {
+        let cmd =
+            Command::parse(&["lint".into(), "m.isdl".into(), "--deny-warnings".into()]).unwrap();
+        let Command::Lint(lint) = cmd else {
+            panic!("expected lint command");
+        };
+        assert!(lint.deny_warnings);
+    }
+
+    #[test]
+    fn check_reports_clean_program() {
+        let (report, fail) = run_check(&check_opts(&["--deny-warnings"]), PROGRAM, None).unwrap();
+        assert!(!fail);
+        assert!(report.contains("0 errors, 0 warnings"), "{report}");
+        // A machine only adds invariant checking; the program stays clean.
+        let (_, fail) =
+            run_check(&check_opts(&["--deny-warnings"]), PROGRAM, Some(MACHINE)).unwrap();
+        assert!(!fail);
+    }
+
+    #[test]
+    fn check_reports_uninitialized_use_as_error() {
+        let bad = "func f(a) { y = x + 1; return y; }";
+        let (report, fail) = run_check(&check_opts(&[]), bad, None).unwrap();
+        assert!(fail);
+        assert!(report.contains("error[P001]"), "{report}");
+
+        let (report, _) = run_check(&check_opts(&["--format", "json"]), bad, None).unwrap();
+        assert!(report.contains("\"code\":\"P001\""), "{report}");
+    }
+
+    #[test]
+    fn check_deny_warnings_fails_on_warnings_only() {
+        // An unused parameter is warning-severity: clean exit normally,
+        // nonzero under --deny-warnings.
+        let warn = "func f(a, b) { return a; }";
+        let (report, fail) = run_check(&check_opts(&[]), warn, None).unwrap();
+        assert!(!fail, "{report}");
+        assert!(report.contains("warning[P004]"), "{report}");
+        let (_, fail) = run_check(&check_opts(&["--deny-warnings"]), warn, None).unwrap();
+        assert!(fail);
     }
 }

@@ -1,6 +1,6 @@
 //! `avivc` — compile programs for ISDL-described machines.
 
-use aviv_cli::{drive, run_lint, Command};
+use aviv_cli::{drive, run_check, run_lint, Command};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -16,9 +16,42 @@ fn main() -> ExitCode {
                 }
             };
             match run_lint(&options, &machine_src) {
-                Ok((report, has_errors)) => {
+                Ok((report, fail)) => {
                     print!("{report}");
-                    if has_errors {
+                    if fail {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Ok(Command::Check(options)) => {
+            let program_src = match std::fs::read_to_string(&options.program_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", options.program_path);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let machine_src = match &options.machine_path {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            match run_check(&options, &program_src, machine_src.as_deref()) {
+                Ok((report, fail)) => {
+                    print!("{report}");
+                    if fail {
                         ExitCode::FAILURE
                     } else {
                         ExitCode::SUCCESS

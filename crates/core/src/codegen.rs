@@ -420,6 +420,24 @@ impl CodeGenerator {
         &self,
         f: &Function,
     ) -> Result<(VliwProgram, FunctionReport), CodegenError> {
+        // Exact global liveness: drop stores shadowed on every path (and
+        // the nodes only they kept alive) before covering, so dead
+        // values never occupy registers. Every named variable is treated
+        // as observable at exit, which keeps the memory image — and
+        // therefore the differential oracle — bit-identical.
+        let pruned;
+        let f = if self.options.exact_liveness {
+            let mut g = f.clone();
+            let observable: Vec<Sym> = f.syms.iter().map(|(s, _)| s).collect();
+            if aviv_ir::opt::eliminate_dead_code(&mut g, &observable) > 0 {
+                pruned = g;
+                &pruned
+            } else {
+                f
+            }
+        } else {
+            f
+        };
         let snapshot = f.syms.clone();
         let dags: Vec<&BlockDag> = f.iter().map(|(_, b)| &b.dag).collect();
         let jobs = effective_jobs(self.options.jobs, dags.len());

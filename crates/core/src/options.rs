@@ -57,6 +57,13 @@ pub struct CodegenOptions {
     /// default in debug builds, off in release (`avivc --verify` turns
     /// it on).
     pub verify: bool,
+    /// Run the global liveness solver ([`aviv_ir::dataflow`]) before
+    /// covering and drop dead code — stores shadowed on every path and
+    /// the nodes only they kept alive — so dead values never inflate
+    /// register pressure during covering. Semantics-preserving (every
+    /// named variable stays observable at exit) and on by default;
+    /// disable to compile the DAGs exactly as written.
+    pub exact_liveness: bool,
 }
 
 impl CodegenOptions {
@@ -74,6 +81,7 @@ impl CodegenOptions {
             pressure_aware_assignment: false,
             jobs: 1,
             verify: cfg!(debug_assertions),
+            exact_liveness: true,
         }
     }
 
@@ -95,6 +103,7 @@ impl CodegenOptions {
             pressure_aware_assignment: false,
             jobs: 1,
             verify: cfg!(debug_assertions),
+            exact_liveness: true,
         }
     }
 
@@ -115,6 +124,7 @@ impl CodegenOptions {
             pressure_aware_assignment: false,
             jobs: 1,
             verify: cfg!(debug_assertions),
+            exact_liveness: true,
         }
     }
 }
@@ -130,6 +140,13 @@ impl CodegenOptions {
     /// [`CodegenOptions::verify`]).
     pub fn with_verify(mut self, verify: bool) -> Self {
         self.verify = verify;
+        self
+    }
+
+    /// Enable or disable solver-driven dead-code elimination before
+    /// covering (see [`CodegenOptions::exact_liveness`]).
+    pub fn with_exact_liveness(mut self, exact_liveness: bool) -> Self {
+        self.exact_liveness = exact_liveness;
         self
     }
 }

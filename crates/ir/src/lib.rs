@@ -10,6 +10,8 @@
 //! * [`Function`] / [`BasicBlock`] / [`Terminator`] — the CFG,
 //! * [`parse_function`] — a small three-address input language,
 //! * [`Interpreter`] — the semantic oracle used for differential testing,
+//! * [`dataflow`] — the global dataflow framework (liveness, reaching
+//!   definitions, dominators, def-use chains) over the CFG,
 //! * [`opt`] — machine-independent optimizations including the loop
 //!   unrolling the paper uses to prepare its benchmark blocks,
 //! * [`randdag`] — seeded random workloads for scaling experiments.
@@ -30,6 +32,7 @@
 pub mod bitset;
 pub mod cfgopt;
 pub mod dag;
+pub mod dataflow;
 pub mod interp;
 pub mod op;
 pub mod opt;

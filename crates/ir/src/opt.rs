@@ -6,6 +6,8 @@
 //!
 //! * [`fold_constants`] — constant folding + dead-node elimination,
 //! * [`prune_dead_stores`] — global dead variable-store elimination,
+//! * [`eliminate_dead_code`] — the fixpoint of store + node elimination
+//!   driven by the [`crate::dataflow`] liveness solver,
 //! * [`unroll_self_loop`] — merges `k` iterations of a do-while self-loop
 //!   into one bigger basic block (the transformation behind the paper's
 //!   "loops that have been unrolled twice" examples),
@@ -37,79 +39,65 @@ pub fn fold_constants(f: &mut Function) -> usize {
 /// inspects — typically the function outputs). Returns the number of
 /// stores removed.
 ///
-/// Uses a classic backward live-variable analysis over the CFG where
-/// `observable` seeds liveness at every `return`.
+/// Liveness comes from the global solver ([`crate::dataflow::liveness`])
+/// with `observable` as the exit-live seed. This is one round of
+/// [`eliminate_dead_code`]; call that instead to also clean up the value
+/// nodes the removed stores kept alive.
 pub fn prune_dead_stores(f: &mut Function, observable: &[Sym]) -> usize {
-    let n = f.blocks.len();
-    // gen[b] = variables read (Input leaves reachable from roots);
-    // kill[b] = variables stored.
-    let mut gen: Vec<HashSet<Sym>> = Vec::with_capacity(n);
-    let mut kill: Vec<HashSet<Sym>> = Vec::with_capacity(n);
-    for b in &f.blocks {
-        let live_nodes = reachable_from_roots(&b.dag, &b.term);
-        let mut g = HashSet::new();
-        let mut k = HashSet::new();
-        for (id, node) in b.dag.iter() {
-            if !live_nodes.contains(&id) {
-                continue;
-            }
-            match node.op {
-                Op::Input => {
-                    g.insert(node.sym.unwrap());
-                }
-                Op::StoreVar => {
-                    k.insert(node.sym.unwrap());
-                }
-                _ => {}
-            }
-        }
-        gen.push(g);
-        kill.push(k);
-    }
-    let observable: HashSet<Sym> = observable.iter().copied().collect();
+    dead_code_round(f, observable).0
+}
 
-    // live_out[b]: fixpoint of live_out = U_{s in succ} (gen[s] | (live_out[s] - kill[s]))
-    // with `observable` added at returns.
-    let mut live_out: Vec<HashSet<Sym>> = vec![HashSet::new(); n];
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for (i, b) in f.blocks.iter().enumerate() {
-            let mut new: HashSet<Sym> = HashSet::new();
-            if matches!(b.term, Terminator::Return(_)) {
-                new.extend(observable.iter().copied());
-            }
-            for s in b.term.successors() {
-                let si = s.index();
-                new.extend(gen[si].iter().copied());
-                new.extend(live_out[si].difference(&kill[si]).copied());
-            }
-            if new != live_out[i] {
-                live_out[i] = new;
-                changed = true;
-            }
+/// Global dead-code elimination to a fixpoint: drops `StoreVar` roots of
+/// variables that are rewritten on every path before any read (and are
+/// not in `observable`), plus every node no surviving root reaches.
+/// Returns the total number of DAG nodes removed.
+///
+/// Semantics-preserving whenever `observable` lists every variable whose
+/// final memory value the caller may inspect: only *shadowed* stores are
+/// removed, so the data-memory image at exit is unchanged. The codegen
+/// pipeline calls this with the full symbol table.
+pub fn eliminate_dead_code(f: &mut Function, observable: &[Sym]) -> usize {
+    let mut total = 0usize;
+    loop {
+        // Removing a store can kill the last read of another variable, so
+        // iterate until the liveness solution stops shrinking.
+        let (_, nodes) = dead_code_round(f, observable);
+        if nodes == 0 {
+            return total;
         }
+        total += nodes;
     }
+}
 
-    // Drop StoreVar roots of dead variables, then clean dead nodes.
-    let mut removed = 0usize;
+/// One liveness-then-rebuild round shared by [`prune_dead_stores`] and
+/// [`eliminate_dead_code`]. Returns `(stores_removed, nodes_removed)`.
+fn dead_code_round(f: &mut Function, observable: &[Sym]) -> (usize, usize) {
+    let mut exit_live = crate::bitset::BitSet::new(f.syms.len());
+    for s in observable {
+        exit_live.insert(s.index());
+    }
+    let lv = crate::dataflow::liveness(f, &exit_live);
+
+    let mut stores_removed = 0usize;
+    let mut nodes_removed = 0usize;
     for (i, block) in f.blocks.iter_mut().enumerate() {
-        let dead_syms: HashSet<Sym> = kill[i].difference(&live_out[i]).copied().collect();
-        if dead_syms.is_empty() {
+        let live_out = &lv.live_out[i];
+        let (new_dag, map) = rebuild_filtered(&block.dag, false, |node| {
+            node.op != Op::StoreVar || live_out.contains(node.sym.unwrap().index())
+        });
+        if new_dag.len() == block.dag.len() {
             continue;
         }
-        let (new_dag, map) = rebuild_filtered(&block.dag, false, |node| {
-            !(node.op == Op::StoreVar && dead_syms.contains(&node.sym.unwrap()))
-        });
-        removed += block
+        stores_removed += block
             .dag
             .stores()
             .len()
             .saturating_sub(new_dag.stores().len());
+        nodes_removed += block.dag.len() - new_dag.len();
         remap_terminator(&mut block.term, &map);
         block.dag = new_dag;
     }
-    removed
+    (stores_removed, nodes_removed)
 }
 
 /// Unroll the self-loop at `block` by `factor`, merging the copies into a
@@ -275,34 +263,6 @@ pub fn merge_sequential(first: &mut BlockDag, second: &BlockDag) -> Vec<Option<N
     }
     *first = merged;
     map
-}
-
-/// Nodes reachable from the block's roots and terminator references.
-fn reachable_from_roots(dag: &BlockDag, term: &Terminator) -> HashSet<NodeId> {
-    let mut roots = dag.roots();
-    match term {
-        Terminator::Branch { cond, .. } => roots.push(*cond),
-        Terminator::Return(Some(v)) => roots.push(*v),
-        _ => {}
-    }
-    // Memory serialization: a store kept alive keeps earlier mem ops alive
-    // (they must execute first and their effects are observable).
-    let mut live: HashSet<NodeId> = HashSet::new();
-    let mut stack = roots;
-    while let Some(n) = stack.pop() {
-        if !live.insert(n) {
-            continue;
-        }
-        for &a in &dag.node(n).args {
-            stack.push(a);
-        }
-        for &(earlier, later) in dag.mem_deps() {
-            if later == n && !live.contains(&earlier) {
-                stack.push(earlier);
-            }
-        }
-    }
-    live
 }
 
 /// Rebuild a DAG keeping only nodes reachable from roots, optionally

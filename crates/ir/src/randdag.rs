@@ -124,12 +124,19 @@ pub fn random_block(cfg: &RandDagConfig, seed: u64) -> Function {
 
 /// Generate a multi-block function from `seed`.
 ///
-/// Block 0 reads the function parameters; later blocks read variables
+/// Block 0 reads every function parameter; later blocks read variables
 /// stored by earlier blocks (and parameters), so real dataflow crosses
 /// every block boundary. Non-final blocks either fall through, jump, or
 /// branch on a fresh comparison to a later block — the CFG is
 /// forward-only and every block is reachable via its fallthrough edge.
 /// The final block returns its last computed value.
+///
+/// The output is static-analysis clean by construction (the program
+/// checker's property tests depend on it): a block only reads variables
+/// *definitely assigned* on every incoming path, branch conditions always
+/// depend on an input, every parameter is read, and every read feeds a
+/// stored or returned value — so the cleanliness survives
+/// [`crate::cfgopt::simplify_cfg`].
 ///
 /// Each block is shaped by `cfg` exactly as in [`random_block`]. The
 /// determinism property tests compile these with different worker counts
@@ -144,18 +151,43 @@ pub fn random_function(cfg: &RandDagConfig, n_blocks: usize, seed: u64) -> Funct
         .map(|i| syms.intern(&format!("in{i}")))
         .collect();
 
-    // Variables visible to the block being built: parameters plus the
-    // outputs of every earlier block.
+    // Variables stored by any earlier block, in creation order. A block
+    // may only *read* the subset assigned on every incoming path — the
+    // CFG is forward-only, so by the time block `b` is built all its
+    // incoming edges (and the definite-assignment sets behind them) are
+    // known.
     let mut avail = params.clone();
+    let mut assigned_out: Vec<std::collections::HashSet<crate::symbols::Sym>> =
+        Vec::with_capacity(n_blocks);
+    let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); n_blocks];
     let locality = cfg.locality.clamp(0.0, 1.0);
     let const_prob = cfg.const_prob.clamp(0.0, 1.0);
 
     let mut blocks = Vec::with_capacity(n_blocks);
     for b in 0..n_blocks {
+        let readable: Vec<crate::symbols::Sym> = if b == 0 {
+            params.clone()
+        } else {
+            avail
+                .iter()
+                .copied()
+                .filter(|s| incoming[b].iter().all(|&p| assigned_out[p].contains(s)))
+                .collect()
+        };
         let mut dag = BlockDag::new();
-        let mut pool: Vec<NodeId> = (0..cfg.n_inputs)
-            .map(|_| dag.add_input(*avail.choose(&mut rng).unwrap()))
-            .collect();
+        // Input leaves and everything derived from one: branch conditions
+        // are drawn from this set so they never constant-fold.
+        let mut input_dep: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        let pool_seed: Vec<NodeId> = if b == 0 {
+            // The entry block reads every parameter, so none is unused.
+            params.iter().map(|&p| dag.add_input(p)).collect()
+        } else {
+            (0..cfg.n_inputs)
+                .map(|_| dag.add_input(*readable.choose(&mut rng).unwrap()))
+                .collect()
+        };
+        input_dep.extend(pool_seed.iter().copied());
+        let mut pool = pool_seed.clone();
 
         let pick = |rng: &mut StdRng, pool: &[NodeId]| -> NodeId {
             if pool.len() == 1 {
@@ -184,39 +216,96 @@ pub fn random_function(cfg: &RandDagConfig, n_blocks: usize, seed: u64) -> Funct
             let before = dag.len();
             let n = dag.add_op(op, &args);
             if dag.len() > before {
+                if args.iter().any(|a| input_dep.contains(a)) {
+                    input_dep.insert(n);
+                }
                 pool.push(n);
                 made += 1;
             }
         }
 
-        // Store the last n_outputs values to this block's own variables;
-        // later blocks may read them.
-        let outs: Vec<NodeId> = pool.iter().rev().take(cfg.n_outputs).copied().collect();
+        // Store the last n_outputs input-dependent values to this
+        // block's own variables; later blocks may read them. Stores are
+        // restricted to input-dependent values so a branch condition
+        // resolved through one of them by CFG merging can never
+        // constant-fold.
+        let last_val = *pool.last().expect("block computes at least one value");
+        let mut outs: Vec<NodeId> = pool
+            .iter()
+            .rev()
+            .filter(|n| input_dep.contains(*n))
+            .take(cfg.n_outputs)
+            .copied()
+            .collect();
+        // Every input leaf must be a *real* use, reachable from the
+        // block's roots — otherwise CFG simplification could drop a
+        // parameter's only read and conjure an unused-parameter finding.
+        // Fold leaves no root reaches into the first stored value.
+        let mut reach: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        let mut stack: Vec<NodeId> = outs.iter().copied().chain([last_val]).collect();
+        while let Some(n) = stack.pop() {
+            if reach.insert(n) {
+                stack.extend(dag.node(n).args.iter().copied());
+            }
+        }
+        let mut chain = outs[0];
+        for &leaf in &pool_seed {
+            if !reach.contains(&leaf) {
+                chain = dag.add_op(Op::Add, &[chain, leaf]);
+                input_dep.insert(chain);
+                reach.insert(chain);
+                reach.insert(leaf);
+            }
+        }
+        outs[0] = chain;
+
+        let mut defined = std::collections::HashSet::new();
         for (i, v) in outs.into_iter().enumerate() {
             let s = syms.intern(&format!("b{b}v{i}"));
             dag.add_store_var(s, v);
             avail.push(s);
+            defined.insert(s);
         }
 
-        let last_val = *pool.last().expect("block computes at least one value");
         let next = BlockId((b + 1) as u32);
         let term = if b + 1 == n_blocks {
             let rsym = syms.fresh("__ret");
             dag.mark_live_out(rsym, last_val);
             Terminator::Return(Some(last_val))
         } else if rng.gen::<f64>() < 0.6 {
+            // Condition on the newest input-dependent value — the pool
+            // always holds at least the block's Input leaves.
+            let cond_src = *pool
+                .iter()
+                .rev()
+                .find(|n| input_dep.contains(n))
+                .expect("pool starts with input leaves");
             let zero = dag.add_const(0);
-            let cond = dag.add_op(Op::CmpGt, &[last_val, zero]);
+            let cond = dag.add_op(Op::CmpGt, &[cond_src, zero]);
             let csym = syms.fresh("__cond");
             dag.mark_live_out(csym, cond);
+            let target = rng.gen_range((b + 1)..n_blocks);
+            incoming[target].push(b);
+            if target != b + 1 {
+                incoming[b + 1].push(b);
+            }
             Terminator::Branch {
                 cond,
-                if_true: BlockId(rng.gen_range((b + 1)..n_blocks) as u32),
+                if_true: BlockId(target as u32),
                 if_false: next,
             }
         } else {
+            incoming[b + 1].push(b);
             Terminator::Jump(next)
         };
+
+        // Definitely assigned on exit = definitely assigned on entry
+        // (params for block 0, the meet over incoming edges otherwise)
+        // plus this block's own stores.
+        let mut out: std::collections::HashSet<crate::symbols::Sym> =
+            readable.iter().copied().collect();
+        out.extend(defined);
+        assigned_out.push(out);
 
         blocks.push(BasicBlock {
             label: None,

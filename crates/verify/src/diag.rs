@@ -4,9 +4,9 @@
 //! A [`Diagnostic`] pairs a stable [`Code`] with the machine element (or
 //! pipeline location) it refers to and a one-line message. Codes are
 //! namespaced by pass: `E`/`W` for machine-description lints, `V` for
-//! pipeline invariants. The registry is documented in
-//! `docs/diagnostics.md`; codes are append-only so tooling can match on
-//! them.
+//! pipeline invariants, `P` for source-program checks. The registry is
+//! documented in `docs/diagnostics.md`; codes are append-only so tooling
+//! can match on them.
 
 use std::fmt;
 use std::str::FromStr;
@@ -66,6 +66,20 @@ pub enum Code {
     V007,
     /// Malformed emitted program structure (branch target, slot, bus).
     V008,
+    /// Use of a possibly-uninitialized variable: some path reaches the
+    /// read without assigning it.
+    P001,
+    /// Basic block unreachable from the function entry.
+    P002,
+    /// Dead store: the value is overwritten on every path before any
+    /// read observes it.
+    P003,
+    /// Function parameter whose incoming value is never read.
+    P004,
+    /// Redundant copy: a variable is stored back into itself.
+    P005,
+    /// Branch whose condition folds to a constant.
+    P006,
 }
 
 impl Code {
@@ -88,6 +102,12 @@ impl Code {
             Code::V006 => "V006",
             Code::V007 => "V007",
             Code::V008 => "V008",
+            Code::P001 => "P001",
+            Code::P002 => "P002",
+            Code::P003 => "P003",
+            Code::P004 => "P004",
+            Code::P005 => "P005",
+            Code::P006 => "P006",
         }
     }
 
@@ -95,7 +115,15 @@ impl Code {
     /// an error.
     pub fn severity(self) -> Severity {
         match self {
-            Code::W001 | Code::W002 | Code::W003 | Code::W004 => Severity::Warning,
+            Code::W001
+            | Code::W002
+            | Code::W003
+            | Code::W004
+            | Code::P002
+            | Code::P003
+            | Code::P004
+            | Code::P005
+            | Code::P006 => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -120,6 +148,12 @@ impl Code {
             Code::V006 => "detailed register allocation must respect banks, sizes, and lifetimes",
             Code::V007 => "every split-node alternative must map to an execution resource capable of the operation",
             Code::V008 => "the emitted VLIW program must be structurally well-formed",
+            Code::P001 => "a variable is read on a path that never assigns it, so the value is whatever the memory cell held",
+            Code::P002 => "a basic block can never execute: no path from the function entry reaches it",
+            Code::P003 => "a stored value is overwritten on every path before anything reads it",
+            Code::P004 => "a function parameter's incoming value is never read",
+            Code::P005 => "a variable is stored back into itself, which moves no data",
+            Code::P006 => "a branch condition evaluates to the same constant on every execution",
         }
     }
 }

@@ -8,6 +8,9 @@
 //! * [`lint_machine`] — the ISDL target lint behind `avivc lint`,
 //!   reporting coded defects (`E001`…, `W001`…) in a machine
 //!   description;
+//! * [`check_program`] — the source-program checker behind
+//!   `avivc check`, reporting dataflow defects (`P001`…) found by the
+//!   global analyses in [`aviv_ir::dataflow`];
 //! * the pipeline invariant verifier in `aviv::invariants` (the core
 //!   crate), which reuses [`Diagnostic`] to report stage-by-stage
 //!   violations (`V001`…) during compilation.
@@ -25,8 +28,10 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod diag;
 pub mod lint;
 
+pub use check::check_program;
 pub use diag::{render_report, Code, Diagnostic, Format, Severity};
 pub use lint::lint_machine;

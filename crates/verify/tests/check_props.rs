@@ -1,0 +1,132 @@
+//! Property tests for the program checker.
+//!
+//! Two directions: every [`random_function`] output is static-analysis
+//! clean by construction — and stays clean through CFG simplification —
+//! while single-mutation corruptions (dropping a definition, retargeting
+//! a branch) are always caught with the right code.
+
+use aviv_ir::cfgopt::simplify_cfg;
+use aviv_ir::randdag::{random_function, RandDagConfig};
+use aviv_ir::{BlockDag, BlockId, Function, NodeId, Op, Sym, Terminator};
+use aviv_verify::{check_program, Code};
+use proptest::prelude::*;
+
+fn config(n_ops: usize) -> RandDagConfig {
+    RandDagConfig {
+        n_ops,
+        n_inputs: 3,
+        n_outputs: 2,
+        ..Default::default()
+    }
+}
+
+/// Copy `dag` minus one `StoreVar` node, returning the new DAG and the
+/// old→new node map (random-function DAGs hold no memory operations).
+fn rebuild_without_store(dag: &BlockDag, victim: NodeId) -> (BlockDag, Vec<Option<NodeId>>) {
+    let mut out = BlockDag::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; dag.len()];
+    for (id, node) in dag.iter() {
+        if id == victim {
+            continue;
+        }
+        let new = match node.op {
+            Op::Input => out.add_input(node.sym.unwrap()),
+            Op::Const => out.add_const(node.imm.unwrap()),
+            Op::StoreVar => {
+                let v = map[node.args[0].index()].unwrap();
+                out.add_store_var(node.sym.unwrap(), v)
+            }
+            op => {
+                let args: Vec<NodeId> = node.args.iter().map(|a| map[a.index()].unwrap()).collect();
+                out.add_op(op, &args)
+            }
+        };
+        map[id.index()] = Some(new);
+    }
+    (out, map)
+}
+
+fn remap_term(term: &mut Terminator, map: &[Option<NodeId>]) {
+    match term {
+        Terminator::Branch { cond, .. } => *cond = map[cond.index()].unwrap(),
+        Terminator::Return(Some(v)) => *v = map[v.index()].unwrap(),
+        _ => {}
+    }
+}
+
+/// A `(block, store node, sym)` where the store's variable is read by a
+/// later block — dropping it must create a possibly-uninitialized use.
+fn cross_block_def(f: &Function) -> Option<(usize, NodeId, Sym)> {
+    for (bid, b) in f.iter() {
+        for (nid, node) in b.dag.iter() {
+            if node.op != Op::StoreVar {
+                continue;
+            }
+            let s = node.sym.expect("store names a variable");
+            let read_later = f.iter().any(|(bid2, b2)| {
+                bid2.index() > bid.index()
+                    && b2
+                        .dag
+                        .iter()
+                        .any(|(_, n)| n.op == Op::Input && n.sym == Some(s))
+            });
+            if read_later {
+                return Some((bid.index(), nid, s));
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_functions_check_clean_through_simplify(
+        seed in 0u64..10_000,
+        n_blocks in 1usize..8,
+        n_ops in 2usize..12,
+    ) {
+        let mut f = random_function(&config(n_ops), n_blocks, seed);
+        let diags = check_program(&f);
+        prop_assert!(diags.is_empty(), "fresh: {diags:?}");
+        simplify_cfg(&mut f);
+        let diags = check_program(&f);
+        prop_assert!(diags.is_empty(), "after simplify_cfg: {diags:?}");
+    }
+
+    #[test]
+    fn dropping_a_def_is_caught(seed in 0u64..10_000, n_blocks in 3usize..8) {
+        let mut f = random_function(&config(6), n_blocks, seed);
+        // Only meaningful when some store feeds a later block's read.
+        let Some((bi, victim, _)) = cross_block_def(&f) else {
+            return Ok(());
+        };
+        let (dag, map) = rebuild_without_store(&f.blocks[bi].dag, victim);
+        remap_term(&mut f.blocks[bi].term, &map);
+        f.blocks[bi].dag = dag;
+        let codes: Vec<Code> = check_program(&f).iter().map(|d| d.code).collect();
+        prop_assert!(codes.contains(&Code::P001), "{codes:?}");
+    }
+
+    #[test]
+    fn retargeting_a_branch_is_caught(seed in 0u64..10_000, n_blocks in 3usize..8) {
+        let mut f = random_function(&config(6), n_blocks, seed);
+        // The CFG is forward-only, so block 1's only possible predecessor
+        // is block 0: steering block 0's edges past it orphans it.
+        match &mut f.blocks[0].term {
+            Terminator::Jump(t) => *t = BlockId(2),
+            Terminator::Branch { if_true, if_false, .. } => {
+                if if_true.index() <= 1 {
+                    *if_true = BlockId(2);
+                }
+                if if_false.index() <= 1 {
+                    *if_false = BlockId(2);
+                }
+            }
+            Terminator::Return(_) => unreachable!("non-final blocks never return"),
+        }
+        let codes: Vec<Code> = check_program(&f).iter().map(|d| d.code).collect();
+        prop_assert!(codes.contains(&Code::P002), "{codes:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Snapshot tests: each seeded-defect fixture under
+//! `crates/verify/tests/fixtures/` must produce exactly the `P`
+//! diagnostic codes it was written to demonstrate — no more, no fewer —
+//! and the codes must be stable across releases (they are part of the
+//! tool's interface). The bundled example programs must check clean.
+
+use aviv_ir::parse_function;
+use aviv_verify::{check_program, render_report, Code, Format};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+fn codes_for(name: &str) -> Vec<Code> {
+    let f = parse_function(&fixture(name)).unwrap();
+    check_program(&f).into_iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn uninit_use_reports_p001() {
+    let codes = codes_for("uninit_use.av");
+    assert_eq!(codes, vec![Code::P001], "uninit_use.av: {codes:?}");
+}
+
+#[test]
+fn unreachable_reports_p002() {
+    let codes = codes_for("unreachable.av");
+    assert_eq!(codes, vec![Code::P002], "unreachable.av: {codes:?}");
+}
+
+#[test]
+fn dead_store_reports_p003() {
+    let codes = codes_for("dead_store.av");
+    assert_eq!(codes, vec![Code::P003], "dead_store.av: {codes:?}");
+}
+
+#[test]
+fn unused_param_reports_p004() {
+    let codes = codes_for("unused_param.av");
+    assert_eq!(codes, vec![Code::P004], "unused_param.av: {codes:?}");
+}
+
+#[test]
+fn redundant_copy_reports_p005() {
+    let codes = codes_for("redundant_copy.av");
+    assert_eq!(codes, vec![Code::P005], "redundant_copy.av: {codes:?}");
+}
+
+#[test]
+fn const_branch_reports_p006() {
+    let codes = codes_for("const_branch.av");
+    assert_eq!(codes, vec![Code::P006], "const_branch.av: {codes:?}");
+}
+
+#[test]
+fn uninit_use_text_report_snapshot() {
+    let f = parse_function(&fixture("uninit_use.av")).unwrap();
+    let report = render_report(&check_program(&f), Format::Text);
+    assert!(report.contains("error[P001]"), "{report}");
+    assert!(report.contains("`x`"), "{report}");
+    assert!(report.ends_with("1 error, 0 warnings\n"), "{report}");
+}
+
+#[test]
+fn json_reports_carry_codes_and_explanations() {
+    for (name, code, errors) in [
+        ("uninit_use.av", "P001", 1),
+        ("unreachable.av", "P002", 0),
+        ("dead_store.av", "P003", 0),
+        ("unused_param.av", "P004", 0),
+        ("redundant_copy.av", "P005", 0),
+        ("const_branch.av", "P006", 0),
+    ] {
+        let f = parse_function(&fixture(name)).unwrap();
+        let report = render_report(&check_program(&f), Format::Json);
+        assert!(
+            report.contains(&format!("\"code\":\"{code}\"")),
+            "{name}: {report}"
+        );
+        assert!(report.contains("\"explanation\":"), "{name}: {report}");
+        assert!(
+            report.contains(&format!("\"errors\":{errors}")),
+            "{name}: {report}"
+        );
+    }
+}
+
+#[test]
+fn all_shipped_programs_check_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../assets");
+    let mut checked = 0;
+    for entry in fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("av") {
+            continue;
+        }
+        let f = parse_function(&fs::read_to_string(&path).unwrap()).unwrap();
+        let diags = check_program(&f);
+        assert!(diags.is_empty(), "{}: {diags:?}", path.display());
+        checked += 1;
+    }
+    assert!(checked > 0, "no .av assets found under {}", dir.display());
+}
