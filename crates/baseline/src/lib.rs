@@ -295,7 +295,9 @@ fn list_schedule(
             let Some(victim) = victim else {
                 return Err(CoverError::RegisterPressure { bank });
             };
-            let (slot, outcome) = graph.relieve_pressure(target, syms, victim, &covered);
+            let (slot, outcome) = graph
+                .relieve_pressure(target, syms, victim, &covered)
+                .map_err(CoverError::Internal)?;
             covered.grow(graph.len());
             spills.push(aviv::cover::SpillRecord {
                 slot,

@@ -74,6 +74,12 @@ pub struct Options {
     /// Force the pipeline invariant verifier on (it already defaults on
     /// in debug builds).
     pub verify: bool,
+    /// Node-expansion fuel per block per degradation-ladder rung
+    /// (`None` = unlimited).
+    pub fuel: Option<u64>,
+    /// Wall-clock deadline for the whole compile in milliseconds
+    /// (`None` = no deadline).
+    pub timeout_ms: Option<u64>,
 }
 
 /// What `avivc` was asked to do.
@@ -226,6 +232,16 @@ options:
   --verify                            run the pipeline invariant verifier
                                       (default in debug builds); compile
                                       fails on any violation
+  --fuel <n>                          node-expansion fuel per block per
+                                      degradation-ladder rung; on
+                                      exhaustion the block falls back to
+                                      simpler covering modes and the
+                                      downgrade is reported (default:
+                                      unlimited)
+  --timeout-ms <n>                    wall-clock deadline for the whole
+                                      compile; blocks still in flight
+                                      when it passes degrade like fuel
+                                      exhaustion (default: none)
   --format text|json                  lint/check report format
                                       (default: text)
   --deny-warnings                     lint/check exit nonzero on
@@ -264,6 +280,8 @@ impl Options {
         let mut explain = false;
         let mut baseline = false;
         let mut verify = false;
+        let mut fuel = None;
+        let mut timeout_ms = None;
 
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -324,6 +342,19 @@ impl Options {
                     }
                     simulate = Some(bindings);
                 }
+                "--fuel" => {
+                    let n = it.next().ok_or_else(|| err("--fuel needs a unit count"))?;
+                    fuel = Some(
+                        n.parse()
+                            .map_err(|_| err(format!("bad fuel count `{n}`")))?,
+                    );
+                }
+                "--timeout-ms" => {
+                    let n = it
+                        .next()
+                        .ok_or_else(|| err("--timeout-ms needs milliseconds"))?;
+                    timeout_ms = Some(n.parse().map_err(|_| err(format!("bad timeout `{n}`")))?);
+                }
                 "--stats" => stats = true,
                 "--explain" => explain = true,
                 "--baseline" => baseline = true,
@@ -346,6 +377,8 @@ impl Options {
             explain,
             baseline,
             verify,
+            fuel,
+            timeout_ms,
         })
     }
 }
@@ -382,7 +415,9 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
         "off" => CodegenOptions::heuristics_off(),
         _ => CodegenOptions::heuristics_on(),
     }
-    .with_jobs(options.jobs);
+    .with_jobs(options.jobs)
+    .with_fuel(options.fuel)
+    .with_deadline_ms(options.timeout_ms);
     if options.verify {
         preset = preset.with_verify(true);
     }
@@ -421,6 +456,19 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
     let (program, report) = generator
         .compile_function(&function)
         .map_err(|e| err(format!("compile: {e}")))?;
+
+    // Surface every degradation-ladder step: a budgeted compile that
+    // stepped down still succeeds, but never silently.
+    for d in &report.downgrades {
+        let _ = writeln!(outcome.report, "downgrade: {d}");
+    }
+    if !report.complete {
+        let _ = writeln!(
+            outcome.report,
+            "note: compile incomplete under the given budget; output is \
+             correct but may be slower than an unbudgeted compile"
+        );
+    }
 
     if options.explain {
         let mut syms = function.syms.clone();
@@ -717,6 +765,56 @@ mod tests {
         let seq = drive(&opts(&[]), MACHINE, program).unwrap();
         let par = drive(&opts(&["--jobs", "4"]), MACHINE, program).unwrap();
         assert_eq!(seq.output, par.output, "--jobs must not change output");
+    }
+
+    #[test]
+    fn fuel_and_timeout_flags_parse() {
+        assert_eq!(opts(&[]).fuel, None);
+        assert_eq!(opts(&[]).timeout_ms, None);
+        assert_eq!(opts(&["--fuel", "500"]).fuel, Some(500));
+        assert_eq!(opts(&["--timeout-ms", "2000"]).timeout_ms, Some(2000));
+        assert!(Options::parse(&[
+            "--machine".into(),
+            "m".into(),
+            "p".into(),
+            "--fuel".into(),
+            "lots".into()
+        ])
+        .is_err());
+        assert!(Options::parse(&[
+            "--machine".into(),
+            "m".into(),
+            "p".into(),
+            "--timeout-ms".into(),
+            "-3".into()
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn generous_fuel_output_matches_unlimited() {
+        let unlimited = drive(&opts(&[]), MACHINE, PROGRAM).unwrap();
+        let budgeted = drive(&opts(&["--fuel", "1000000"]), MACHINE, PROGRAM).unwrap();
+        assert_eq!(unlimited.output, budgeted.output);
+        assert!(
+            !budgeted.report.contains("downgrade:"),
+            "{}",
+            budgeted.report
+        );
+    }
+
+    #[test]
+    fn tight_fuel_degrades_but_still_compiles_correctly() {
+        let out = drive(
+            &opts(&["--fuel", "1", "--verify", "--simulate", "a=6,b=7"]),
+            MACHINE,
+            PROGRAM,
+        )
+        .unwrap();
+        assert!(out.report.contains("downgrade:"), "{}", out.report);
+        assert!(out.report.contains("compile incomplete"), "{}", out.report);
+        // Degraded code is still correct code.
+        assert!(out.report.contains("return Some(43)"), "{}", out.report);
     }
 
     #[test]

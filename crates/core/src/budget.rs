@@ -1,0 +1,234 @@
+//! Cooperative compile-time budgets: node-expansion fuel and wall-clock
+//! deadlines.
+//!
+//! The covering engine is a heuristic branch-and-bound whose worst case
+//! explodes combinatorially; the paper prunes with user-set thresholds
+//! precisely because full enumeration is infeasible. A [`Budget`] makes
+//! that bound explicit and *cooperative*: the hot loops of assignment
+//! exploration, clique generation, covering, and register allocation
+//! [`charge`](Budget::charge) fuel units as they expand work, and bail
+//! out with a structured [`Exhaustion`] the moment the allotment runs
+//! dry. The driver reacts by stepping down its degradation ladder (see
+//! [`crate::codegen::CoverMode`]) rather than aborting the compile.
+//!
+//! Budgets are deliberately *per block and per ladder rung*: every block
+//! gets the full fuel allotment regardless of how many worker threads
+//! plan blocks concurrently, so whether a block exhausts its budget is a
+//! deterministic function of the block alone. A shared fuel pool would
+//! make exhaustion depend on scheduling order and break the
+//! byte-identical-for-any-`--jobs` guarantee. The wall-clock deadline is
+//! the exception — it is an absolute [`Instant`] shared by the whole
+//! function compile — and is therefore inherently nondeterministic; use
+//! fuel when reproducibility matters and deadlines when latency does.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How often (in charged calls) the wall clock is consulted. Reading
+/// `Instant::now()` is a syscall on some platforms; the hot loops charge
+/// millions of units, so the clock is only sampled every few hundred.
+const CLOCK_STRIDE: u32 = 256;
+
+/// Why a [`Budget`] ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exhaustion {
+    /// The node-expansion fuel allotment was consumed.
+    Fuel,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// Exhaustion was injected by the fault harness
+    /// ([`crate::faults::FaultConfig`]).
+    Injected,
+}
+
+impl fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exhaustion::Fuel => write!(f, "fuel exhausted"),
+            Exhaustion::Deadline => write!(f, "deadline exceeded"),
+            Exhaustion::Injected => write!(f, "injected budget exhaustion"),
+        }
+    }
+}
+
+/// A cooperative compile budget: optional node-expansion fuel plus an
+/// optional absolute wall-clock deadline.
+///
+/// Not `Sync` on purpose (interior [`Cell`]s): each planner thread
+/// constructs its own budget from [`crate::CodegenOptions`], which is
+/// what keeps fuel exhaustion deterministic under parallel planning.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Remaining fuel; `None` means unlimited.
+    fuel: Cell<Option<u64>>,
+    /// Absolute deadline; `None` means no time limit.
+    deadline: Option<Instant>,
+    /// Countdown to the next wall-clock sample.
+    clock_in: Cell<u32>,
+    /// Latched exhaustion cause; once set it never clears.
+    exhausted: Cell<Option<Exhaustion>>,
+    /// Total units charged (for reporting).
+    spent: Cell<u64>,
+}
+
+impl Budget {
+    /// A budget that never runs out.
+    pub fn unlimited() -> Budget {
+        Budget::new(None, None)
+    }
+
+    /// A budget with the given fuel allotment and absolute deadline.
+    pub fn new(fuel: Option<u64>, deadline: Option<Instant>) -> Budget {
+        Budget {
+            fuel: Cell::new(fuel),
+            deadline,
+            clock_in: Cell::new(0),
+            exhausted: Cell::new(None),
+            spent: Cell::new(0),
+        }
+    }
+
+    /// A budget with `fuel` units and `deadline_ms` milliseconds from
+    /// now, either optional.
+    pub fn from_limits(fuel: Option<u64>, deadline_ms: Option<u64>) -> Budget {
+        Budget::new(fuel, deadline(deadline_ms))
+    }
+
+    /// Charge `units` of work. Returns the exhaustion cause once the
+    /// fuel allotment is consumed or the deadline has passed; every call
+    /// after that keeps failing with the same cause.
+    ///
+    /// # Errors
+    ///
+    /// [`Exhaustion`] when the budget has run out.
+    pub fn charge(&self, units: u64) -> Result<(), Exhaustion> {
+        self.note(units);
+        match self.exhausted.get() {
+            Some(why) => Err(why),
+            None => Ok(()),
+        }
+    }
+
+    /// Check for exhaustion without charging any fuel.
+    ///
+    /// # Errors
+    ///
+    /// [`Exhaustion`] when the budget has run out.
+    pub fn check(&self) -> Result<(), Exhaustion> {
+        self.charge(0)
+    }
+
+    /// Record `units` of work without failing — for nested estimators
+    /// (e.g. the covering lookahead) that cannot propagate an error; the
+    /// enclosing loop's next [`charge`](Budget::charge) observes the
+    /// exhaustion.
+    pub fn note(&self, units: u64) {
+        self.spent.set(self.spent.get().saturating_add(units));
+        if self.exhausted.get().is_some() {
+            return;
+        }
+        if let Some(f) = self.fuel.get() {
+            let left = f.saturating_sub(units);
+            self.fuel.set(Some(left));
+            if left == 0 {
+                self.exhausted.set(Some(Exhaustion::Fuel));
+                return;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            let countdown = self.clock_in.get();
+            if countdown == 0 {
+                self.clock_in.set(CLOCK_STRIDE);
+                if Instant::now() >= deadline {
+                    self.exhausted.set(Some(Exhaustion::Deadline));
+                }
+            } else {
+                self.clock_in.set(countdown - 1);
+            }
+        }
+    }
+
+    /// Force the budget into the exhausted state (fault-injection hook).
+    pub fn exhaust(&self, why: Exhaustion) {
+        if self.exhausted.get().is_none() {
+            self.exhausted.set(Some(why));
+        }
+    }
+
+    /// The latched exhaustion cause, if the budget has run out.
+    pub fn exhaustion(&self) -> Option<Exhaustion> {
+        self.exhausted.get()
+    }
+
+    /// Total units charged so far.
+    pub fn spent(&self) -> u64 {
+        self.spent.get()
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget::unlimited()
+    }
+}
+
+/// Resolve a relative `deadline_ms` to an absolute instant. Computed
+/// once per function compile and shared by every block so all blocks
+/// race the same clock.
+pub fn deadline(deadline_ms: Option<u64>) -> Option<Instant> {
+    deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.charge(1_000_000).is_ok());
+        }
+        assert_eq!(b.exhaustion(), None);
+    }
+
+    #[test]
+    fn fuel_exhausts_and_latches() {
+        let b = Budget::new(Some(10), None);
+        assert!(b.charge(9).is_ok());
+        assert_eq!(b.charge(1), Err(Exhaustion::Fuel));
+        assert_eq!(b.charge(0), Err(Exhaustion::Fuel));
+        assert_eq!(b.check(), Err(Exhaustion::Fuel));
+        assert_eq!(b.exhaustion(), Some(Exhaustion::Fuel));
+    }
+
+    #[test]
+    fn note_is_soft_but_observed_by_next_charge() {
+        let b = Budget::new(Some(5), None);
+        b.note(100);
+        assert_eq!(b.check(), Err(Exhaustion::Fuel));
+        assert_eq!(b.spent(), 100);
+    }
+
+    #[test]
+    fn past_deadline_exhausts_within_one_stride() {
+        let b = Budget::new(None, Some(Instant::now() - Duration::from_millis(1)));
+        let mut out = Ok(());
+        for _ in 0..=CLOCK_STRIDE {
+            out = b.charge(1);
+            if out.is_err() {
+                break;
+            }
+        }
+        assert_eq!(out, Err(Exhaustion::Deadline));
+    }
+
+    #[test]
+    fn injected_exhaustion_wins_only_if_first() {
+        let b = Budget::unlimited();
+        b.exhaust(Exhaustion::Injected);
+        b.exhaust(Exhaustion::Fuel);
+        assert_eq!(b.check(), Err(Exhaustion::Injected));
+    }
+}

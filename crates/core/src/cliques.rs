@@ -9,6 +9,7 @@
 //! `i < index` pruning condition; [`legalize`] enforces the ISDL
 //! constraints by splitting illegal cliques (§IV-C.3).
 
+use crate::budget::Budget;
 use crate::covergraph::{CnKind, CoverGraph, Resource};
 use aviv_ir::BitSet;
 use aviv_isdl::{SlotPattern, Target};
@@ -132,13 +133,23 @@ impl ParallelismMatrix {
 /// Generate all maximal cliques of the compatibility graph, as bitsets of
 /// matrix indices — the recursive algorithm of the paper's Fig. 8.
 pub fn gen_max_cliques(m: &ParallelismMatrix) -> Vec<BitSet> {
+    gen_max_cliques_budgeted(m, &Budget::unlimited())
+}
+
+/// [`gen_max_cliques`] under a cooperative [`Budget`]: each recursive
+/// step soft-charges one unit, and once the budget is exhausted the
+/// recursion unwinds, returning whatever cliques were already complete.
+/// A truncated clique set is still sound — [`legalize`] and the covering
+/// loop only require that cliques be legal, not exhaustive — and the
+/// caller's next hard charge surfaces the exhaustion.
+pub fn gen_max_cliques_budgeted(m: &ParallelismMatrix, budget: &Budget) -> Vec<BitSet> {
     let n = m.len();
     let mut out: Vec<BitSet> = Vec::new();
     let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
     for start in 0..n {
         let mut clique = BitSet::new(n);
         clique.insert(start);
-        gen_rec(m, clique, start, &mut out, &mut seen);
+        gen_rec(m, clique, start, &mut out, &mut seen, budget);
     }
     out
 }
@@ -150,7 +161,12 @@ fn gen_rec(
     index: usize,
     out: &mut Vec<BitSet>,
     seen: &mut std::collections::HashSet<Vec<usize>>,
+    budget: &Budget,
 ) {
+    budget.note(1);
+    if budget.exhaustion().is_some() {
+        return;
+    }
     let n = m.len();
     let compatible_with_clique = |clique: &BitSet, i: usize| {
         !clique.contains(i) && clique.iter().all(|c| m.compatible(c, i))
@@ -191,7 +207,7 @@ fn gen_rec(
         if compatible_with_clique(&clique, i) {
             let mut next = clique.clone();
             next.insert(i);
-            gen_rec(m, next, index.max(i), out, seen);
+            gen_rec(m, next, index.max(i), out, seen, budget);
             spawned = true;
         }
     }

@@ -14,22 +14,45 @@
 //! followed by detailed register allocation (§IV-F), peephole
 //! optimization (§IV-G), and conventional lowering of control flow
 //! (§III-C).
+//!
+//! # Robustness
+//!
+//! The driver is hardened against the search blowing up or a stage
+//! misbehaving (see `docs/robustness.md`):
+//!
+//! - Every block is planned under a cooperative [`Budget`]
+//!   ([`CodegenOptions::fuel`] / [`CodegenOptions::deadline_ms`]).
+//! - On budget exhaustion or a stage error, the block steps down a
+//!   **degradation ladder** ([`CoverMode`]) — full concurrent covering,
+//!   then sequential covering, then a minimal spill-everything mode —
+//!   recording each step as a [`Downgrade`] in the [`CompileReport`].
+//! - Each rung runs under `catch_unwind`, so a panic anywhere in the
+//!   per-block pipeline degrades the block (or surfaces as
+//!   [`CodegenError::BlockFailed`] on the last rung) instead of
+//!   unwinding through — or poisoning — the parallel planner.
+//! - A deterministic fault-injection harness ([`crate::faults`])
+//!   exercises all of the above from property tests.
 
 use crate::assign::{explore, ExploreResult};
-use crate::cover::{cover, CoverError, Schedule};
-use crate::covergraph::CoverGraph;
+use crate::budget::{self, Budget, Exhaustion};
+use crate::cover::{cover_budgeted, cover_sequential_budgeted, CoverError, Schedule};
+use crate::covergraph::{CoverGraph, Operand};
 use crate::emit::{
     emit_block, live_out_operands, AsmOperand, ControlOp, VliwInstruction, VliwProgram,
 };
+use crate::faults::{FaultInjector, FaultKind, INJECTED_PANIC};
+use crate::invariants::Stage;
 use crate::options::CodegenOptions;
 use crate::peephole;
-use crate::regalloc::{allocate, Allocation, RegAllocError};
+use crate::regalloc::{allocate_budgeted, AllocFailure, Allocation, RegAllocError};
 use aviv_ir::{BlockDag, Function, MemLayout, NodeId, Sym, SymbolTable, Terminator};
 use aviv_isdl::{Machine, Target};
 use aviv_splitdag::{SplitDagError, SplitNodeDag};
+use aviv_verify::{Code, Diagnostic};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -46,6 +69,21 @@ pub enum CodegenError {
     /// The pipeline invariant verifier ([`crate::invariants`]) found a
     /// violation; only raised when [`CodegenOptions::verify`] is set.
     Invariant(Vec<aviv_verify::Diagnostic>),
+    /// An internal defect the generator used to panic on, reported as a
+    /// structured diagnostic (C-family codes) instead.
+    Internal(Diagnostic),
+    /// A panic escaped every rung of the degradation ladder for `block`;
+    /// it was caught at the block boundary instead of unwinding out of
+    /// [`CodeGenerator::compile_function`].
+    BlockFailed {
+        /// Index of the failing block.
+        block: usize,
+        /// The panic message.
+        cause: String,
+    },
+    /// The compile budget ran out and no rung of the degradation ladder
+    /// could salvage the block.
+    Budget(Exhaustion),
 }
 
 impl fmt::Display for CodegenError {
@@ -61,6 +99,11 @@ impl fmt::Display for CodegenError {
                 }
                 Ok(())
             }
+            CodegenError::Internal(d) => write!(f, "internal defect: {d}"),
+            CodegenError::BlockFailed { block, cause } => {
+                write!(f, "block {block} failed: {cause}")
+            }
+            CodegenError::Budget(why) => write!(f, "compile budget ran out: {why}"),
         }
     }
 }
@@ -70,6 +113,93 @@ impl Error for CodegenError {}
 impl From<SplitDagError> for CodegenError {
     fn from(e: SplitDagError) -> Self {
         CodegenError::Unsupported(e)
+    }
+}
+
+/// The rung of the degradation ladder a block was compiled on.
+///
+/// Rung 0 reproduces the paper's algorithm exactly; each step down trades
+/// code quality for a stronger termination guarantee. The last rung
+/// always terminates on a machine that can execute the block at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoverMode {
+    /// Full branch-and-bound covering over the explored assignments —
+    /// the paper's algorithm, with the per-assignment sequential retry.
+    Concurrent,
+    /// Guaranteed-progress sequential covering over the explored
+    /// assignments (one node group per instruction, eager spilling under
+    /// pressure).
+    Sequential,
+    /// Last resort: a single assignment, sequential covering, no
+    /// lookahead, no peephole — run *unbudgeted*, because its register
+    /// demand is bounded by operation arity and so it terminates.
+    SpillAll,
+}
+
+impl CoverMode {
+    /// The next rung down the ladder, or `None` at the bottom.
+    pub fn next(self) -> Option<CoverMode> {
+        match self {
+            CoverMode::Concurrent => Some(CoverMode::Sequential),
+            CoverMode::Sequential => Some(CoverMode::SpillAll),
+            CoverMode::SpillAll => None,
+        }
+    }
+}
+
+impl fmt::Display for CoverMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverMode::Concurrent => write!(f, "concurrent"),
+            CoverMode::Sequential => write!(f, "sequential"),
+            CoverMode::SpillAll => write!(f, "spill-all"),
+        }
+    }
+}
+
+/// Why a block stepped down the degradation ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DowngradeReason {
+    /// The rung's [`Budget`] ran out.
+    Budget(Exhaustion),
+    /// The rung failed with a structured error.
+    Error(String),
+    /// The rung panicked; the panic was caught by the rung boundary.
+    Panic(String),
+}
+
+impl fmt::Display for DowngradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DowngradeReason::Budget(why) => write!(f, "budget: {why}"),
+            DowngradeReason::Error(e) => write!(f, "error: {e}"),
+            DowngradeReason::Panic(p) => write!(f, "panic: {p}"),
+        }
+    }
+}
+
+/// One recorded step down the degradation ladder, kept in the
+/// [`BlockReport`] (and aggregated into the [`CompileReport`]) so a
+/// degraded compile is always observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Downgrade {
+    /// Index of the block that degraded.
+    pub block: usize,
+    /// The rung that failed.
+    pub from: CoverMode,
+    /// The rung the block fell back to.
+    pub to: CoverMode,
+    /// Why the rung failed.
+    pub reason: DowngradeReason,
+}
+
+impl fmt::Display for Downgrade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block {}: {} -> {} ({})",
+            self.block, self.from, self.to, self.reason
+        )
     }
 }
 
@@ -96,6 +226,17 @@ pub struct BlockReport {
     pub peephole_removed: usize,
     /// Wall-clock compile time (Table column 8).
     pub time: Duration,
+    /// The degradation-ladder rung that produced the block's code.
+    pub mode: CoverMode,
+    /// Every ladder step the block took, in order.
+    pub downgrades: Vec<Downgrade>,
+    /// Why the winning rung's budget ran out, when the block was
+    /// salvaged from a partially-explored assignment space.
+    pub exhausted: Option<Exhaustion>,
+    /// `true` when the block compiled on the first rung with nothing
+    /// truncated or exhausted — i.e. the output is what an unbudgeted
+    /// run would have produced.
+    pub complete: bool,
 }
 
 /// Everything produced for one basic block.
@@ -147,13 +288,53 @@ impl BlockPlan {
     }
 }
 
-/// Statistics from compiling a whole function.
-#[derive(Debug, Clone, Default)]
-pub struct FunctionReport {
+/// Statistics — and the robustness record — from compiling a whole
+/// function: per-block reports plus every degradation-ladder step taken.
+#[derive(Debug, Clone)]
+pub struct CompileReport {
     /// Per-block reports in block order.
     pub blocks: Vec<BlockReport>,
     /// Total instructions including control flow.
     pub total_instructions: usize,
+    /// Every ladder step taken by any block, in block order.
+    pub downgrades: Vec<Downgrade>,
+    /// `true` when every block compiled complete (see
+    /// [`BlockReport::complete`]): no downgrades, no truncation, no
+    /// budget exhaustion — the output matches an unbudgeted run.
+    pub complete: bool,
+}
+
+impl Default for CompileReport {
+    fn default() -> CompileReport {
+        CompileReport {
+            blocks: Vec::new(),
+            total_instructions: 0,
+            downgrades: Vec::new(),
+            complete: true,
+        }
+    }
+}
+
+/// Former name of [`CompileReport`], kept for source compatibility.
+pub type FunctionReport = CompileReport;
+
+/// Why one rung of the degradation ladder failed.
+enum RungFailure {
+    /// The rung's budget ran out before any solution was found.
+    Budget(Exhaustion),
+    /// The rung failed with a structured error.
+    Error(CodegenError),
+}
+
+/// Extract a readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The retargetable code generator: construct once per machine, compile
@@ -243,34 +424,192 @@ impl CodeGenerator {
         dag: &BlockDag,
         snapshot: &SymbolTable,
     ) -> Result<BlockPlan, CodegenError> {
+        self.plan_block_at(dag, snapshot, 0, budget::deadline(self.options.deadline_ms))
+    }
+
+    /// Plan `block` by walking the degradation ladder: try each
+    /// [`CoverMode`] rung in order under a fresh fuel allotment (the
+    /// wall-clock `deadline` is shared — a block that blew the deadline
+    /// falls straight through to the unbudgeted last rung), catching
+    /// panics at the rung boundary and recording every step down as a
+    /// [`Downgrade`].
+    fn plan_block_at(
+        &self,
+        dag: &BlockDag,
+        snapshot: &SymbolTable,
+        block: usize,
+        deadline: Option<Instant>,
+    ) -> Result<BlockPlan, CodegenError> {
+        let injector = FaultInjector::new(self.options.faults.as_ref(), block);
+        let mut downgrades: Vec<Downgrade> = Vec::new();
+        let mut mode = CoverMode::Concurrent;
+        loop {
+            let rung_budget = if mode == CoverMode::SpillAll {
+                Budget::unlimited()
+            } else {
+                Budget::new(self.options.fuel, deadline)
+            };
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                self.plan_block_once(dag, snapshot, mode, &rung_budget, &injector)
+            }));
+            let reason = match attempt {
+                Ok(Ok(mut plan)) => {
+                    plan.report.mode = mode;
+                    plan.report.complete = mode == CoverMode::Concurrent
+                        && downgrades.is_empty()
+                        && !plan.report.truncated
+                        && plan.report.exhausted.is_none();
+                    plan.report.downgrades = downgrades;
+                    return Ok(plan);
+                }
+                Ok(Err(RungFailure::Budget(why))) => match mode.next() {
+                    Some(_) => DowngradeReason::Budget(why),
+                    None => return Err(CodegenError::Budget(why)),
+                },
+                Ok(Err(RungFailure::Error(e))) => {
+                    // A machine that cannot implement the block at all
+                    // will not start implementing it on a lower rung.
+                    if matches!(e, CodegenError::Unsupported(_)) || mode.next().is_none() {
+                        return Err(e);
+                    }
+                    DowngradeReason::Error(e.to_string())
+                }
+                Err(payload) => {
+                    let cause = panic_message(payload.as_ref());
+                    match mode.next() {
+                        Some(_) => DowngradeReason::Panic(cause),
+                        None => return Err(CodegenError::BlockFailed { block, cause }),
+                    }
+                }
+            };
+            // `reason` only exists when there is a next rung.
+            let next = mode.next().unwrap_or(CoverMode::SpillAll);
+            downgrades.push(Downgrade {
+                block,
+                from: mode,
+                to: next,
+                reason,
+            });
+            mode = next;
+        }
+    }
+
+    /// The effective options for one ladder rung: the last rung shrinks
+    /// exploration to a single assignment and disables lookahead and
+    /// peephole so that nothing about it can blow up.
+    fn rung_options(&self, mode: CoverMode) -> CodegenOptions {
+        match mode {
+            CoverMode::Concurrent | CoverMode::Sequential => self.options.clone(),
+            CoverMode::SpillAll => CodegenOptions {
+                prune_assignments: true,
+                prune_slack: 0,
+                assignment_beam: 1,
+                assignments_to_explore: 1,
+                max_assignments: 1,
+                lookahead: false,
+                peephole: false,
+                ..self.options.clone()
+            },
+        }
+    }
+
+    /// One rung of the ladder: explore assignments, cover each under
+    /// `budget`, allocate, peephole, verify. Injected faults fire at the
+    /// stage boundaries (each at most once per plan, so a later rung
+    /// recovers from them).
+    fn plan_block_once(
+        &self,
+        dag: &BlockDag,
+        snapshot: &SymbolTable,
+        mode: CoverMode,
+        rung_budget: &Budget,
+        injector: &FaultInjector<'_>,
+    ) -> Result<BlockPlan, RungFailure> {
         let start = Instant::now();
-        let sndag = SplitNodeDag::build(dag, &self.target)?;
+        let sndag = SplitNodeDag::build(dag, &self.target)
+            .map_err(|e| RungFailure::Error(CodegenError::Unsupported(e)))?;
+
+        // Fault points for the two front-end stages. A malform fault
+        // corrupts every cover graph built this rung (so it is visible as
+        // a structured failure rather than masked by the next
+        // assignment's fresh graph).
+        let mut corrupt_graph = false;
+        for (stage, what) in [
+            (Stage::SplitDag, "split-node DAG construction"),
+            (Stage::Cliques, "clique formation"),
+        ] {
+            if let Some(kind) = injector.arm(stage) {
+                match kind {
+                    FaultKind::Panic => panic!("{INJECTED_PANIC} at {what}"),
+                    FaultKind::Exhaust => rung_budget.exhaust(Exhaustion::Injected),
+                    FaultKind::Malform => corrupt_graph = true,
+                }
+            }
+        }
+
         let stats = sndag.stats(dag);
+        let options = self.rung_options(mode);
         let ExploreResult {
             assignments,
             enumerated,
             truncated,
-        } = explore(dag, &sndag, &self.target, &self.options);
+        } = explore(dag, &sndag, &self.target, &options);
 
         // Explore each selected assignment in depth; keep the cheapest.
         let mut best: Option<(CoverGraph, Schedule, SymbolTable)> = None;
         let mut last_err: Option<CoverError> = None;
+        let mut exhausted: Option<Exhaustion> = None;
         for assignment in &assignments {
+            if let (Err(why), Some(_)) = (rung_budget.check(), &best) {
+                // The budget ran out between assignments but an earlier
+                // one already produced code: salvage it.
+                exhausted = Some(why);
+                break;
+            }
             let mut scratch_syms = snapshot.clone();
-            let mut graph = CoverGraph::build(dag, &sndag, &self.target, assignment);
+            let mut graph = CoverGraph::try_build(dag, &sndag, &self.target, assignment)
+                .map_err(|d| RungFailure::Error(CodegenError::Internal(d)))?;
             debug_assert!(graph.verify(&self.target).is_ok());
-            let result = cover(&mut graph, &self.target, &mut scratch_syms, &self.options)
+            if corrupt_graph {
+                corrupt_cover_graph(&mut graph);
+            }
+            let result = match mode {
+                CoverMode::Concurrent => cover_budgeted(
+                    &mut graph,
+                    &self.target,
+                    &mut scratch_syms,
+                    &options,
+                    rung_budget,
+                )
                 .map(|s| (graph, s))
-                .or_else(|_| {
+                .or_else(|e| {
+                    if matches!(e, CoverError::Budget(_) | CoverError::Internal(_)) {
+                        // Budget exhaustion and engine defects are the
+                        // ladder's job, not the inline retry's.
+                        return Err(e);
+                    }
                     // Extreme register pressure can wedge the concurrent
                     // engine; retry with the guaranteed-progress
                     // sequential fallback on a fresh graph.
                     let mut scratch = snapshot.clone();
-                    let mut g = CoverGraph::build(dag, &sndag, &self.target, assignment);
-                    let s = crate::cover::cover_sequential(&mut g, &self.target, &mut scratch)?;
+                    let mut g = CoverGraph::try_build(dag, &sndag, &self.target, assignment)
+                        .map_err(CoverError::Internal)?;
+                    if corrupt_graph {
+                        corrupt_cover_graph(&mut g);
+                    }
+                    let s =
+                        cover_sequential_budgeted(&mut g, &self.target, &mut scratch, rung_budget)?;
                     scratch_syms = scratch;
                     Ok::<_, CoverError>((g, s))
-                });
+                }),
+                CoverMode::Sequential | CoverMode::SpillAll => cover_sequential_budgeted(
+                    &mut graph,
+                    &self.target,
+                    &mut scratch_syms,
+                    rung_budget,
+                )
+                .map(|s| (graph, s)),
+            };
             match result {
                 Ok((graph, schedule)) => {
                     let better = match &best {
@@ -281,19 +620,80 @@ impl CodeGenerator {
                         best = Some((graph, schedule, scratch_syms));
                     }
                 }
+                Err(CoverError::Budget(why)) => match &best {
+                    Some(_) => {
+                        exhausted = Some(why);
+                        break;
+                    }
+                    None => return Err(RungFailure::Budget(why)),
+                },
                 Err(e) => last_err = Some(e),
             }
         }
-        let (mut graph, mut schedule, winner_syms) = best.ok_or(CodegenError::Cover(
-            last_err.unwrap_or(CoverError::SpillLimit),
-        ))?;
+        let (mut graph, mut schedule, winner_syms) = best.ok_or_else(|| {
+            RungFailure::Error(CodegenError::Cover(
+                last_err.unwrap_or(CoverError::SpillLimit),
+            ))
+        })?;
 
-        let mut alloc =
-            allocate(&graph, &self.target, &schedule).map_err(CodegenError::RegAlloc)?;
+        // A salvaged block finishes its tail stages unbudgeted: the
+        // schedule exists, and allocation for it is cheap and bounded.
+        let tail;
+        let tail_budget: &Budget = if exhausted.is_some() {
+            tail = Budget::unlimited();
+            &tail
+        } else {
+            rung_budget
+        };
+
+        if let Some(kind) = injector.arm(Stage::Cover) {
+            match kind {
+                FaultKind::Panic => panic!("{INJECTED_PANIC} at covering"),
+                FaultKind::Exhaust => tail_budget.exhaust(Exhaustion::Injected),
+                FaultKind::Malform => {
+                    schedule.steps.pop();
+                }
+            }
+        }
+
+        // Every live-out value (branch condition, return value) must have
+        // been scheduled; a miss here means the schedule lost a value the
+        // terminator needs (C002) — catch it structurally instead of
+        // panicking at emission.
+        let step_of = schedule.step_of(graph.len());
+        for &(orig, op) in graph.live_out() {
+            if let Operand::Cn(c) = op {
+                if step_of.get(c.index()).copied().flatten().is_none() {
+                    return Err(RungFailure::Error(CodegenError::Internal(Diagnostic::new(
+                        Code::C002,
+                        orig.to_string(),
+                        "live-out value was never scheduled",
+                    ))));
+                }
+            }
+        }
+
+        let mut alloc = allocate_budgeted(&graph, &self.target, &schedule, tail_budget).map_err(
+            |e| match e {
+                AllocFailure::Uncolorable(e) => RungFailure::Error(CodegenError::RegAlloc(e)),
+                AllocFailure::Budget(why) => RungFailure::Budget(why),
+            },
+        )?;
+
+        if let Some(kind) = injector.arm(Stage::RegAlloc) {
+            match kind {
+                FaultKind::Panic => panic!("{INJECTED_PANIC} at register allocation"),
+                FaultKind::Exhaust => tail_budget.exhaust(Exhaustion::Injected),
+                FaultKind::Malform => {
+                    alloc.corrupt_one();
+                }
+            }
+        }
+        tail_budget.check().map_err(RungFailure::Budget)?;
 
         // Peephole: try to undo pessimistic spills and recompact.
         let before_peephole = schedule.len();
-        if self.options.peephole {
+        if options.peephole {
             peephole::optimize(&mut graph, &self.target, &mut schedule, &mut alloc);
         }
         let peephole_removed = before_peephole - schedule.len();
@@ -308,7 +708,7 @@ impl CodeGenerator {
                 &alloc,
             );
             if !diags.is_empty() {
-                return Err(CodegenError::Invariant(diags));
+                return Err(RungFailure::Error(CodegenError::Invariant(diags)));
             }
         }
 
@@ -331,6 +731,10 @@ impl CodeGenerator {
             instructions: 0, // filled in by apply_plan
             peephole_removed,
             time: start.elapsed(),
+            mode,
+            downgrades: Vec::new(), // filled in by plan_block_at
+            exhausted,
+            complete: true, // recomputed by plan_block_at
         };
         Ok(BlockPlan {
             graph,
@@ -412,6 +816,11 @@ impl CodeGenerator {
     /// merged in block order, so the output is byte-identical for every
     /// worker count.
     ///
+    /// No panic escapes this function for any input: per-block planning
+    /// and emission run under `catch_unwind`, and an escaping panic is
+    /// reported as [`CodegenError::BlockFailed`] after the degradation
+    /// ladder ([`CoverMode`]) has been exhausted.
+    ///
     /// # Errors
     ///
     /// See [`CodegenError`]. With several failing blocks, the error
@@ -419,7 +828,7 @@ impl CodeGenerator {
     pub fn compile_function(
         &self,
         f: &Function,
-    ) -> Result<(VliwProgram, FunctionReport), CodegenError> {
+    ) -> Result<(VliwProgram, CompileReport), CodegenError> {
         // Exact global liveness: drop stores shadowed on every path (and
         // the nodes only they kept alive) before covering, so dead
         // values never occupy registers. Every named variable is treated
@@ -439,12 +848,16 @@ impl CodeGenerator {
             f
         };
         let snapshot = f.syms.clone();
+        let deadline = budget::deadline(self.options.deadline_ms);
         let dags: Vec<&BlockDag> = f.iter().map(|(_, b)| &b.dag).collect();
         let jobs = effective_jobs(self.options.jobs, dags.len());
         let plans: Vec<Result<BlockPlan, CodegenError>> = if jobs <= 1 {
-            dags.iter().map(|d| self.plan_block(d, &snapshot)).collect()
+            dags.iter()
+                .enumerate()
+                .map(|(i, d)| self.plan_block_guarded(d, &snapshot, i, deadline))
+                .collect()
         } else {
-            self.plan_blocks_parallel(&dags, &snapshot, jobs)
+            self.plan_blocks_parallel(&dags, &snapshot, jobs, deadline)
         };
 
         let mut syms = snapshot;
@@ -455,68 +868,122 @@ impl CodeGenerator {
         let mut block_starts: Vec<usize> = Vec::new();
         // Control targets encoded as block ids; fixed up afterwards.
         let mut pending_targets: Vec<(usize, usize)> = Vec::new(); // (instr, block)
-        let mut report = FunctionReport::default();
+        let mut report = CompileReport::default();
 
         for ((bid, block), plan) in f.iter().zip(plans) {
+            let plan = plan?;
             block_starts.push(instructions.len());
-            let result = self.apply_plan(plan?, &mut syms, &mut layout);
-            report.blocks.push(result.report.clone());
-            instructions.extend(result.instructions.iter().cloned());
 
-            let next = bid.index() + 1;
-            match &block.term {
-                Terminator::Jump(t) => {
-                    if t.index() != next {
+            // Emission-side fault point (plan-side injectors never arm
+            // `Stage::Emit`, so the two cannot double-fire).
+            let injector = FaultInjector::new(self.options.faults.as_ref(), bid.index());
+            let emit_fault = injector.arm(Stage::Emit);
+            if emit_fault == Some(FaultKind::Exhaust) {
+                return Err(CodegenError::Budget(Exhaustion::Injected));
+            }
+
+            // Emission and terminator lowering run under `catch_unwind`
+            // so a defect here (or an injected fault) fails the compile
+            // with a structured error instead of unwinding out.
+            let lowered = catch_unwind(AssertUnwindSafe(|| -> Result<(), CodegenError> {
+                if emit_fault == Some(FaultKind::Panic) {
+                    panic!("{INJECTED_PANIC} at emission");
+                }
+                let mut plan = plan;
+                if emit_fault == Some(FaultKind::Malform) {
+                    plan.alloc.corrupt_one();
+                }
+                let result = self.apply_plan(plan, &mut syms, &mut layout);
+                report.blocks.push(result.report.clone());
+                instructions.extend(result.instructions.iter().cloned());
+
+                let next = bid.index() + 1;
+                match &block.term {
+                    Terminator::Jump(t) => {
+                        if t.index() != next {
+                            let mut inst = VliwInstruction::nop(n_units);
+                            inst.control = Some(ControlOp::Jump(t.index()));
+                            pending_targets.push((instructions.len(), t.index()));
+                            instructions.push(inst);
+                        }
+                    }
+                    Terminator::Branch {
+                        cond,
+                        if_true,
+                        if_false,
+                    } => {
+                        let cond_op = *result
+                            .live_out
+                            .get(cond)
+                            .ok_or_else(|| missing_live_out(bid.index(), "branch condition"))?;
                         let mut inst = VliwInstruction::nop(n_units);
-                        inst.control = Some(ControlOp::Jump(t.index()));
-                        pending_targets.push((instructions.len(), t.index()));
+                        inst.control = Some(ControlOp::BranchNz {
+                            cond: cond_op,
+                            target: if_true.index(),
+                        });
+                        pending_targets.push((instructions.len(), if_true.index()));
+                        instructions.push(inst);
+                        if if_false.index() != next {
+                            let mut j = VliwInstruction::nop(n_units);
+                            j.control = Some(ControlOp::Jump(if_false.index()));
+                            pending_targets.push((instructions.len(), if_false.index()));
+                            instructions.push(j);
+                        }
+                    }
+                    Terminator::Return(v) => {
+                        let val =
+                            match v {
+                                Some(n) => Some(*result.live_out.get(n).ok_or_else(|| {
+                                    missing_live_out(bid.index(), "return value")
+                                })?),
+                                None => None,
+                            };
+                        let mut inst = VliwInstruction::nop(n_units);
+                        inst.control = Some(ControlOp::Return(val));
                         instructions.push(inst);
                     }
                 }
-                Terminator::Branch {
-                    cond,
-                    if_true,
-                    if_false,
-                } => {
-                    let cond_op = *result
-                        .live_out
-                        .get(cond)
-                        .expect("branch condition is live-out");
-                    let mut inst = VliwInstruction::nop(n_units);
-                    inst.control = Some(ControlOp::BranchNz {
-                        cond: cond_op,
-                        target: if_true.index(),
-                    });
-                    pending_targets.push((instructions.len(), if_true.index()));
-                    instructions.push(inst);
-                    if if_false.index() != next {
-                        let mut j = VliwInstruction::nop(n_units);
-                        j.control = Some(ControlOp::Jump(if_false.index()));
-                        pending_targets.push((instructions.len(), if_false.index()));
-                        instructions.push(j);
-                    }
-                }
-                Terminator::Return(v) => {
-                    let val =
-                        v.map(|n| *result.live_out.get(&n).expect("return value is live-out"));
-                    let mut inst = VliwInstruction::nop(n_units);
-                    inst.control = Some(ControlOp::Return(val));
-                    instructions.push(inst);
+                Ok(())
+            }));
+            match lowered {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    return Err(CodegenError::BlockFailed {
+                        block: bid.index(),
+                        cause: panic_message(payload.as_ref()),
+                    })
                 }
             }
         }
 
         // Resolve block-id targets to instruction indices.
         for (ii, bid) in pending_targets {
-            let target = block_starts[bid];
+            let Some(&target) = block_starts.get(bid) else {
+                return Err(CodegenError::Internal(Diagnostic::new(
+                    Code::C001,
+                    format!("block{bid}"),
+                    "branch target refers to a block that was never emitted",
+                )));
+            };
             match &mut instructions[ii].control {
                 Some(ControlOp::Jump(t)) => *t = target,
                 Some(ControlOp::BranchNz { target: t, .. }) => *t = target,
-                _ => unreachable!("pending target on non-branch"),
+                other => {
+                    return Err(CodegenError::Internal(Diagnostic::new(
+                        Code::C001,
+                        format!("instr{ii}"),
+                        format!("pending branch target attached to a non-control op ({other:?})"),
+                    )))
+                }
             }
         }
 
         report.total_instructions = instructions.len();
+        for b in &report.blocks {
+            report.downgrades.extend(b.downgrades.iter().cloned());
+        }
+        report.complete = report.blocks.iter().all(|b| b.complete);
         let var_addrs = syms
             .iter()
             .map(|(s, name)| (name.to_string(), layout.addr(s)))
@@ -536,6 +1003,29 @@ impl CodeGenerator {
         Ok((program, report))
     }
 
+    /// [`CodeGenerator::plan_block_at`] with a last-resort panic guard:
+    /// the ladder already catches panics per rung, but anything that
+    /// slips between rungs (or inside the ladder bookkeeping itself) is
+    /// converted here rather than unwinding into the caller or across a
+    /// worker thread boundary.
+    fn plan_block_guarded(
+        &self,
+        dag: &BlockDag,
+        snapshot: &SymbolTable,
+        block: usize,
+        deadline: Option<Instant>,
+    ) -> Result<BlockPlan, CodegenError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.plan_block_at(dag, snapshot, block, deadline)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(CodegenError::BlockFailed {
+                block,
+                cause: panic_message(payload.as_ref()),
+            })
+        })
+    }
+
     /// Plan all blocks on a scoped worker pool. Workers steal block
     /// indices from a shared counter (blocks vary wildly in cost, so a
     /// static partition would idle half the pool); results land in their
@@ -545,6 +1035,7 @@ impl CodeGenerator {
         dags: &[&BlockDag],
         snapshot: &SymbolTable,
         jobs: usize,
+        deadline: Option<Instant>,
     ) -> Vec<Result<BlockPlan, CodegenError>> {
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<Result<BlockPlan, CodegenError>>> = Vec::new();
@@ -560,14 +1051,17 @@ impl CodeGenerator {
                             if i >= dags.len() {
                                 break;
                             }
-                            done.push((i, self.plan_block(dags[i], snapshot)));
+                            done.push((i, self.plan_block_guarded(dags[i], snapshot, i, deadline)));
                         }
                         done
                     })
                 })
                 .collect();
             for h in handles {
-                for (i, plan) in h.join().expect("planner thread panicked") {
+                for (i, plan) in h
+                    .join()
+                    .expect("planner workers never panic: plan_block_guarded catches everything")
+                {
                     slots[i] = Some(plan);
                 }
             }
@@ -577,6 +1071,27 @@ impl CodeGenerator {
             .map(|p| p.expect("every block planned exactly once"))
             .collect()
     }
+}
+
+/// Fault-harness corruption of a cover graph: kill the highest-numbered
+/// alive node without rewiring its consumers — exactly the kind of
+/// malformed intermediate state a buggy stage would hand downstream. The
+/// covering engine reports it as a C004 wedge, or the invariant verifier
+/// flags the uncovered operation.
+fn corrupt_cover_graph(graph: &mut CoverGraph) {
+    if let Some(&victim) = graph.alive().last() {
+        graph.kill(victim);
+        graph.rebuild_indexes();
+    }
+}
+
+/// A terminator needed a value the block did not expose (C002).
+fn missing_live_out(block: usize, what: &str) -> CodegenError {
+    CodegenError::Internal(Diagnostic::new(
+        Code::C002,
+        format!("block{block}"),
+        format!("{what} was never materialized as a live-out value"),
+    ))
 }
 
 /// Resolve the `jobs` option against the machine and the work: `0` means

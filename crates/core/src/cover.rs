@@ -11,11 +11,13 @@
 //!
 //! The order in which cliques are selected **is** the schedule (§IV-E).
 
-use crate::cliques::{gen_max_cliques, legalize, ParallelismMatrix};
+use crate::budget::{Budget, Exhaustion};
+use crate::cliques::{gen_max_cliques_budgeted, legalize, ParallelismMatrix};
 use crate::covergraph::{CnId, CoverGraph, Operand};
 use crate::options::CodegenOptions;
 use aviv_ir::{BitSet, Sym, SymbolTable};
 use aviv_isdl::{BankId, Target};
+use aviv_verify::{Code, Diagnostic};
 use std::error::Error;
 use std::fmt;
 
@@ -80,6 +82,13 @@ pub enum CoverError {
     },
     /// Internal safety valve: the spill loop did not converge.
     SpillLimit,
+    /// The cooperative [`Budget`] ran out mid-covering; the driver
+    /// reacts by stepping down its degradation ladder.
+    Budget(Exhaustion),
+    /// A defect the engine used to panic (or silently loop) on, reported
+    /// as a structured diagnostic instead: a wedged dependence frontier,
+    /// an uncoverable node, or a spill-machinery precondition violation.
+    Internal(Diagnostic),
 }
 
 impl fmt::Display for CoverError {
@@ -89,6 +98,8 @@ impl fmt::Display for CoverError {
                 write!(f, "cannot relieve register pressure in bank {bank}")
             }
             CoverError::SpillLimit => write!(f, "spill loop failed to converge"),
+            CoverError::Budget(why) => write!(f, "covering budget ran out: {why}"),
+            CoverError::Internal(d) => write!(f, "covering engine defect: {d}"),
         }
     }
 }
@@ -252,6 +263,7 @@ impl Pool {
         target: &Target,
         covered: &BitSet,
         options: &CodegenOptions,
+        budget: &Budget,
     ) -> Pool {
         let nodes: Vec<CnId> = graph
             .alive()
@@ -259,7 +271,7 @@ impl Pool {
             .filter(|n| !covered.contains(n.index()))
             .collect();
         let matrix = ParallelismMatrix::build(graph, target, &nodes, options.clique_level_window);
-        let raw = gen_max_cliques(&matrix);
+        let raw = gen_max_cliques_budgeted(&matrix, budget);
         let cliques = legalize(raw, &matrix, graph, target);
         Pool { matrix, cliques }
     }
@@ -287,10 +299,28 @@ pub fn cover(
     syms: &mut SymbolTable,
     options: &CodegenOptions,
 ) -> Result<Schedule, CoverError> {
+    cover_budgeted(graph, target, syms, options, &Budget::unlimited())
+}
+
+/// [`cover`] under a cooperative [`Budget`]: the selection loop, the
+/// lookahead estimator, and clique regeneration each charge fuel as they
+/// expand work, and the engine returns [`CoverError::Budget`] as soon as
+/// the allotment runs out or the deadline passes.
+///
+/// # Errors
+///
+/// See [`CoverError`].
+pub fn cover_budgeted(
+    graph: &mut CoverGraph,
+    target: &Target,
+    syms: &mut SymbolTable,
+    options: &CodegenOptions,
+    budget: &Budget,
+) -> Result<Schedule, CoverError> {
     let mut covered = BitSet::new(graph.len());
     let mut steps: Vec<Vec<CnId>> = Vec::new();
     let mut spills: Vec<SpillRecord> = Vec::new();
-    let mut pool = Pool::generate(graph, target, &covered, options);
+    let mut pool = Pool::generate(graph, target, &covered, options, budget);
     let spill_limit = 4 * graph.len().max(8);
     // Deadlock breaker: once spilling starts, commit to one nearly-ready
     // node and schedule only toward it (its uncovered predecessor
@@ -307,11 +337,14 @@ pub fn cover(
         if covered.count() >= total_alive {
             break;
         }
+        budget.charge(1).map_err(CoverError::Budget)?;
         let state = State::compute(graph, target, &covered);
-        debug_assert!(
-            !state.ready.is_empty(),
-            "uncovered nodes but nothing ready: dependency cycle"
-        );
+        if state.ready.is_empty() {
+            // A dependence cycle or a dead operand: without the guard
+            // this loop would spin forever (it used to be a debug
+            // assertion, invisible in release builds).
+            return Err(wedged(covered.count(), total_alive));
+        }
 
         // Candidate groups: the shrunk-to-ready form of every clique.
         let mut groups: Vec<Vec<CnId>> = Vec::new();
@@ -326,7 +359,13 @@ pub fn cover(
                 groups.push(g);
             }
         }
-        debug_assert!(!groups.is_empty(), "every node belongs to some clique");
+        if groups.is_empty() {
+            return Err(CoverError::Internal(Diagnostic::new(
+                Code::C004,
+                "covering",
+                "no candidate group covers any ready node",
+            )));
+        }
 
         // Focused mode: restrict selection to groups that advance the
         // focus node's uncovered predecessor closure.
@@ -381,7 +420,11 @@ pub fn cover(
             .collect();
 
         let chosen: Option<Vec<CnId>> = if !feasible.is_empty() {
-            let best_size = feasible.iter().map(|&gi| groups[gi].len()).max().unwrap();
+            let best_size = feasible
+                .iter()
+                .map(|&gi| groups[gi].len())
+                .max()
+                .expect("feasible set is non-empty here");
             let tied: Vec<usize> = feasible
                 .iter()
                 .copied()
@@ -392,11 +435,11 @@ pub fn cover(
                     .iter()
                     .min_by_key(|&&gi| {
                         (
-                            lookahead_estimate(graph, target, &covered, &pool, &groups[gi]),
+                            lookahead_estimate(graph, target, &covered, &pool, &groups[gi], budget),
                             gi,
                         )
                     })
-                    .unwrap()
+                    .expect("feasible set is non-empty here")
             } else {
                 tied[0]
             };
@@ -582,7 +625,9 @@ pub fn cover(
                             (missing, graph.level_bottom(n), n)
                         });
                 }
-                let (slot, outcome) = graph.relieve_pressure(target, syms, victim, &covered);
+                let (slot, outcome) = graph
+                    .relieve_pressure(target, syms, victim, &covered)
+                    .map_err(CoverError::Internal)?;
                 covered.grow(graph.len());
                 spills.push(SpillRecord {
                     slot,
@@ -612,7 +657,7 @@ pub fn cover(
                 }
                 // "New maximal cliques are then generated for all the
                 // remaining uncovered nodes."
-                pool = Pool::generate(graph, target, &covered, options);
+                pool = Pool::generate(graph, target, &covered, options, budget);
             }
         }
     }
@@ -620,6 +665,17 @@ pub fn cover(
     let schedule = Schedule { steps, spills };
     debug_assert!(verify_schedule(graph, target, &schedule).is_ok());
     Ok(schedule)
+}
+
+/// Structured "covering wedged" defect: uncovered nodes remain but none
+/// is ready — a dependence cycle or a dead operand, typically from
+/// malformed intermediate state.
+fn wedged(covered: usize, total: usize) -> CoverError {
+    CoverError::Internal(Diagnostic::new(
+        Code::C004,
+        "covering",
+        format!("{covered}/{total} nodes covered but nothing is ready (dependence cycle or dead operand)"),
+    ))
 }
 
 /// Greedy completion estimate used as the §IV-D lookahead: pretend we
@@ -633,6 +689,7 @@ fn lookahead_estimate(
     covered: &BitSet,
     pool: &Pool,
     first: &[CnId],
+    budget: &Budget,
 ) -> usize {
     const STUCK_PENALTY: usize = 1000;
     let mut covered = covered.clone();
@@ -642,6 +699,12 @@ fn lookahead_estimate(
     let mut steps = 1usize;
     let total = graph.alive().len();
     while covered.count() < total {
+        // Soft charge: an estimator cannot propagate exhaustion, but the
+        // enclosing selection loop's next charge observes it.
+        budget.note(1);
+        if budget.exhaustion().is_some() {
+            break;
+        }
         let state = State::compute(graph, target, &covered);
         if state.ready.is_empty() {
             break;
@@ -712,7 +775,7 @@ pub fn verify_schedule(
     }
     // Dependencies strictly precede.
     for id in graph.alive() {
-        let t = step_of[id.index()].unwrap();
+        let t = step_of[id.index()].expect("checked scheduled above");
         for p in graph.preds(id) {
             let pt = step_of[p.index()].ok_or_else(|| format!("{p} unscheduled"))?;
             if pt >= t {
@@ -829,6 +892,23 @@ pub fn cover_sequential(
     target: &Target,
     syms: &mut SymbolTable,
 ) -> Result<Schedule, CoverError> {
+    cover_sequential_budgeted(graph, target, syms, &Budget::unlimited())
+}
+
+/// [`cover_sequential`] under a cooperative [`Budget`]. The final rung
+/// of the degradation ladder calls this with an unlimited budget — its
+/// register demand is bounded by operation arity, so it terminates
+/// whenever the machine can execute the block at all.
+///
+/// # Errors
+///
+/// See [`CoverError`].
+pub fn cover_sequential_budgeted(
+    graph: &mut CoverGraph,
+    target: &Target,
+    syms: &mut SymbolTable,
+    budget: &Budget,
+) -> Result<Schedule, CoverError> {
     let mut covered = BitSet::new(graph.len());
     let mut steps: Vec<Vec<CnId>> = Vec::new();
     let mut spills: Vec<SpillRecord> = Vec::new();
@@ -843,8 +923,11 @@ pub fn cover_sequential(
         if covered.count() >= alive.len() {
             break;
         }
+        budget.charge(1).map_err(CoverError::Budget)?;
         let state = State::compute(graph, target, &covered);
-        debug_assert!(!state.ready.is_empty(), "dependency cycle");
+        if state.ready.is_empty() {
+            return Err(wedged(covered.count(), alive.len()));
+        }
         // Stores (and other non-defining nodes) first — they only relieve
         // pressure; then lowest id (dependence order).
         let mut ready = state.ready.clone();
@@ -867,7 +950,9 @@ pub fn cover_sequential(
                     if spills.len() >= spill_limit {
                         return Err(CoverError::SpillLimit);
                     }
-                    let (slot, outcome) = graph.relieve_pressure(target, syms, r, &covered);
+                    let (slot, outcome) = graph
+                        .relieve_pressure(target, syms, r, &covered)
+                        .map_err(CoverError::Internal)?;
                     covered.grow(graph.len());
                     no_eager.grow(graph.len());
                     for &nn in &outcome.new_nodes {
@@ -926,7 +1011,9 @@ pub fn cover_sequential(
                 let Some(victim) = victim else {
                     return Err(CoverError::RegisterPressure { bank });
                 };
-                let (slot, outcome) = graph.relieve_pressure(target, syms, victim, &covered);
+                let (slot, outcome) = graph
+                    .relieve_pressure(target, syms, victim, &covered)
+                    .map_err(CoverError::Internal)?;
                 covered.grow(graph.len());
                 no_eager.grow(graph.len());
                 for &nn in &outcome.new_nodes {

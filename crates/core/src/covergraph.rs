@@ -14,7 +14,8 @@
 use crate::assign::Assignment;
 use aviv_ir::{BitSet, BlockDag, NodeId, Op, Sym, SymbolTable};
 use aviv_isdl::{BankId, BusId, Location, Target, UnitId};
-use aviv_splitdag::{AltKind, SplitNodeDag};
+use aviv_splitdag::{AltKind, Exec, SplitNodeDag};
+use aviv_verify::{Code, Diagnostic};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -196,6 +197,28 @@ pub struct CoverGraph {
 }
 
 impl CoverGraph {
+    /// [`CoverGraph::build`] with the builder's input preconditions
+    /// checked up front: every constant carries an immediate, every
+    /// variable node a symbol, every operation a chosen alternative on a
+    /// capable resource, and every register bank a transfer path to and
+    /// from memory. Malformed input yields a structured `C003`
+    /// diagnostic instead of a panic deep inside construction, which is
+    /// what lets the compilation driver degrade gracefully.
+    ///
+    /// # Errors
+    ///
+    /// A [`Diagnostic`] with code `C003` describing the first violated
+    /// precondition.
+    pub fn try_build(
+        dag: &BlockDag,
+        sndag: &SplitNodeDag,
+        target: &Target,
+        assignment: &Assignment,
+    ) -> Result<CoverGraph, Diagnostic> {
+        validate_build_inputs(dag, sndag, target, assignment)?;
+        Ok(CoverGraph::build(dag, sndag, target, assignment))
+    }
+
     /// Build the cover graph of `assignment` for `dag` on `target`.
     pub fn build(
         dag: &BlockDag,
@@ -225,7 +248,7 @@ impl CoverGraph {
         let mut live_out = Vec::new();
         for &(_, orig) in dag.live_outs() {
             let operand = match dag.node(orig).op {
-                Op::Const => Operand::Imm(dag.node(orig).imm.unwrap()),
+                Op::Const => Operand::Imm(dag.node(orig).imm.expect("validated: const has imm")),
                 Op::Input => {
                     let bank = target.load_bank.expect("machine has banks");
                     b.resolve(orig, bank)
@@ -424,16 +447,19 @@ impl CoverGraph {
     /// keeps the spill loop convergent: evicting a reload never creates
     /// new slots.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `victim` produces no value (a store).
+    /// A structured `C004` diagnostic when `victim` produces no value (a
+    /// store), or `C003` when its bank has no path to memory — defects
+    /// of the covering engine's victim selection, reported instead of
+    /// panicking so the driver can degrade.
     pub fn relieve_pressure(
         &mut self,
         target: &Target,
         syms: &mut SymbolTable,
         victim: CnId,
         covered: &BitSet,
-    ) -> (Sym, SpillOutcome) {
+    ) -> Result<(Sym, SpillOutcome), Diagnostic> {
         if let CnKind::LoadVar { sym, .. } = self.nodes[victim.index()].kind {
             // The variable's memory cell is intact unless a write-back of
             // the same variable has already executed.
@@ -443,7 +469,7 @@ impl CoverGraph {
                     && matches!(self.nodes[i].kind, CnKind::StoreVar { sym: s, .. } if s == sym)
             });
             if !overwritten {
-                return (sym, self.remat_load(target, victim, sym, covered));
+                return Ok((sym, self.remat_load(target, victim, sym, covered)));
             }
         }
         self.spill_value(target, syms, victim, covered)
@@ -456,31 +482,40 @@ impl CoverGraph {
     /// `covered` marks already-scheduled nodes; their operands are left
     /// untouched. The victim must produce a register value.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `victim` produces no value (a store).
+    /// A structured `C004` diagnostic when `victim` produces no value (a
+    /// store), or `C003` when its bank has no path to memory.
     pub fn spill_value(
         &mut self,
         target: &Target,
         syms: &mut SymbolTable,
         victim: CnId,
         covered: &BitSet,
-    ) -> (Sym, SpillOutcome) {
-        let vbank = self.nodes[victim.index()]
-            .dest_bank(target)
-            .expect("spill victim must produce a value");
+    ) -> Result<(Sym, SpillOutcome), Diagnostic> {
+        let Some(vbank) = self.nodes[victim.index()].dest_bank(target) else {
+            return Err(Diagnostic::new(
+                Code::C004,
+                format!("node {victim}"),
+                "spill victim produces no register value",
+            ));
+        };
+        let Some(path) = target
+            .xfers
+            .paths(Location::Bank(vbank), Location::Mem)
+            .first()
+            .cloned()
+        else {
+            return Err(Diagnostic::new(
+                Code::C003,
+                format!("bank {}", target.machine.bank(vbank).name),
+                "no transfer path from the victim's bank to memory",
+            ));
+        };
         let slot = syms.fresh("__spill");
 
         let mut new_nodes = Vec::new();
         let mut removed = Vec::new();
-
-        // 1. The spill store: victim's bank → memory, possibly via moves.
-        let path = target
-            .xfers
-            .paths(Location::Bank(vbank), Location::Mem)
-            .first()
-            .expect("validated machines reach memory from every bank")
-            .clone();
         let mut cur = Operand::Cn(victim);
         let mut cur_dep: Option<CnId> = None;
         for (hi, hop) in path.hops.iter().enumerate() {
@@ -537,14 +572,14 @@ impl CoverGraph {
         self.add_jit_deps(&jit, covered);
 
         self.rebuild_indexes();
-        (
+        Ok((
             slot,
             SpillOutcome {
                 spill: Some(spill),
                 new_nodes,
                 removed,
             },
-        )
+        ))
     }
 
     /// Rematerialize a load victim: unscheduled consumers get fresh loads
@@ -949,9 +984,9 @@ impl<'a> GraphBuilder<'a> {
     fn resolve(&mut self, orig: NodeId, bank: BankId) -> Operand {
         let n = self.dag.node(orig);
         match n.op {
-            Op::Const => Operand::Imm(n.imm.unwrap()),
+            Op::Const => Operand::Imm(n.imm.expect("validated: const has imm")),
             Op::Input => {
-                let sym = n.sym.unwrap();
+                let sym = n.sym.expect("validated: input has sym");
                 if let Some(&t) = self.loadvar_cache.get(&(sym, bank)) {
                     return Operand::Cn(t);
                 }
@@ -1048,7 +1083,7 @@ impl<'a> GraphBuilder<'a> {
             }
             match n.op {
                 Op::StoreVar => {
-                    let sym = n.sym.unwrap();
+                    let sym = n.sym.expect("validated: store-var has sym");
                     let vnode = n.args[0];
                     let vop = self.dag.node(vnode).op;
                     if vop == Op::Const {
@@ -1067,7 +1102,9 @@ impl<'a> GraphBuilder<'a> {
                                 bus,
                                 from: None,
                             },
-                            vec![Operand::Imm(self.dag.node(vnode).imm.unwrap())],
+                            vec![Operand::Imm(
+                                self.dag.node(vnode).imm.expect("validated: const has imm"),
+                            )],
                         );
                         self.mem_cn.insert(orig, cn);
                         self.stores_by_sym.push((sym, cn));
@@ -1229,4 +1266,131 @@ impl<'a> GraphBuilder<'a> {
             }
         }
     }
+}
+
+/// Check every precondition the graph builder otherwise only `expect`s:
+/// the exact set of properties whose violation would panic inside
+/// [`CoverGraph::build`]. Kept in sync with the builder by construction —
+/// each check cites the builder expectation it discharges.
+fn validate_build_inputs(
+    dag: &BlockDag,
+    sndag: &SplitNodeDag,
+    target: &Target,
+    assignment: &Assignment,
+) -> Result<(), Diagnostic> {
+    let c003 = |element: String, message: String| Diagnostic::new(Code::C003, element, message);
+    if assignment.choice.len() != dag.len() || assignment.complex_covered.len() != dag.len() {
+        return Err(c003(
+            "assignment".to_string(),
+            format!(
+                "assignment covers {} nodes but the DAG has {}",
+                assignment.choice.len(),
+                dag.len()
+            ),
+        ));
+    }
+    // "machine has banks" / "validated machines reach memory from every
+    // bank" (spill stores, input loads, round trips).
+    if target.load_bank.is_none() || target.round_trip_bank.is_none() {
+        return Err(c003(
+            "machine".to_string(),
+            "machine has no register bank connected to memory".to_string(),
+        ));
+    }
+    for (bi, bank) in target.machine.banks().iter().enumerate() {
+        let b = BankId(bi as u32);
+        if target
+            .xfers
+            .paths(Location::Bank(b), Location::Mem)
+            .is_empty()
+            || target
+                .xfers
+                .paths(Location::Mem, Location::Bank(b))
+                .is_empty()
+        {
+            return Err(c003(
+                format!("bank {}", bank.name),
+                "no transfer path between this bank and memory".to_string(),
+            ));
+        }
+    }
+    for (orig, n) in dag.iter() {
+        // Leaves are resolved lazily; `resolve` unwraps their payloads.
+        match n.op {
+            Op::Const if n.imm.is_none() => {
+                return Err(c003(
+                    format!("node {orig}"),
+                    "constant node carries no immediate".to_string(),
+                ));
+            }
+            Op::Input if n.sym.is_none() => {
+                return Err(c003(
+                    format!("node {orig}"),
+                    "input node names no variable".to_string(),
+                ));
+            }
+            _ => {}
+        }
+        if n.op.is_leaf() || assignment.complex_covered[orig.index()] {
+            continue;
+        }
+        match n.op {
+            Op::StoreVar => {
+                // Needs a symbol; takes no alternative.
+                if n.sym.is_none() {
+                    return Err(c003(
+                        format!("node {orig}"),
+                        "variable store names no variable".to_string(),
+                    ));
+                }
+            }
+            Op::Store | Op::Load => {
+                // "memory ops have chosen alternatives" on a memory port.
+                let Some(ai) = assignment.choice[orig.index()] else {
+                    return Err(c003(
+                        format!("node {orig}"),
+                        "memory operation has no chosen alternative".to_string(),
+                    ));
+                };
+                match sndag.alts(orig).get(ai).map(|a| a.exec) {
+                    Some(Exec::MemPort { .. }) => {}
+                    Some(Exec::Unit(_)) | None => {
+                        return Err(c003(
+                            format!("node {orig}"),
+                            format!("alternative {ai} is not a memory port"),
+                        ));
+                    }
+                }
+            }
+            _ => {
+                // "operations have chosen alternatives" on a functional
+                // unit, and never a dynamic-memory alternative kind.
+                let Some(ai) = assignment.choice[orig.index()] else {
+                    return Err(c003(
+                        format!("node {orig}"),
+                        "operation has no chosen alternative".to_string(),
+                    ));
+                };
+                match sndag.alts(orig).get(ai) {
+                    Some(alt) => {
+                        if !matches!(alt.exec, Exec::Unit(_))
+                            || matches!(alt.kind, AltKind::DynLoad | AltKind::DynStore)
+                        {
+                            return Err(c003(
+                                format!("node {orig}"),
+                                format!("alternative {ai} cannot execute a pure operation"),
+                            ));
+                        }
+                    }
+                    None => {
+                        return Err(c003(
+                            format!("node {orig}"),
+                            format!("alternative {ai} is out of range"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }

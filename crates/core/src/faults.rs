@@ -1,0 +1,218 @@
+//! Deterministic, seeded fault injection at pipeline stage boundaries.
+//!
+//! The degradation ladder and panic isolation in [`crate::codegen`] only
+//! earn trust if their failure paths are exercised. This module injects
+//! three kinds of faults — panics, budget exhaustion, and malformed
+//! intermediate state — at every stage boundary of the per-block planner
+//! (split-node DAG → clique formation → covering → register allocation →
+//! emission), driven entirely by a seed so every run, and every `--jobs`
+//! worker count, sees exactly the same faults.
+//!
+//! Whether a fault fires at a given point is a pure function of
+//! `(seed, block index, stage)`; each `(block, stage)` point fires **at
+//! most once per plan**, so a rung that trips over an injected fault can
+//! actually recover on the next rung instead of tripping over the same
+//! deterministic fault forever. The property tests in
+//! `crates/core/tests/faults.rs` assert that under injection no panic
+//! escapes [`crate::CodeGenerator::compile_function`], every fault
+//! yields a stable diagnostic or a recorded downgrade, and every
+//! degraded compile still passes the differential oracle.
+
+use crate::invariants::Stage;
+use std::cell::RefCell;
+use std::collections::HashSet;
+
+/// What kind of fault to inject at a stage boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// `panic!` at the boundary — exercises `catch_unwind` isolation.
+    Panic,
+    /// Force the block's [`crate::Budget`] into the exhausted state —
+    /// exercises the budget plumbing and the degradation ladder.
+    Exhaust,
+    /// Corrupt the stage's intermediate result (kill a cover node, drop
+    /// a schedule step, delete a register assignment, …) — exercises the
+    /// invariant verifier and structured-error paths.
+    Malform,
+}
+
+impl FaultKind {
+    fn from_hash(h: u64) -> FaultKind {
+        match h % 3 {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Exhaust,
+            _ => FaultKind::Malform,
+        }
+    }
+}
+
+/// Configuration of the deterministic fault harness, carried on
+/// [`crate::CodegenOptions::faults`]. `None` there (the default)
+/// compiles with no injection overhead beyond one branch per stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed mixing into every fire decision.
+    pub seed: u64,
+    /// Fire roughly one in `rate` of the `(block, stage)` points
+    /// (`1` fires everywhere). `0` is treated as `1`.
+    pub rate: u64,
+    /// Restrict injection to one stage (`None` = all stages).
+    pub stage: Option<Stage>,
+    /// Force the fault kind (`None` = derived from the hash).
+    pub kind: Option<FaultKind>,
+}
+
+impl FaultConfig {
+    /// Faults at roughly half of all stage boundaries.
+    pub fn seeded(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            rate: 2,
+            stage: None,
+            kind: None,
+        }
+    }
+
+    /// Set the firing rate (one in `rate` points).
+    pub fn every(mut self, rate: u64) -> FaultConfig {
+        self.rate = rate;
+        self
+    }
+
+    /// Restrict injection to `stage`.
+    pub fn at_stage(mut self, stage: Stage) -> FaultConfig {
+        self.stage = Some(stage);
+        self
+    }
+
+    /// Force every injected fault to be `kind`.
+    pub fn of_kind(mut self, kind: FaultKind) -> FaultConfig {
+        self.kind = Some(kind);
+        self
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer; a pure function of its
+/// input, so fault decisions are reproducible everywhere.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn stage_salt(stage: Stage) -> u64 {
+    match stage {
+        Stage::SplitDag => 0x51,
+        Stage::Cover => 0xC0,
+        Stage::Cliques => 0xC1,
+        Stage::RegAlloc => 0x4A,
+        Stage::Emit => 0xE7,
+    }
+}
+
+/// Per-plan fault decider. One injector lives for the whole ladder of a
+/// block's plan (and a separate one for its emission), tracking which
+/// stages already fired so each `(block, stage)` point trips at most
+/// once.
+#[derive(Debug)]
+pub(crate) struct FaultInjector<'a> {
+    config: Option<&'a FaultConfig>,
+    block: usize,
+    fired: RefCell<HashSet<Stage>>,
+}
+
+impl<'a> FaultInjector<'a> {
+    pub(crate) fn new(config: Option<&'a FaultConfig>, block: usize) -> FaultInjector<'a> {
+        FaultInjector {
+            config,
+            block,
+            fired: RefCell::new(HashSet::new()),
+        }
+    }
+
+    /// Decide whether a fault fires at `stage` for this block. Marks the
+    /// stage as fired so the ladder's retry rungs run clean.
+    pub(crate) fn arm(&self, stage: Stage) -> Option<FaultKind> {
+        let config = self.config?;
+        if config.stage.is_some_and(|s| s != stage) {
+            return None;
+        }
+        if !self.fired.borrow_mut().insert(stage) {
+            return None;
+        }
+        let h = splitmix64(
+            config.seed
+                ^ (self.block as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03)
+                ^ stage_salt(stage).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        if !h.is_multiple_of(config.rate.max(1)) {
+            return None;
+        }
+        Some(config.kind.unwrap_or(FaultKind::from_hash(h >> 33)))
+    }
+}
+
+/// The panic message used by injected [`FaultKind::Panic`] faults; tests
+/// and panic-hook filters match on it.
+pub const INJECTED_PANIC: &str = "injected fault";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let cfg = FaultConfig::seeded(42);
+        for block in 0..8 {
+            let a = FaultInjector::new(Some(&cfg), block);
+            let b = FaultInjector::new(Some(&cfg), block);
+            for stage in [
+                Stage::SplitDag,
+                Stage::Cliques,
+                Stage::Cover,
+                Stage::RegAlloc,
+                Stage::Emit,
+            ] {
+                assert_eq!(a.arm(stage), b.arm(stage));
+            }
+        }
+    }
+
+    #[test]
+    fn each_stage_fires_at_most_once() {
+        let cfg = FaultConfig::seeded(7).every(1);
+        let inj = FaultInjector::new(Some(&cfg), 0);
+        assert!(inj.arm(Stage::Cover).is_some());
+        assert_eq!(inj.arm(Stage::Cover), None);
+    }
+
+    #[test]
+    fn stage_and_kind_filters_apply() {
+        let cfg = FaultConfig::seeded(1)
+            .every(1)
+            .at_stage(Stage::RegAlloc)
+            .of_kind(FaultKind::Panic);
+        let inj = FaultInjector::new(Some(&cfg), 3);
+        assert_eq!(inj.arm(Stage::Cover), None);
+        assert_eq!(inj.arm(Stage::RegAlloc), Some(FaultKind::Panic));
+    }
+
+    #[test]
+    fn no_config_never_fires() {
+        let inj = FaultInjector::new(None, 0);
+        assert_eq!(inj.arm(Stage::Cover), None);
+    }
+
+    #[test]
+    fn rate_thins_firing() {
+        let cfg = FaultConfig::seeded(99).every(4);
+        let fired = (0..400)
+            .filter(|&b| {
+                let inj = FaultInjector::new(Some(&cfg), b);
+                inj.arm(Stage::Cover).is_some()
+            })
+            .count();
+        assert!(fired > 40 && fired < 220, "fired {fired}/400");
+    }
+}

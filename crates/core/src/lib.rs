@@ -7,13 +7,20 @@
 //! maximal cliques.
 
 #![warn(missing_docs)]
+// The generator's panic-free contract (see `docs/robustness.md`) is
+// enforced statically: no bare `unwrap()` in shipped code. Use
+// `expect("reason")` for genuinely unreachable states, or return a
+// structured `CodegenError`/`Diagnostic`. Test modules are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod assign;
+pub mod budget;
 pub mod cliques;
 pub mod codegen;
 pub mod cover;
 pub mod covergraph;
 pub mod emit;
+pub mod faults;
 pub mod invariants;
 pub mod optimal;
 pub mod options;
@@ -22,19 +29,27 @@ pub mod regalloc;
 pub mod report;
 
 pub use assign::{explore, Assignment, ExploreResult, ExploreTrace};
+pub use budget::{Budget, Exhaustion};
 pub use codegen::{
-    BlockPlan, BlockReport, BlockResult, CodeGenerator, CodegenError, FunctionReport,
+    BlockPlan, BlockReport, BlockResult, CodeGenerator, CodegenError, CompileReport, CoverMode,
+    Downgrade, DowngradeReason, FunctionReport,
 };
-pub use cover::{cover, verify_schedule, CoverError, Schedule, SpillRecord};
+pub use cover::{
+    cover, cover_budgeted, cover_sequential, cover_sequential_budgeted, verify_schedule,
+    CoverError, Schedule, SpillRecord,
+};
 pub use covergraph::{CnId, CnKind, CoverGraph, CoverNode, Operand, Resource};
 pub use emit::{
     AsmOperand, ControlOp, SlotOp, SlotOpcode, TransferKind, TransferOp, VliwInstruction,
     VliwProgram,
 };
+pub use faults::{FaultConfig, FaultKind, INJECTED_PANIC};
 pub use invariants::{verify_block, verify_program, verify_stage, Stage, StageState};
 pub use optimal::{optimal_block, OptimalConfig, OptimalResult};
 pub use options::CodegenOptions;
-pub use regalloc::{allocate, verify_allocation, Allocation, Reg, RegAllocError};
+pub use regalloc::{
+    allocate, allocate_budgeted, verify_allocation, AllocFailure, Allocation, Reg, RegAllocError,
+};
 pub use report::covergraph_to_dot;
 
 // Re-export the shared static-analysis crate (diagnostics framework and

@@ -5,6 +5,8 @@
 //! running with every heuristic disabled. Each heuristic is a first-class
 //! toggle here so the ablation benchmarks can flip them independently.
 
+use crate::faults::FaultConfig;
+
 /// Tunable heuristics of the covering engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodegenOptions {
@@ -64,6 +66,28 @@ pub struct CodegenOptions {
     /// named variable stays observable at exit) and on by default;
     /// disable to compile the DAGs exactly as written.
     pub exact_liveness: bool,
+    /// Node-expansion fuel per block *per ladder rung* (`avivc --fuel`).
+    /// The hot loops of exploration, clique generation, covering, and
+    /// register allocation charge one unit per expansion; on exhaustion
+    /// the block steps down the degradation ladder (see
+    /// [`crate::codegen::CoverMode`]) with a fresh allotment, and the
+    /// final rung runs unbudgeted (its register demand is bounded, so it
+    /// terminates). `None` (the default) is unlimited — outputs are
+    /// byte-identical to a run without budgets.
+    pub fuel: Option<u64>,
+    /// Wall-clock deadline for the whole function compile in
+    /// milliseconds (`avivc --timeout-ms`), shared by every block.
+    /// Exceeding it degrades blocks exactly like fuel exhaustion, so the
+    /// compile still finishes with correct (if slower) code shortly
+    /// after the deadline rather than aborting. Inherently
+    /// nondeterministic; prefer [`CodegenOptions::fuel`] when
+    /// reproducibility matters. `None` disables the deadline.
+    pub deadline_ms: Option<u64>,
+    /// Deterministic fault injection at stage boundaries (see
+    /// [`crate::faults`]). `None` (the default) injects nothing; tests
+    /// and the CI fuzz-smoke job set a seeded config to exercise the
+    /// ladder, panic isolation, and structured-error paths.
+    pub faults: Option<FaultConfig>,
 }
 
 impl CodegenOptions {
@@ -82,6 +106,9 @@ impl CodegenOptions {
             jobs: 1,
             verify: cfg!(debug_assertions),
             exact_liveness: true,
+            fuel: None,
+            deadline_ms: None,
+            faults: None,
         }
     }
 
@@ -104,6 +131,9 @@ impl CodegenOptions {
             jobs: 1,
             verify: cfg!(debug_assertions),
             exact_liveness: true,
+            fuel: None,
+            deadline_ms: None,
+            faults: None,
         }
     }
 
@@ -125,6 +155,9 @@ impl CodegenOptions {
             jobs: 1,
             verify: cfg!(debug_assertions),
             exact_liveness: true,
+            fuel: None,
+            deadline_ms: None,
+            faults: None,
         }
     }
 }
@@ -147,6 +180,27 @@ impl CodegenOptions {
     /// covering (see [`CodegenOptions::exact_liveness`]).
     pub fn with_exact_liveness(mut self, exact_liveness: bool) -> Self {
         self.exact_liveness = exact_liveness;
+        self
+    }
+
+    /// Set the per-block, per-rung fuel allotment (see
+    /// [`CodegenOptions::fuel`]).
+    pub fn with_fuel(mut self, fuel: Option<u64>) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Set the function-wide wall-clock deadline in milliseconds (see
+    /// [`CodegenOptions::deadline_ms`]).
+    pub fn with_deadline_ms(mut self, deadline_ms: Option<u64>) -> Self {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Set the fault-injection configuration (see
+    /// [`CodegenOptions::faults`]).
+    pub fn with_faults(mut self, faults: Option<FaultConfig>) -> Self {
+        self.faults = faults;
         self
     }
 }

@@ -9,6 +9,7 @@
 //! instruction, so a value dying at step *t* frees its register for a
 //! value defined at *t*).
 
+use crate::budget::{Budget, Exhaustion};
 use crate::cover::Schedule;
 use crate::covergraph::{CnId, CoverGraph, Operand};
 use aviv_isdl::{BankId, Target};
@@ -61,6 +62,15 @@ impl Allocation {
     pub fn is_empty(&self) -> bool {
         self.regs.is_empty()
     }
+
+    /// Delete the assignment with the smallest node id — the fault
+    /// harness's "malformed allocation" corruption. Returns the removed
+    /// node, or `None` if the allocation was already empty.
+    pub(crate) fn corrupt_one(&mut self) -> Option<CnId> {
+        let victim = self.regs.keys().min().copied()?;
+        self.regs.remove(&victim);
+        Some(victim)
+    }
 }
 
 /// Coloring failure — cannot happen when the schedule honored the
@@ -86,6 +96,27 @@ impl fmt::Display for RegAllocError {
 
 impl Error for RegAllocError {}
 
+/// Failure of the budgeted allocator: either a genuine coloring failure
+/// or budget exhaustion partway through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocFailure {
+    /// A bank could not be colored (see [`RegAllocError`]).
+    Uncolorable(RegAllocError),
+    /// The cooperative [`Budget`] ran out mid-allocation.
+    Budget(Exhaustion),
+}
+
+impl fmt::Display for AllocFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocFailure::Uncolorable(e) => e.fmt(f),
+            AllocFailure::Budget(why) => write!(f, "allocation budget ran out: {why}"),
+        }
+    }
+}
+
+impl Error for AllocFailure {}
+
 /// Color each register bank's interference graph.
 ///
 /// # Errors
@@ -97,6 +128,32 @@ pub fn allocate(
     target: &Target,
     schedule: &Schedule,
 ) -> Result<Allocation, RegAllocError> {
+    match allocate_budgeted(graph, target, schedule, &Budget::unlimited()) {
+        Ok(alloc) => Ok(alloc),
+        Err(AllocFailure::Uncolorable(e)) => Err(e),
+        // Unreachable with an unlimited budget; keep the panic-free
+        // contract anyway by reporting it as a zero-size failure.
+        Err(AllocFailure::Budget(_)) => Err(RegAllocError {
+            bank: BankId(0),
+            clique_size: 0,
+        }),
+    }
+}
+
+/// [`allocate`] under a cooperative [`Budget`]: the interference-graph
+/// build and the Chaitin simplify loop charge one unit per node pair or
+/// simplify step, so pathological blocks degrade instead of stalling.
+///
+/// # Errors
+///
+/// [`AllocFailure::Uncolorable`] for genuine coloring failures,
+/// [`AllocFailure::Budget`] when the allotment runs out.
+pub fn allocate_budgeted(
+    graph: &CoverGraph,
+    target: &Target,
+    schedule: &Schedule,
+    budget: &Budget,
+) -> Result<Allocation, AllocFailure> {
     let n = graph.len();
     let step_of = schedule.step_of(n);
     let end = schedule.steps.len();
@@ -157,6 +214,7 @@ pub fn allocate(
         };
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); m];
         for i in 0..m {
+            budget.charge(m as u64).map_err(AllocFailure::Budget)?;
             for j in (i + 1)..m {
                 if overlaps(&ranges[i], &ranges[j]) {
                     adj[i].push(j);
@@ -169,6 +227,7 @@ pub fn allocate(
         let mut removed = vec![false; m];
         let mut stack = Vec::with_capacity(m);
         for _ in 0..m {
+            budget.charge(1).map_err(AllocFailure::Budget)?;
             let pick = (0..m)
                 .filter(|&i| !removed[i])
                 .min_by_key(|&i| {
@@ -182,10 +241,10 @@ pub fn allocate(
             if deg >= k {
                 // Not simplifiable under k registers: the schedule must
                 // have violated its own pressure bound.
-                return Err(RegAllocError {
+                return Err(AllocFailure::Uncolorable(RegAllocError {
                     bank,
                     clique_size: deg + 1,
-                });
+                }));
             }
             removed[pick] = true;
             stack.push(pick);
@@ -200,10 +259,10 @@ pub fn allocate(
             }
             let c = (0..k as u32)
                 .find(|&c| !used[c as usize])
-                .ok_or(RegAllocError {
+                .ok_or(AllocFailure::Uncolorable(RegAllocError {
                     bank,
                     clique_size: k + 1,
-                })?;
+                }))?;
             color[i] = Some(c);
             alloc.regs.insert(ranges[i].id, Reg { bank, index: c });
         }
@@ -246,7 +305,7 @@ pub fn verify_allocation(
         if reg.index >= target.machine.bank(bank).size {
             return Err(format!("{id} register index out of range"));
         }
-        let def = step_of[id.index()].unwrap();
+        let def = step_of[id.index()].expect("alive nodes are scheduled");
         let mut last = def;
         for &u in graph.uses(id) {
             if let Some(ut) = step_of[u.index()] {

@@ -80,6 +80,24 @@ pub enum Code {
     P005,
     /// Branch whose condition folds to a constant.
     P006,
+    /// Lowered control flow is inconsistent: a pending branch target
+    /// refers to a non-control instruction or an unknown block.
+    C001,
+    /// A block live-out value (branch condition or return value) was
+    /// never materialized by covering.
+    C002,
+    /// Cover-graph construction received malformed input: a constant
+    /// without an immediate, a variable node without a symbol, a node
+    /// without a chosen alternative, or a machine with no transfer path
+    /// between a used bank and memory.
+    C003,
+    /// The covering engine wedged or its spill machinery hit a defect:
+    /// uncovered nodes with nothing ready, a spill victim producing no
+    /// value, or an empty candidate group set.
+    C004,
+    /// A deterministic fault injected by the test harness
+    /// (`CodegenOptions::faults`) was converted into a diagnostic.
+    C005,
 }
 
 impl Code {
@@ -108,6 +126,11 @@ impl Code {
             Code::P004 => "P004",
             Code::P005 => "P005",
             Code::P006 => "P006",
+            Code::C001 => "C001",
+            Code::C002 => "C002",
+            Code::C003 => "C003",
+            Code::C004 => "C004",
+            Code::C005 => "C005",
         }
     }
 
@@ -154,6 +177,11 @@ impl Code {
             Code::P004 => "a function parameter's incoming value is never read",
             Code::P005 => "a variable is stored back into itself, which moves no data",
             Code::P006 => "a branch condition evaluates to the same constant on every execution",
+            Code::C001 => "control-flow lowering must attach every pending branch target to a control instruction of a known block",
+            Code::C002 => "covering must leave every branch condition and return value in a register or immediate at block end",
+            Code::C003 => "cover-graph construction requires well-formed DAG nodes, chosen alternatives, and memory-reachable banks",
+            Code::C004 => "the covering engine must always have a ready node, a candidate group, and an evictable spill victim while work remains",
+            Code::C005 => "a fault injected by the deterministic fault harness surfaced as a structured diagnostic instead of a crash",
         }
     }
 }

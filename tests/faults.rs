@@ -1,0 +1,362 @@
+//! The robustness capstone: under deterministic fault injection and
+//! starvation budgets, the code generator must (1) never let a panic
+//! escape `compile_function`, (2) turn every injected fault into a
+//! stable diagnostic or a recorded downgrade, (3) stay byte-identical
+//! across worker counts, and (4) keep every *successful* compile —
+//! however degraded — faithful to the reference interpreter.
+//!
+//! Fault tests run with the pipeline invariant verifier ON: malformed
+//! intermediate state is only guaranteed to surface as a structured
+//! failure (rather than silently-wrong code) when the verifier audits
+//! each stage boundary.
+
+use aviv::{
+    CodeGenerator, CodegenError, CodegenOptions, CoverMode, Exhaustion, FaultConfig, FaultKind,
+    Stage, INJECTED_PANIC,
+};
+use aviv_ir::randdag::{random_block, random_function, RandDagConfig};
+use aviv_ir::{Function, Op};
+use aviv_isdl::{archs, Machine};
+use aviv_vm::{check_function, DiffError};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Silence the default panic-hook spew for panics the harness *expects*:
+/// injected panics and the downstream panics a malformed intermediate
+/// state is designed to trigger (all are caught by the generator's
+/// isolation boundaries; the hook runs before the catch).
+fn quiet_expected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<&str>()
+                        .map(ToString::to_string)
+                })
+                .unwrap_or_default();
+            let expected = msg.contains(INJECTED_PANIC)
+                || msg.contains("alive nodes are scheduled")
+                || msg.contains("no entry found for key");
+            if !expected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn pick_arch(i: usize) -> Machine {
+    match i % 4 {
+        0 => archs::example_arch(4),
+        1 => archs::example_arch(2),
+        2 => archs::wide_arch(3),
+        _ => archs::dsp_arch(4),
+    }
+}
+
+fn rand_cfg(n_ops: usize) -> RandDagConfig {
+    RandDagConfig {
+        n_ops,
+        n_inputs: 3,
+        ops: vec![Op::Add, Op::Sub, Op::Mul, Op::Add],
+        n_outputs: 2,
+        locality: 0.5,
+        const_prob: 0.0,
+    }
+}
+
+fn faulty_options(faults: FaultConfig) -> CodegenOptions {
+    CodegenOptions::heuristics_on()
+        .with_verify(true)
+        .with_faults(Some(faults))
+}
+
+/// Compile under `options`, asserting that no panic escapes. Returns the
+/// generator's result.
+fn compile_isolated(
+    f: &Function,
+    machine: Machine,
+    options: CodegenOptions,
+) -> Result<(aviv::VliwProgram, aviv::CompileReport), CodegenError> {
+    quiet_expected_panics();
+    let gen = CodeGenerator::new(machine).options(options);
+    catch_unwind(AssertUnwindSafe(|| gen.compile_function(f)))
+        .expect("no panic may escape compile_function")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Invariant (1): for random programs, random machines, and every
+    /// fault kind at every stage, `compile_function` returns a Result —
+    /// it never panics and never hangs.
+    #[test]
+    fn no_panic_escapes_under_fault_injection(
+        seed in 0u64..100_000,
+        n_blocks in 1usize..5,
+        n_ops in 2usize..9,
+        rate in 1u64..4,
+        arch_pick in 0usize..4,
+    ) {
+        let f = random_function(&rand_cfg(n_ops), n_blocks, seed);
+        let faults = FaultConfig::seeded(seed).every(rate);
+        let result = compile_isolated(&f, pick_arch(arch_pick), faulty_options(faults));
+        // Either outcome is fine; an error must render as a stable
+        // user-facing message.
+        if let Err(e) = result {
+            let msg = e.to_string();
+            prop_assert!(!msg.is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Invariant (3): fault decisions are a pure function of
+    /// (seed, block, stage), so injection cannot break the
+    /// byte-identical-across-worker-counts guarantee.
+    #[test]
+    fn fault_injection_is_deterministic_across_jobs(
+        seed in 0u64..100_000,
+        n_blocks in 2usize..6,
+        n_ops in 2usize..8,
+    ) {
+        let f = random_function(&rand_cfg(n_ops), n_blocks, seed);
+        let faults = FaultConfig::seeded(seed).every(2);
+        let opts = faulty_options(faults).with_fuel(Some(200));
+        let outcomes: Vec<_> = [1usize, 4, 0]
+            .iter()
+            .map(|&jobs| {
+                compile_isolated(
+                    &f,
+                    archs::example_arch(4),
+                    opts.clone().with_jobs(jobs),
+                )
+            })
+            .collect();
+        match &outcomes[0] {
+            Ok((program, report)) => {
+                for o in &outcomes[1..] {
+                    let (p, r) = o.as_ref().map_err(|e| {
+                        TestCaseError::fail(format!("jobs disagree: {e}"))
+                    })?;
+                    prop_assert_eq!(p, program, "program differs across jobs");
+                    prop_assert_eq!(
+                        &r.downgrades, &report.downgrades,
+                        "downgrade record differs across jobs"
+                    );
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for o in &outcomes[1..] {
+                    prop_assert!(o.is_err(), "jobs disagree about success");
+                    prop_assert_eq!(
+                        o.as_ref().err().map(ToString::to_string),
+                        Some(msg.clone()),
+                        "error differs across jobs"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Invariant (4): starvation budgets degrade code quality, never
+    /// correctness — every fuel-starved compile must terminate, succeed
+    /// (the last ladder rung always terminates), and pass the
+    /// differential oracle against the reference interpreter.
+    #[test]
+    fn fuel_starved_compiles_stay_faithful(
+        seed in 0u64..100_000,
+        n_ops in 2usize..10,
+        fuel in 1u64..40,
+        arch_pick in 0usize..4,
+        a0 in -1000i64..1000,
+        a1 in -1000i64..1000,
+        a2 in -1000i64..1000,
+    ) {
+        quiet_expected_panics();
+        let f = random_block(&rand_cfg(n_ops), seed);
+        let options = CodegenOptions::heuristics_on()
+            .with_verify(true)
+            .with_fuel(Some(fuel));
+        check_function(&f, pick_arch(arch_pick), options, &[a0, a1, a2], &[])
+            .map_err(|e| TestCaseError::fail(format!("fuel {fuel}: {e}")))?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Invariant (2)+(4) combined: under fault injection, a compile that
+    /// *reports success* must also be faithful. Compile errors are
+    /// acceptable (the harness injects unrecoverable faults too); silent
+    /// miscompiles are not.
+    #[test]
+    fn faulty_compiles_that_succeed_are_faithful(
+        seed in 0u64..100_000,
+        n_ops in 2usize..9,
+        rate in 1u64..3,
+        a0 in -1000i64..1000,
+        a1 in -1000i64..1000,
+    ) {
+        quiet_expected_panics();
+        let f = random_block(&rand_cfg(n_ops), seed);
+        let faults = FaultConfig::seeded(seed).every(rate);
+        match check_function(
+            &f,
+            archs::example_arch(4),
+            faulty_options(faults),
+            &[a0, a1, 7],
+            &[],
+        ) {
+            Ok(()) | Err(DiffError::Compile(_)) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+    }
+}
+
+/// A two-block program with a branch, used by the targeted stage tests.
+fn branchy() -> Function {
+    aviv_ir::parse_function(
+        "func f(a, b) { x = a * b + 1; if (x > 3) goto t; y = x + 2; t: return x; }",
+    )
+    .expect("fixture parses")
+}
+
+#[test]
+fn panic_at_every_point_becomes_block_failed() {
+    let faults = FaultConfig::seeded(0).every(1).of_kind(FaultKind::Panic);
+    let result = compile_isolated(&branchy(), archs::example_arch(4), faulty_options(faults));
+    match result {
+        Err(CodegenError::BlockFailed { cause, .. }) => {
+            assert!(cause.contains(INJECTED_PANIC), "{cause}");
+        }
+        other => panic!("expected BlockFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn single_panic_at_covering_degrades_to_sequential() {
+    let faults = FaultConfig::seeded(0)
+        .every(1)
+        .at_stage(Stage::Cover)
+        .of_kind(FaultKind::Panic);
+    let (_, report) = compile_isolated(&branchy(), archs::example_arch(4), faulty_options(faults))
+        .expect("one caught panic per block must not fail the compile");
+    assert!(!report.complete);
+    assert_eq!(report.downgrades.len(), report.blocks.len());
+    for (b, d) in report.blocks.iter().zip(&report.downgrades) {
+        assert_eq!(b.mode, CoverMode::Sequential);
+        assert!(matches!(d.reason, aviv::DowngradeReason::Panic(_)), "{d}");
+    }
+}
+
+#[test]
+fn malformed_allocation_is_caught_by_the_verifier_and_degraded() {
+    let faults = FaultConfig::seeded(0)
+        .every(1)
+        .at_stage(Stage::RegAlloc)
+        .of_kind(FaultKind::Malform);
+    let (_, report) = compile_isolated(&branchy(), archs::example_arch(4), faulty_options(faults))
+        .expect("verifier-caught corruption must degrade, not fail");
+    assert!(!report.complete);
+    assert!(!report.downgrades.is_empty());
+    for d in &report.downgrades {
+        assert!(
+            matches!(&d.reason, aviv::DowngradeReason::Error(e) if e.contains("invariant")),
+            "{d}"
+        );
+    }
+}
+
+#[test]
+fn malformed_cover_graph_degrades_with_structured_reason() {
+    let faults = FaultConfig::seeded(0)
+        .every(1)
+        .at_stage(Stage::SplitDag)
+        .of_kind(FaultKind::Malform);
+    let (_, report) = compile_isolated(&branchy(), archs::example_arch(4), faulty_options(faults))
+        .expect("corrupted cover graph must degrade, not fail");
+    assert!(!report.complete);
+    assert!(!report.downgrades.is_empty());
+}
+
+#[test]
+fn injected_exhaustion_walks_the_ladder() {
+    let faults = FaultConfig::seeded(0)
+        .every(1)
+        .at_stage(Stage::Cliques)
+        .of_kind(FaultKind::Exhaust);
+    let (_, report) = compile_isolated(&branchy(), archs::example_arch(4), faulty_options(faults))
+        .expect("injected exhaustion must degrade, not fail");
+    assert!(!report.complete);
+    for d in &report.downgrades {
+        assert!(
+            matches!(
+                d.reason,
+                aviv::DowngradeReason::Budget(Exhaustion::Injected)
+            ),
+            "{d}"
+        );
+    }
+}
+
+#[test]
+fn exhaustion_at_emission_is_a_budget_error() {
+    let faults = FaultConfig::seeded(0)
+        .every(1)
+        .at_stage(Stage::Emit)
+        .of_kind(FaultKind::Exhaust);
+    let result = compile_isolated(&branchy(), archs::example_arch(4), faulty_options(faults));
+    assert!(
+        matches!(result, Err(CodegenError::Budget(Exhaustion::Injected))),
+        "{result:?}"
+    );
+}
+
+#[test]
+fn panic_at_emission_is_caught_at_the_block_boundary() {
+    let faults = FaultConfig::seeded(0)
+        .every(1)
+        .at_stage(Stage::Emit)
+        .of_kind(FaultKind::Panic);
+    let result = compile_isolated(&branchy(), archs::example_arch(4), faulty_options(faults));
+    match result {
+        Err(CodegenError::BlockFailed { block, cause }) => {
+            assert_eq!(block, 0);
+            assert!(cause.contains(INJECTED_PANIC), "{cause}");
+        }
+        other => panic!("expected BlockFailed at emission, got {other:?}"),
+    }
+}
+
+#[test]
+fn default_budgets_are_byte_identical_to_unbudgeted() {
+    // Bundled-asset guarantee: with budgets at their defaults (or merely
+    // generous), outputs are byte-identical to a run with no budget
+    // machinery at all.
+    let f = branchy();
+    for machine in [archs::example_arch(4), archs::wide_arch(3)] {
+        let base = compile_isolated(&f, machine.clone(), CodegenOptions::heuristics_on())
+            .expect("baseline compile succeeds");
+        let generous = compile_isolated(
+            &f,
+            machine,
+            CodegenOptions::heuristics_on()
+                .with_fuel(Some(u64::MAX))
+                .with_deadline_ms(Some(3_600_000)),
+        )
+        .expect("generous budget compile succeeds");
+        assert_eq!(base.0, generous.0, "budget plumbing changed the output");
+        assert!(generous.1.complete);
+        assert!(generous.1.downgrades.is_empty());
+    }
+}
