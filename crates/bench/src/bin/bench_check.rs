@@ -1,0 +1,49 @@
+//! CI gate for `BENCH_*.json` snapshots.
+//!
+//! Usage: `bench_check <snapshot.json> [other-run.json]`
+//!
+//! Verifies each file against the pinned schema (version and required
+//! keys; see `aviv_bench::json::check_schema`). When two files are
+//! given they must be snapshots of the same suite from repeated runs:
+//! their deterministic skeletons — everything except wall times — have
+//! to match byte for byte, or the run was nondeterministic and the job
+//! fails.
+
+use aviv_bench::{check_schema, deterministic_skeleton};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() > 2 {
+        eprintln!("usage: bench_check <snapshot.json> [other-run.json]");
+        return ExitCode::FAILURE;
+    }
+    let mut docs = Vec::new();
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = check_schema(&text) {
+            eprintln!("{path}: schema check failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{path}: schema ok");
+        docs.push(text);
+    }
+    if let [a, b] = docs.as_slice() {
+        if deterministic_skeleton(a) != deterministic_skeleton(b) {
+            eprintln!(
+                "{} and {} disagree outside the timing fields: \
+                 the suite is nondeterministic",
+                args[0], args[1]
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("deterministic skeletons match");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,12 +1,25 @@
 //! Compile the DSP kernel suite for several machines and report code
 //! sizes — the workload family the paper's introduction motivates.
+//!
+//! Flags: `--json [dir]` additionally writes a machine-readable
+//! `BENCH_kernels.json` snapshot (schema in `docs/benchmarking.md`)
+//! into `dir` (default: the current directory).
 
 use aviv::{CodeGenerator, CodegenOptions};
-use aviv_bench::all_kernels;
+use aviv_bench::{all_kernels, BenchRow, BenchSnapshot};
 use aviv_ir::MemLayout;
 use aviv_isdl::archs;
+use std::time::Instant;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_dir = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with('-'))
+            .cloned()
+            .unwrap_or_else(|| ".".to_string())
+    });
+
     let machines = [
         archs::example_arch(4),
         archs::arch_two(4),
@@ -14,6 +27,7 @@ fn main() {
         archs::wide_arch(4),
         archs::single_alu(6),
     ];
+    let mut snapshot = BenchSnapshot::new("kernels");
     print!("{:12}", "kernel");
     for m in &machines {
         print!(" | {:>10}", m.name);
@@ -27,8 +41,22 @@ fn main() {
             let gen = CodeGenerator::new(machine.clone()).options(CodegenOptions::heuristics_on());
             let mut syms = f.syms.clone();
             let mut layout = MemLayout::for_function(&f);
+            let t0 = Instant::now();
             match gen.compile_block(&f.blocks[0].dag, &mut syms, &mut layout) {
-                Ok(r) => print!(" | {:>10}", r.report.instructions),
+                Ok(r) => {
+                    let wall = t0.elapsed();
+                    print!(" | {:>10}", r.report.instructions);
+                    snapshot.rows.push(BenchRow {
+                        name: k.name.to_string(),
+                        machine: machine.name.clone(),
+                        wall_ms: wall.as_secs_f64() * 1e3,
+                        instructions: r.report.instructions,
+                        spills: r.report.spills,
+                        node_expansions: r.report.node_expansions,
+                        peak_pressure: r.report.peak_pressure,
+                        stages_ms: Some(r.report.stages.into()),
+                    });
+                }
                 Err(_) => print!(" | {:>10}", "n/a"),
             }
         }
@@ -36,4 +64,14 @@ fn main() {
     }
     println!("\ncells: VLIW instructions for the kernel body (n/a = kernel uses");
     println!("an operation the machine does not implement).");
+
+    if let Some(dir) = json_dir {
+        match snapshot.write_to(std::path::Path::new(&dir)) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write snapshot to {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -1,0 +1,325 @@
+//! Machine-readable benchmark snapshots.
+//!
+//! Each bench binary can emit a `BENCH_<suite>.json` file next to its
+//! text table so the performance trajectory of the generator is
+//! diffable across commits by tooling, not just by eye. The format is
+//! deliberately dependency-free (no serde in the workspace): a small
+//! writer with a pinned key order, and a structural checker the CI
+//! smoke job runs against every emitted file.
+//!
+//! Schema (version [`SCHEMA_VERSION`]):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "suite": "kernels",
+//!   "rows": [
+//!     {
+//!       "name": "dot4",
+//!       "machine": "dspMac",
+//!       "wall_ms": 1.234,
+//!       "instructions": 7,
+//!       "spills": 0,
+//!       "node_expansions": 182,
+//!       "peak_pressure": 3,
+//!       "stages_ms": {
+//!         "sndag": 0.1, "explore": 0.5, "cover": 0.4,
+//!         "alloc": 0.1, "peephole": 0.0, "verify": 0.0
+//!       }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `stages_ms` is optional per row (suites that time whole compiles
+//! rather than stages omit it). Wall times vary run to run; every other
+//! field is deterministic, which is what the CI determinism gate checks.
+
+use aviv::StageTimes;
+use std::fmt::Write as _;
+
+/// Version of the snapshot schema. Bump on any key rename/removal;
+/// additions are allowed within a version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Per-stage wall-clock breakdown, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageBreakdown {
+    /// Split-Node DAG construction.
+    pub sndag: f64,
+    /// Assignment exploration.
+    pub explore: f64,
+    /// Clique generation + covering + scheduling.
+    pub cover: f64,
+    /// Register allocation.
+    pub alloc: f64,
+    /// Peephole cleanup.
+    pub peephole: f64,
+    /// Schedule/invariant verification.
+    pub verify: f64,
+}
+
+impl From<StageTimes> for StageBreakdown {
+    fn from(t: StageTimes) -> StageBreakdown {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        StageBreakdown {
+            sndag: ms(t.sndag),
+            explore: ms(t.explore),
+            cover: ms(t.cover),
+            alloc: ms(t.alloc),
+            peephole: ms(t.peephole),
+            verify: ms(t.verify),
+        }
+    }
+}
+
+/// One measured compile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Workload name (kernel, example, or synthetic-block label).
+    pub name: String,
+    /// Machine description the workload was compiled for.
+    pub machine: String,
+    /// End-to-end wall time in milliseconds (nondeterministic).
+    pub wall_ms: f64,
+    /// VLIW instructions emitted.
+    pub instructions: usize,
+    /// Spills inserted.
+    pub spills: usize,
+    /// Covering-search node expansions (deterministic work measure).
+    pub node_expansions: u64,
+    /// Peak simultaneous live values in the most-loaded register bank.
+    pub peak_pressure: usize,
+    /// Optional per-stage wall-time breakdown.
+    pub stages_ms: Option<StageBreakdown>,
+}
+
+/// A full `BENCH_<suite>.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Suite name; the file is written as `BENCH_<suite>.json`.
+    pub suite: String,
+    /// Measured rows, in suite order.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchSnapshot {
+    /// New empty snapshot for `suite`.
+    pub fn new(suite: impl Into<String>) -> BenchSnapshot {
+        BenchSnapshot {
+            suite: suite.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The file name this snapshot is written under.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.suite)
+    }
+
+    /// Serialize with a pinned key order and `{:.3}` millisecond
+    /// precision, so two runs with identical deterministic fields
+    /// differ only in `wall_ms`/`stages_ms` digits.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"suite\": {},", escape(&self.suite));
+        out.push_str("  \"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            let _ = writeln!(out, "      \"name\": {},", escape(&r.name));
+            let _ = writeln!(out, "      \"machine\": {},", escape(&r.machine));
+            let _ = writeln!(out, "      \"wall_ms\": {:.3},", r.wall_ms);
+            let _ = writeln!(out, "      \"instructions\": {},", r.instructions);
+            let _ = writeln!(out, "      \"spills\": {},", r.spills);
+            let _ = writeln!(out, "      \"node_expansions\": {},", r.node_expansions);
+            match r.stages_ms {
+                None => {
+                    let _ = writeln!(out, "      \"peak_pressure\": {}", r.peak_pressure);
+                }
+                Some(s) => {
+                    let _ = writeln!(out, "      \"peak_pressure\": {},", r.peak_pressure);
+                    out.push_str("      \"stages_ms\": { ");
+                    let _ = write!(
+                        out,
+                        "\"sndag\": {:.3}, \"explore\": {:.3}, \"cover\": {:.3}, \
+                         \"alloc\": {:.3}, \"peephole\": {:.3}, \"verify\": {:.3}",
+                        s.sndag, s.explore, s.cover, s.alloc, s.peephole, s.verify
+                    );
+                    out.push_str(" }\n");
+                }
+            }
+            out.push_str("    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<suite>.json` into `dir`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be written.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Structurally check a snapshot document: the schema version must
+/// match [`SCHEMA_VERSION`] and every row must carry the required keys.
+/// This is the CI gate against accidental schema drift; it is a
+/// key-presence check, not a full JSON parser.
+///
+/// # Errors
+///
+/// Returns a message naming the first missing/mismatched piece.
+pub fn check_schema(json: &str) -> Result<(), String> {
+    let version_key = format!("\"schema_version\": {SCHEMA_VERSION}");
+    if !json.contains(&version_key) {
+        return Err(format!(
+            "missing or mismatched schema version (want `{version_key}`)"
+        ));
+    }
+    if !json.contains("\"suite\":") {
+        return Err("missing `suite` field".to_string());
+    }
+    if !json.contains("\"rows\":") {
+        return Err("missing `rows` field".to_string());
+    }
+    let rows = json.matches("\"name\":").count();
+    for key in [
+        "\"machine\":",
+        "\"wall_ms\":",
+        "\"instructions\":",
+        "\"spills\":",
+        "\"node_expansions\":",
+        "\"peak_pressure\":",
+    ] {
+        let n = json.matches(key).count();
+        if n != rows {
+            return Err(format!("key {key} appears {n} times for {rows} rows"));
+        }
+    }
+    Ok(())
+}
+
+/// Strip the nondeterministic fields (`wall_ms`, `stages_ms`) from a
+/// snapshot document, leaving only the deterministic skeleton. Two runs
+/// of the same suite at any `--jobs` value must agree on this skeleton;
+/// the CI smoke job diffs it across repeated runs.
+pub fn deterministic_skeleton(json: &str) -> String {
+    json.lines()
+        .filter(|l| {
+            let t = l.trim_start();
+            !t.starts_with("\"wall_ms\":") && !t.starts_with("\"stages_ms\":")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSnapshot {
+        BenchSnapshot {
+            suite: "kernels".into(),
+            rows: vec![
+                BenchRow {
+                    name: "dot4".into(),
+                    machine: "dspMac".into(),
+                    wall_ms: 1.2345,
+                    instructions: 7,
+                    spills: 0,
+                    node_expansions: 182,
+                    peak_pressure: 3,
+                    stages_ms: Some(StageBreakdown {
+                        sndag: 0.1,
+                        explore: 0.5,
+                        cover: 0.4,
+                        alloc: 0.1,
+                        peephole: 0.0,
+                        verify: 0.0,
+                    }),
+                },
+                BenchRow {
+                    name: "rand12".into(),
+                    machine: "exampleArch".into(),
+                    wall_ms: 10.0,
+                    instructions: 13,
+                    spills: 1,
+                    node_expansions: 999,
+                    peak_pressure: 4,
+                    stages_ms: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn serializes_and_passes_schema_check() {
+        let json = sample().to_json();
+        check_schema(&json).unwrap();
+        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"wall_ms\": 1.234"), "{json}");
+    }
+
+    #[test]
+    fn schema_check_rejects_drift() {
+        let json = sample().to_json();
+        assert!(check_schema(&json.replace("schema_version\": 1", "schema_version\": 2")).is_err());
+        assert!(check_schema(&json.replace("\"spills\":", "\"spilled\":")).is_err());
+        assert!(check_schema("{}").is_err());
+    }
+
+    #[test]
+    fn skeleton_drops_only_timing() {
+        let json = sample().to_json();
+        let skel = deterministic_skeleton(&json);
+        assert!(!skel.contains("wall_ms"));
+        assert!(!skel.contains("stages_ms"));
+        assert!(skel.contains("\"node_expansions\": 182"));
+        // Same deterministic fields, different wall time → same skeleton.
+        let mut slow = sample();
+        slow.rows[0].wall_ms = 99.0;
+        assert_eq!(skel, deterministic_skeleton(&slow.to_json()));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = sample();
+        s.rows[0].name = "we\"ird\\name".into();
+        let json = s.to_json();
+        assert!(json.contains(r#""we\"ird\\name""#), "{json}");
+    }
+
+    #[test]
+    fn file_name_embeds_suite() {
+        assert_eq!(sample().file_name(), "BENCH_kernels.json");
+    }
+}

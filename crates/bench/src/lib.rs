@@ -9,6 +9,7 @@
 pub mod compare;
 pub mod examples;
 pub mod figures;
+pub mod json;
 pub mod kernels;
 pub mod tables;
 
@@ -16,5 +17,6 @@ pub use compare::{
     compare_examples, compare_random, render_compare, render_scaling, scaling_sweep,
 };
 pub use examples::{table2_examples, table_examples, Example};
+pub use json::{check_schema, deterministic_skeleton, BenchRow, BenchSnapshot, StageBreakdown};
 pub use kernels::{all_kernels, Kernel};
 pub use tables::{render, run_row, table1, table2, TableConfig, TableRow};

@@ -1,0 +1,90 @@
+//! Golden-file pin of the `BENCH_*.json` snapshot schema.
+//!
+//! The snapshot format is consumed by out-of-repo tooling (CI artifact
+//! diffing, perf-trajectory plots), so its shape is pinned to a golden
+//! file: any serializer change that alters the bytes of a fixed
+//! snapshot fails here and must bump `SCHEMA_VERSION` (and the golden)
+//! deliberately.
+
+use aviv_bench::{check_schema, deterministic_skeleton, BenchRow, BenchSnapshot, StageBreakdown};
+
+/// A snapshot with every field pinned (wall times included — this is a
+/// hand-constructed fixture, not a measurement).
+fn fixture() -> BenchSnapshot {
+    BenchSnapshot {
+        suite: "kernels".into(),
+        rows: vec![
+            BenchRow {
+                name: "dot4".into(),
+                machine: "dspMac".into(),
+                wall_ms: 1.5,
+                instructions: 7,
+                spills: 0,
+                node_expansions: 182,
+                peak_pressure: 3,
+                stages_ms: Some(StageBreakdown {
+                    sndag: 0.125,
+                    explore: 0.5,
+                    cover: 0.75,
+                    alloc: 0.0625,
+                    peephole: 0.03125,
+                    verify: 0.03125,
+                }),
+            },
+            BenchRow {
+                name: "sum_loop".into(),
+                machine: "archII".into(),
+                wall_ms: 2.25,
+                instructions: 11,
+                spills: 1,
+                node_expansions: 640,
+                peak_pressure: 4,
+                stages_ms: None,
+            },
+        ],
+    }
+}
+
+/// Regenerate the golden after a deliberate schema change:
+/// `cargo test -p aviv-bench --test json_schema -- --ignored regen_golden`
+#[test]
+#[ignore = "writes tests/golden/bench_snapshot.json; run with --ignored to regenerate"]
+fn regen_golden() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/bench_snapshot.json"
+    );
+    std::fs::write(path, fixture().to_json()).unwrap();
+}
+
+#[test]
+fn snapshot_matches_golden_file() {
+    let golden = include_str!("golden/bench_snapshot.json");
+    let got = fixture().to_json();
+    assert_eq!(
+        got, golden,
+        "BENCH_*.json schema drifted from the golden file; if the change \
+         is intentional, bump SCHEMA_VERSION and regenerate the golden"
+    );
+}
+
+#[test]
+fn golden_passes_the_ci_schema_gate() {
+    check_schema(include_str!("golden/bench_snapshot.json")).unwrap();
+}
+
+#[test]
+fn serialization_is_deterministic() {
+    assert_eq!(fixture().to_json(), fixture().to_json());
+}
+
+#[test]
+fn skeleton_is_wall_time_invariant() {
+    let mut jittered = fixture();
+    jittered.rows[0].wall_ms = 123.456;
+    jittered.rows[1].wall_ms = 0.001;
+    assert_eq!(
+        deterministic_skeleton(&fixture().to_json()),
+        deterministic_skeleton(&jittered.to_json())
+    );
+}

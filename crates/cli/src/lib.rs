@@ -54,6 +54,10 @@ pub struct Options {
     pub machine_path: String,
     /// Path to the source program.
     pub program_path: String,
+    /// Additional program paths (batch mode): every program is compiled
+    /// for the same machine, across the worker pool when `--jobs` is not
+    /// 1, and the outputs are concatenated in argument order.
+    pub extra_programs: Vec<String>,
     /// What to emit.
     pub emit: Emit,
     /// Output path (`-` or absent = stdout).
@@ -210,7 +214,7 @@ fn err(msg: impl Into<String>) -> CliError {
 
 /// Usage text.
 pub const USAGE: &str = "\
-usage: avivc --machine <file.isdl> <program.av> [options]
+usage: avivc --machine <file.isdl> <program.av> [more.av ...] [options]
        avivc lint <file.isdl> [--format text|json] [--deny-warnings]
        avivc check <program.av> [--machine <file.isdl>]
                                 [--format text|json] [--deny-warnings]
@@ -220,9 +224,11 @@ options:
                                       what to produce (default: asm)
   -o, --output <path>                 write to a file instead of stdout
   --preset on|thorough|off            heuristic preset (default: on)
-  --jobs <n>                          worker threads for per-block
-                                      covering (1 = sequential, 0 = one
-                                      per core; default: 1). The output
+  --jobs <n>                          worker threads (1 = sequential,
+                                      0 = one per core; default: 1).
+                                      With one program the pool covers
+                                      blocks; with several programs it
+                                      covers whole programs. The output
                                       is identical for every value
   --simulate k=v[,k=v...]             run the program with these inputs
   --stats                             print utilization statistics
@@ -253,6 +259,11 @@ diagnostics (see docs/diagnostics.md); it exits nonzero when any
 error-severity finding is reported (or any finding at all under
 `--deny-warnings`).
 
+Passing several program paths compiles each of them for the same
+machine (batch mode) and concatenates the assembly in argument order,
+each chunk under a `; program <name>` banner. Batch mode supports
+`--emit asm` only.
+
 `avivc check` statically analyzes a source program with the global
 dataflow framework — uninitialized uses, unreachable blocks, dead
 stores, unused parameters, redundant copies, constant branches — and
@@ -271,6 +282,7 @@ impl Options {
     pub fn parse(args: &[String]) -> Result<Options, CliError> {
         let mut machine_path = None;
         let mut program_path = None;
+        let mut extra_programs = Vec::new();
         let mut emit = Emit::Asm;
         let mut output = None;
         let mut preset = "on".to_string();
@@ -362,12 +374,16 @@ impl Options {
                 other if !other.starts_with('-') && program_path.is_none() => {
                     program_path = Some(other.to_string());
                 }
+                other if !other.starts_with('-') => {
+                    extra_programs.push(other.to_string());
+                }
                 other => return Err(err(format!("unknown argument `{other}`\n{USAGE}"))),
             }
         }
         Ok(Options {
             machine_path: machine_path.ok_or_else(|| err("missing --machine"))?,
             program_path: program_path.ok_or_else(|| err("missing program path"))?,
+            extra_programs,
             emit,
             output,
             preset,
@@ -410,17 +426,7 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
         });
     }
 
-    let mut preset = match options.preset.as_str() {
-        "thorough" => CodegenOptions::thorough(),
-        "off" => CodegenOptions::heuristics_off(),
-        _ => CodegenOptions::heuristics_on(),
-    }
-    .with_jobs(options.jobs)
-    .with_fuel(options.fuel)
-    .with_deadline_ms(options.timeout_ms);
-    if options.verify {
-        preset = preset.with_verify(true);
-    }
+    let preset = build_preset(options);
     let mut outcome = Outcome::default();
     let generator = CodeGenerator::new(machine).options(preset);
     let target = generator.target().clone();
@@ -511,6 +517,95 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
         }
         _ => unreachable!("handled above"),
     };
+    Ok(outcome)
+}
+
+fn build_preset(options: &Options) -> CodegenOptions {
+    let mut preset = match options.preset.as_str() {
+        "thorough" => CodegenOptions::thorough(),
+        "off" => CodegenOptions::heuristics_off(),
+        _ => CodegenOptions::heuristics_on(),
+    }
+    .with_jobs(options.jobs)
+    .with_fuel(options.fuel)
+    .with_deadline_ms(options.timeout_ms);
+    if options.verify {
+        preset = preset.with_verify(true);
+    }
+    preset
+}
+
+/// Run the driver in batch mode: compile every program for the same
+/// machine across the worker pool and concatenate the rendered assembly
+/// in input order, each chunk under a `; program <name>` banner.
+///
+/// Programs are distributed over `--jobs` workers at whole-program
+/// granularity (see `CodeGenerator::compile_batch`); the concatenated
+/// output and the per-program report lines are byte-identical for any
+/// worker count.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unparsable sources, for the first failing
+/// compile (prefixed with the program's name), or when an option that
+/// has no batch meaning (`--emit` other than `asm`, `--baseline`,
+/// `--simulate`, `--explain`) was combined with multiple programs.
+pub fn drive_batch(
+    options: &Options,
+    machine_src: &str,
+    programs: &[(String, String)],
+) -> Result<Outcome, CliError> {
+    if options.emit != Emit::Asm {
+        return Err(err(
+            "batch mode (multiple programs) supports --emit asm only",
+        ));
+    }
+    if options.baseline || options.simulate.is_some() || options.explain {
+        return Err(err(
+            "batch mode (multiple programs) does not support --baseline, \
+             --simulate, or --explain",
+        ));
+    }
+    let machine =
+        parse_machine(machine_src).map_err(|e| err(format!("machine description: {e}")))?;
+    let mut functions = Vec::with_capacity(programs.len());
+    for (name, src) in programs {
+        functions.push(parse_function(src).map_err(|e| err(format!("{name}: {e}")))?);
+    }
+
+    let generator = CodeGenerator::new(machine).options(build_preset(options));
+    let target = generator.target().clone();
+    let mut outcome = Outcome::default();
+    let results = generator.compile_batch(&functions);
+    for ((name, _), result) in programs.iter().zip(results) {
+        let (program, report) = result.map_err(|e| err(format!("{name}: compile: {e}")))?;
+        for d in &report.downgrades {
+            let _ = writeln!(outcome.report, "{name}: downgrade: {d}");
+        }
+        if !report.complete {
+            let _ = writeln!(
+                outcome.report,
+                "{name}: note: compile incomplete under the given budget; output \
+                 is correct but may be slower than an unbudgeted compile"
+            );
+        }
+        if options.stats {
+            let stats = aviv_vm::program_stats(&target, &program);
+            outcome.report.push_str(&stats.render(&target));
+            let _ = writeln!(
+                outcome.report,
+                "{name}: blocks: {}, total instructions: {}",
+                report.blocks.len(),
+                report.total_instructions
+            );
+        }
+        outcome
+            .output
+            .extend_from_slice(format!("; program {name}\n").as_bytes());
+        outcome
+            .output
+            .extend_from_slice(program.render(&target).as_bytes());
+    }
     Ok(outcome)
 }
 
@@ -765,6 +860,76 @@ mod tests {
         let seq = drive(&opts(&[]), MACHINE, program).unwrap();
         let par = drive(&opts(&["--jobs", "4"]), MACHINE, program).unwrap();
         assert_eq!(seq.output, par.output, "--jobs must not change output");
+    }
+
+    #[test]
+    fn batch_parse_collects_extra_programs() {
+        let o = Options::parse(&[
+            "--machine".into(),
+            "m.isdl".into(),
+            "a.av".into(),
+            "b.av".into(),
+            "c.av".into(),
+        ])
+        .unwrap();
+        assert_eq!(o.program_path, "a.av");
+        assert_eq!(
+            o.extra_programs,
+            vec!["b.av".to_string(), "c.av".to_string()]
+        );
+        assert!(opts(&[]).extra_programs.is_empty());
+    }
+
+    #[test]
+    fn batch_output_is_banner_separated_and_jobs_invariant() {
+        let second = "func g(a, b) { y = a + b; z = y * y; return z; }";
+        let programs = vec![
+            ("first.av".to_string(), PROGRAM.to_string()),
+            ("second.av".to_string(), second.to_string()),
+        ];
+        let batch = drive_batch(&opts(&[]), MACHINE, &programs).unwrap();
+        let text = String::from_utf8(batch.output.clone()).unwrap();
+        // Input order is preserved and each chunk matches the
+        // single-program driver byte for byte.
+        let one = drive(&opts(&[]), MACHINE, PROGRAM).unwrap();
+        let two = drive(&opts(&[]), MACHINE, second).unwrap();
+        let mut expected = b"; program first.av\n".to_vec();
+        expected.extend_from_slice(&one.output);
+        expected.extend_from_slice(b"; program second.av\n");
+        expected.extend_from_slice(&two.output);
+        assert_eq!(batch.output, expected, "{text}");
+        // Worker count never changes the bytes.
+        for jobs in ["0", "4"] {
+            let par = drive_batch(&opts(&["--jobs", jobs]), MACHINE, &programs).unwrap();
+            assert_eq!(par.output, batch.output, "--jobs {jobs}");
+            assert_eq!(par.report, batch.report, "--jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_single_program_modes() {
+        let programs = vec![
+            ("a.av".to_string(), PROGRAM.to_string()),
+            ("b.av".to_string(), PROGRAM.to_string()),
+        ];
+        assert!(drive_batch(&opts(&["--emit", "bin"]), MACHINE, &programs).is_err());
+        assert!(drive_batch(&opts(&["--baseline"]), MACHINE, &programs).is_err());
+        assert!(drive_batch(&opts(&["--simulate", "a=1"]), MACHINE, &programs).is_err());
+        assert!(drive_batch(&opts(&["--explain"]), MACHINE, &programs).is_err());
+    }
+
+    #[test]
+    fn batch_reports_are_name_prefixed() {
+        let programs = vec![
+            ("a.av".to_string(), PROGRAM.to_string()),
+            ("b.av".to_string(), PROGRAM.to_string()),
+        ];
+        let out = drive_batch(&opts(&["--fuel", "1"]), MACHINE, &programs).unwrap();
+        assert!(out.report.contains("a.av: downgrade:"), "{}", out.report);
+        assert!(out.report.contains("b.av: downgrade:"), "{}", out.report);
+        let bad = vec![("broken.av".to_string(), "func f( {".to_string())];
+        let e = drive_batch(&opts(&[]), MACHINE, &bad).unwrap_err();
+        assert!(e.0.starts_with("broken.av:"), "{e}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! `avivc` — compile programs for ISDL-described machines.
 
-use aviv_cli::{drive, run_check, run_lint, Command};
+use aviv_cli::{drive, drive_batch, run_check, run_lint, Command};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -71,14 +71,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let program_src = match std::fs::read_to_string(&options.program_path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("cannot read {}: {e}", options.program_path);
-                    return ExitCode::FAILURE;
+            let mut programs = Vec::new();
+            for path in std::iter::once(&options.program_path).chain(&options.extra_programs) {
+                match std::fs::read_to_string(path) {
+                    Ok(s) => programs.push((path.clone(), s)),
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
+            }
+            let outcome = if programs.len() > 1 {
+                drive_batch(&options, &machine_src, &programs)
+            } else {
+                drive(&options, &machine_src, &programs[0].1)
             };
-            match drive(&options, &machine_src, &program_src) {
+            match outcome {
                 Ok(outcome) => {
                     if !outcome.report.is_empty() {
                         eprint!("{}", outcome.report);

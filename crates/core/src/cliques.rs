@@ -11,18 +11,22 @@
 
 use crate::budget::Budget;
 use crate::covergraph::{CnKind, CoverGraph, Resource};
-use aviv_ir::BitSet;
+use aviv_ir::{BitMatrix, BitSet};
 use aviv_isdl::{SlotPattern, Target};
 
 /// The pairwise-parallelism matrix over a set of cover nodes.
 ///
-/// `conflict[i]` has bit `j` set when node `i` **cannot** execute in
-/// parallel with node `j` (the paper's matrix stores 1 there).
+/// Row `i` of `conflict` has bit `j` set when node `i` **cannot** execute
+/// in parallel with node `j` (the paper's matrix stores 1 there); row `i`
+/// of `compat` is its complement minus the diagonal bit. Both relations
+/// are packed as [`BitMatrix`] rows so the clique generator works by
+/// whole-row intersection instead of probing pairs one bit at a time.
 #[derive(Debug, Clone)]
 pub struct ParallelismMatrix {
     /// Matrix index → cover-graph node.
     pub ids: Vec<crate::covergraph::CnId>,
-    conflict: Vec<BitSet>,
+    conflict: BitMatrix,
+    compat: BitMatrix,
 }
 
 impl ParallelismMatrix {
@@ -39,7 +43,7 @@ impl ParallelismMatrix {
         level_window: Option<u32>,
     ) -> ParallelismMatrix {
         let n = nodes.len();
-        let mut conflict = vec![BitSet::new(n); n];
+        let mut conflict = BitMatrix::new(n, n);
         for i in 0..n {
             for j in (i + 1)..n {
                 let (a, b) = (nodes[i], nodes[j]);
@@ -61,14 +65,33 @@ impl ParallelismMatrix {
                     }
                 }
                 if c {
-                    conflict[i].insert(j);
-                    conflict[j].insert(i);
+                    conflict.set(i, j);
+                    conflict.set(j, i);
+                }
+            }
+        }
+        ParallelismMatrix::from_conflict_rows(nodes.to_vec(), conflict)
+    }
+
+    /// Finish a matrix from its packed conflict rows by precomputing the
+    /// complementary compatibility rows (diagonal excluded).
+    fn from_conflict_rows(
+        ids: Vec<crate::covergraph::CnId>,
+        conflict: BitMatrix,
+    ) -> ParallelismMatrix {
+        let n = ids.len();
+        let mut compat = BitMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && !conflict.contains(i, j) {
+                    compat.set(i, j);
                 }
             }
         }
         ParallelismMatrix {
-            ids: nodes.to_vec(),
+            ids,
             conflict,
+            compat,
         }
     }
 
@@ -77,17 +100,17 @@ impl ParallelismMatrix {
     /// compare [`gen_max_cliques`] against a brute-force reference on
     /// arbitrary graphs.
     pub fn from_conflicts(n: usize, conflicts: &[(usize, usize)]) -> ParallelismMatrix {
-        let mut conflict = vec![BitSet::new(n); n];
+        let mut conflict = BitMatrix::new(n, n);
         for &(i, j) in conflicts {
             if i != j && i < n && j < n {
-                conflict[i].insert(j);
-                conflict[j].insert(i);
+                conflict.set(i, j);
+                conflict.set(j, i);
             }
         }
-        ParallelismMatrix {
-            ids: (0..n as u32).map(crate::covergraph::CnId).collect(),
+        ParallelismMatrix::from_conflict_rows(
+            (0..n as u32).map(crate::covergraph::CnId).collect(),
             conflict,
-        }
+        )
     }
 
     /// Number of nodes.
@@ -102,7 +125,12 @@ impl ParallelismMatrix {
 
     /// Whether matrix rows `i` and `j` can execute in parallel.
     pub fn compatible(&self, i: usize, j: usize) -> bool {
-        i != j && !self.conflict[i].contains(j)
+        self.compat.contains(i, j)
+    }
+
+    /// The nodes compatible with `i`, as a freestanding set.
+    fn compat_row(&self, i: usize) -> BitSet {
+        self.compat.row_to_bitset(i)
     }
 
     /// Render as the paper's Fig. 7 0/1 matrix (0 = parallel).
@@ -145,54 +173,64 @@ pub fn gen_max_cliques(m: &ParallelismMatrix) -> Vec<BitSet> {
 pub fn gen_max_cliques_budgeted(m: &ParallelismMatrix, budget: &Budget) -> Vec<BitSet> {
     let n = m.len();
     let mut out: Vec<BitSet> = Vec::new();
-    let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<BitSet> = std::collections::HashSet::new();
     for start in 0..n {
         let mut clique = BitSet::new(n);
         clique.insert(start);
-        gen_rec(m, clique, start, &mut out, &mut seen, budget);
+        gen_rec(
+            m,
+            clique,
+            m.compat_row(start),
+            start,
+            &mut out,
+            &mut seen,
+            budget,
+        );
     }
     out
 }
 
 /// One recursive step of Fig. 8's `gen_max_clique(clique, index)`.
+///
+/// `compat` is the running intersection of the compatibility rows of
+/// every clique member — exactly the nodes that could still join — so
+/// membership tests, preclusion tests, and candidate enumeration are all
+/// whole-row bitset operations rather than per-pair probes.
 fn gen_rec(
     m: &ParallelismMatrix,
     mut clique: BitSet,
+    mut compat: BitSet,
     index: usize,
     out: &mut Vec<BitSet>,
-    seen: &mut std::collections::HashSet<Vec<usize>>,
+    seen: &mut std::collections::HashSet<BitSet>,
     budget: &Budget,
 ) {
     budget.note(1);
     if budget.exhaustion().is_some() {
         return;
     }
-    let n = m.len();
-    let compatible_with_clique = |clique: &BitSet, i: usize| {
-        !clique.contains(i) && clique.iter().all(|c| m.compatible(c, i))
-    };
 
     // First loop: add every node that can join and does not preclude any
     // other candidate. The pruning condition: if such a node has a smaller
     // id than `index`, this whole branch was already generated from that
     // node's seed — terminate.
     loop {
-        let candidates: Vec<usize> = (0..n)
-            .filter(|&i| compatible_with_clique(&clique, i))
-            .collect();
+        let candidates = compat.clone();
         let mut grew = false;
-        for &i in &candidates {
-            if !compatible_with_clique(&clique, i) {
+        for i in candidates.iter() {
+            if !compat.contains(i) {
                 continue; // an earlier addition this round absorbed it
             }
-            let precludes = candidates
-                .iter()
-                .any(|&j| j != i && compatible_with_clique(&clique, j) && !m.compatible(i, j));
+            // Adding `i` precludes another live candidate iff its
+            // conflict row overlaps the remaining candidate set (the
+            // diagonal is never set, so `i` itself cannot match).
+            let precludes = m.conflict.row_intersects(i, &compat);
             if !precludes {
                 if i < index {
                     return; // pruning condition of Fig. 8
                 }
                 clique.insert(i);
+                m.compat.intersect_row_into(i, &mut compat);
                 grew = true;
             }
         }
@@ -203,19 +241,16 @@ fn gen_rec(
 
     // Second loop: spawn a recursive call per remaining compatible node.
     let mut spawned = false;
-    for i in 0..n {
-        if compatible_with_clique(&clique, i) {
-            let mut next = clique.clone();
-            next.insert(i);
-            gen_rec(m, next, index.max(i), out, seen, budget);
-            spawned = true;
-        }
+    for i in compat.iter() {
+        let mut next = clique.clone();
+        next.insert(i);
+        let mut next_compat = compat.clone();
+        m.compat.intersect_row_into(i, &mut next_compat);
+        gen_rec(m, next, next_compat, index.max(i), out, seen, budget);
+        spawned = true;
     }
-    if !spawned {
-        let key: Vec<usize> = clique.iter().collect();
-        if seen.insert(key) {
-            out.push(clique);
-        }
+    if !spawned && seen.insert(clique.clone()) {
+        out.push(clique);
     }
 }
 
@@ -230,12 +265,11 @@ pub fn legalize(
     target: &Target,
 ) -> Vec<BitSet> {
     let mut out: Vec<BitSet> = Vec::new();
-    let mut seen: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<BitSet> = std::collections::HashSet::new();
     let mut work: Vec<BitSet> = cliques;
     while let Some(c) = work.pop() {
         if is_legal(&c, m, graph, target) {
-            let key: Vec<usize> = c.iter().collect();
-            if seen.insert(key) {
+            if seen.insert(c.clone()) {
                 out.push(c);
             }
             continue;
@@ -259,8 +293,11 @@ pub fn legalize(
             work.push(rest);
         }
     }
-    // Stable order for determinism.
-    out.sort_by_key(|c| c.iter().collect::<Vec<_>>());
+    // Stable order for determinism: `BitSet`'s `Ord` is lexicographic
+    // over the element sequences, so this matches the old allocating
+    // `sort_by_key(|c| c.iter().collect::<Vec<_>>())` without building a
+    // key per comparison.
+    out.sort_unstable();
     out
 }
 
@@ -335,6 +372,47 @@ pub fn brute_force_max_cliques(m: &ParallelismMatrix) -> Vec<BitSet> {
             cliques.push(b);
         }
     }
-    cliques.sort_by_key(|c| c.iter().collect::<Vec<_>>());
+    cliques.sort_unstable();
     cliques
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The allocation-free `BitSet` sort must order cliques exactly as
+    /// the old per-comparison `Vec<usize>` key did.
+    #[test]
+    fn bitset_sort_matches_element_sequence_sort() {
+        let m = ParallelismMatrix::from_conflicts(
+            9,
+            &[(0, 1), (2, 3), (4, 5), (1, 7), (3, 8), (0, 6), (5, 6)],
+        );
+        let mut by_ord = gen_max_cliques(&m);
+        let mut by_key = by_ord.clone();
+        by_ord.sort_unstable();
+        by_key.sort_by_key(|c| c.iter().collect::<Vec<_>>());
+        assert_eq!(by_ord, by_key);
+        assert!(!by_ord.is_empty());
+    }
+
+    /// `legalize`'s output order is pinned: covering walks cliques in
+    /// this order, so any change here would change generated code.
+    #[test]
+    fn packed_generation_matches_brute_force() {
+        let cases: &[(usize, &[(usize, usize)])] = &[
+            (1, &[]),
+            (4, &[]),
+            (5, &[(0, 1), (1, 2), (2, 3), (3, 4)]),
+            (6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]),
+            (7, &[(0, 3), (1, 4), (2, 5), (3, 6), (1, 2)]),
+        ];
+        for &(n, conflicts) in cases {
+            let m = ParallelismMatrix::from_conflicts(n, conflicts);
+            let mut generated = gen_max_cliques(&m);
+            generated.sort_unstable();
+            let brute = brute_force_max_cliques(&m);
+            assert_eq!(generated, brute, "n={n} conflicts={conflicts:?}");
+        }
+    }
 }

@@ -203,6 +203,25 @@ impl fmt::Display for Downgrade {
     }
 }
 
+/// Wall-clock time spent in each stage of one block's winning rung.
+/// Feeds the per-stage breakdown of the `BENCH_*.json` snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Split-node DAG construction.
+    pub sndag: Duration,
+    /// Functional-unit assignment exploration.
+    pub explore: Duration,
+    /// Cover-graph construction + clique covering over all explored
+    /// assignments.
+    pub cover: Duration,
+    /// Detailed register allocation.
+    pub alloc: Duration,
+    /// Peephole optimization.
+    pub peephole: Duration,
+    /// Pipeline invariant verification (zero when disabled).
+    pub verify: Duration,
+}
+
 /// Statistics from compiling one basic block (feeds the paper's tables).
 #[derive(Debug, Clone)]
 pub struct BlockReport {
@@ -226,6 +245,14 @@ pub struct BlockReport {
     pub peephole_removed: usize,
     /// Wall-clock compile time (Table column 8).
     pub time: Duration,
+    /// Per-stage wall-clock breakdown of the winning rung.
+    pub stages: StageTimes,
+    /// Node expansions charged to the winning rung's budget (the fuel
+    /// unit of [`CodegenOptions::fuel`]).
+    pub node_expansions: u64,
+    /// Peak simultaneous register occupancy of any one bank over the
+    /// final schedule (see [`crate::cover::peak_pressure`]).
+    pub peak_pressure: usize,
     /// The degradation-ladder rung that produced the block's code.
     pub mode: CoverMode,
     /// Every ladder step the block took, in order.
@@ -526,8 +553,10 @@ impl CodeGenerator {
         injector: &FaultInjector<'_>,
     ) -> Result<BlockPlan, RungFailure> {
         let start = Instant::now();
+        let mut stages = StageTimes::default();
         let sndag = SplitNodeDag::build(dag, &self.target)
             .map_err(|e| RungFailure::Error(CodegenError::Unsupported(e)))?;
+        stages.sndag = start.elapsed();
 
         // Fault points for the two front-end stages. A malform fault
         // corrupts every cover graph built this rung (so it is visible as
@@ -549,13 +578,16 @@ impl CodeGenerator {
 
         let stats = sndag.stats(dag);
         let options = self.rung_options(mode);
+        let explore_start = Instant::now();
         let ExploreResult {
             assignments,
             enumerated,
             truncated,
         } = explore(dag, &sndag, &self.target, &options);
+        stages.explore = explore_start.elapsed();
 
         // Explore each selected assignment in depth; keep the cheapest.
+        let cover_start = Instant::now();
         let mut best: Option<(CoverGraph, Schedule, SymbolTable)> = None;
         let mut last_err: Option<CoverError> = None;
         let mut exhausted: Option<Exhaustion> = None;
@@ -630,6 +662,7 @@ impl CodeGenerator {
                 Err(e) => last_err = Some(e),
             }
         }
+        stages.cover = cover_start.elapsed();
         let (mut graph, mut schedule, winner_syms) = best.ok_or_else(|| {
             RungFailure::Error(CodegenError::Cover(
                 last_err.unwrap_or(CoverError::SpillLimit),
@@ -673,12 +706,14 @@ impl CodeGenerator {
             }
         }
 
+        let alloc_start = Instant::now();
         let mut alloc = allocate_budgeted(&graph, &self.target, &schedule, tail_budget).map_err(
             |e| match e {
                 AllocFailure::Uncolorable(e) => RungFailure::Error(CodegenError::RegAlloc(e)),
                 AllocFailure::Budget(why) => RungFailure::Budget(why),
             },
         )?;
+        stages.alloc = alloc_start.elapsed();
 
         if let Some(kind) = injector.arm(Stage::RegAlloc) {
             match kind {
@@ -693,12 +728,15 @@ impl CodeGenerator {
 
         // Peephole: try to undo pessimistic spills and recompact.
         let before_peephole = schedule.len();
+        let peephole_start = Instant::now();
         if options.peephole {
             peephole::optimize(&mut graph, &self.target, &mut schedule, &mut alloc);
         }
+        stages.peephole = peephole_start.elapsed();
         let peephole_removed = before_peephole - schedule.len();
 
         if self.options.verify {
+            let verify_start = Instant::now();
             let diags = crate::invariants::verify_block(
                 &self.target,
                 dag,
@@ -707,6 +745,7 @@ impl CodeGenerator {
                 &schedule,
                 &alloc,
             );
+            stages.verify = verify_start.elapsed();
             if !diags.is_empty() {
                 return Err(RungFailure::Error(CodegenError::Invariant(diags)));
             }
@@ -731,6 +770,9 @@ impl CodeGenerator {
             instructions: 0, // filled in by apply_plan
             peephole_removed,
             time: start.elapsed(),
+            stages,
+            node_expansions: rung_budget.spent(),
+            peak_pressure: crate::cover::peak_pressure(&graph, &self.target, &schedule),
             mode,
             downgrades: Vec::new(), // filled in by plan_block_at
             exhausted,
@@ -1003,6 +1045,63 @@ impl CodeGenerator {
         Ok((program, report))
     }
 
+    /// Compile a batch of functions — a whole program or several — across
+    /// a worker pool, sharing this generator's read-only [`Target`]
+    /// tables. Results are returned in input order.
+    ///
+    /// The pool width comes from [`CodegenOptions::jobs`] exactly like
+    /// the per-block pool (`1` = compile in the calling thread, `0` = one
+    /// worker per core, otherwise a cap), and workers steal function
+    /// indices from a shared counter. Each function's compilation is
+    /// independent and deterministic, so the batch output is
+    /// byte-identical at any worker count. Workers register their pool
+    /// width in a thread-local, which `jobs = 0` block planning inside
+    /// them divides by — nesting the two pools never oversubscribes the
+    /// machine.
+    pub fn compile_batch(
+        &self,
+        functions: &[Function],
+    ) -> Vec<Result<(VliwProgram, CompileReport), CodegenError>> {
+        let jobs = effective_jobs(self.options.jobs, functions.len());
+        if jobs <= 1 {
+            return functions.iter().map(|f| self.compile_function(f)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<(VliwProgram, CompileReport), CodegenError>>> = Vec::new();
+        slots.resize_with(functions.len(), || None);
+        std::thread::scope(|s| {
+            let next = &next;
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(move || {
+                        OUTER_POOL_WIDTH.with(|w| w.set(jobs));
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= functions.len() {
+                                break;
+                            }
+                            done.push((i, self.compile_function(&functions[i])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, result) in h
+                    .join()
+                    .expect("batch workers never panic: compile_function catches everything")
+                {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|r| r.expect("every function compiled exactly once"))
+            .collect()
+    }
+
     /// [`CodeGenerator::plan_block_at`] with a last-resort panic guard:
     /// the ladder already catches panics per rung, but anything that
     /// slips between rungs (or inside the ladder bookkeeping itself) is
@@ -1094,14 +1193,56 @@ fn missing_live_out(block: usize, what: &str) -> CodegenError {
     ))
 }
 
+std::thread_local! {
+    /// Worker count of the enclosing program-level pool — set by
+    /// [`CodeGenerator::compile_batch`] workers, 1 everywhere else. When
+    /// `jobs = 0` resolves against the core count, it divides by this so
+    /// that a batch of functions each planning blocks "per core" shares
+    /// the machine instead of oversubscribing it quadratically.
+    static OUTER_POOL_WIDTH: std::cell::Cell<usize> = const { std::cell::Cell::new(1) };
+}
+
 /// Resolve the `jobs` option against the machine and the work: `0` means
-/// one worker per available core, and the pool never exceeds the block
-/// count.
-fn effective_jobs(requested: usize, blocks: usize) -> usize {
+/// one worker per available core, and the pool never exceeds the work
+/// item count.
+///
+/// Never panics: a failing [`std::thread::available_parallelism`] (some
+/// platforms, restricted containers) falls back to one core, cgroup-style
+/// quotas are whatever the standard library reports, and the result is
+/// always clamped to at least 1.
+fn effective_jobs(requested: usize, items: usize) -> usize {
     let j = if requested == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let outer = OUTER_POOL_WIDTH.with(std::cell::Cell::get).max(1);
+        cores.div_ceil(outer)
     } else {
         requested
     };
-    j.min(blocks).max(1)
+    j.min(items).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_jobs_never_zero_and_caps_at_items() {
+        assert_eq!(effective_jobs(1, 10), 1);
+        assert_eq!(effective_jobs(8, 3), 3);
+        assert_eq!(effective_jobs(8, 0), 1);
+        assert_eq!(effective_jobs(0, 0), 1);
+        assert!(effective_jobs(0, 1000) >= 1);
+    }
+
+    #[test]
+    fn effective_jobs_divides_by_outer_pool_width() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        OUTER_POOL_WIDTH.with(|w| w.set(cores));
+        let inner = effective_jobs(0, 1000);
+        OUTER_POOL_WIDTH.with(|w| w.set(1));
+        // With the whole machine claimed by the outer pool, each worker
+        // gets a single-threaded inner pool.
+        assert_eq!(inner, 1);
+        assert_eq!(effective_jobs(0, 1000), cores.min(1000));
+    }
 }

@@ -739,6 +739,55 @@ fn lookahead_estimate(
     steps
 }
 
+/// The peak register pressure `schedule` exerts: the maximum number of
+/// values simultaneously occupying any one bank at any step. A value's
+/// occupancy runs from its defining step through its last consumer's
+/// step, or to the end of the block when it is live-out. Purely a
+/// reporting metric (the bench snapshots record it); the allocator
+/// enforces the actual bank bounds.
+pub fn peak_pressure(graph: &CoverGraph, target: &Target, schedule: &Schedule) -> usize {
+    let n = graph.len();
+    let steps = schedule.steps.len();
+    if steps == 0 {
+        return 0;
+    }
+    let step_of = schedule.step_of(n);
+    let mut live_until = vec![None::<usize>; n];
+    for id in graph.alive() {
+        let Some(t) = step_of[id.index()] else {
+            continue;
+        };
+        for arg in &graph.node(id).args {
+            if let Operand::Cn(p) = arg {
+                let e = &mut live_until[p.index()];
+                *e = Some(e.map_or(t, |old: usize| old.max(t)));
+            }
+        }
+    }
+    for &(_, op) in graph.live_out() {
+        if let Operand::Cn(c) = op {
+            live_until[c.index()] = Some(steps - 1);
+        }
+    }
+    let mut peak = 0;
+    let mut counts = vec![0usize; target.machine.banks().len()];
+    for t in 0..steps {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for id in graph.alive() {
+            let (Some(def), Some(until)) = (step_of[id.index()], live_until[id.index()]) else {
+                continue;
+            };
+            if def <= t && t <= until {
+                if let Some(bank) = graph.node(id).dest_bank(target) {
+                    counts[bank.index()] += 1;
+                }
+            }
+        }
+        peak = peak.max(counts.iter().copied().max().unwrap_or(0));
+    }
+    peak
+}
+
 /// Validate a schedule against every constraint the covering step is
 /// supposed to maintain. This is the oracle for the property tests.
 ///

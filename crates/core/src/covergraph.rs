@@ -12,7 +12,7 @@
 //! loads from the spill slot, and obsolete transfer nodes are marked dead.
 
 use crate::assign::Assignment;
-use aviv_ir::{BitSet, BlockDag, NodeId, Op, Sym, SymbolTable};
+use aviv_ir::{BitMatrix, BitSet, BlockDag, NodeId, Op, Sym, SymbolTable};
 use aviv_isdl::{BankId, BusId, Location, Target, UnitId};
 use aviv_splitdag::{AltKind, Exec, SplitNodeDag};
 use aviv_verify::{Code, Diagnostic};
@@ -189,7 +189,11 @@ pub struct CoverGraph {
     live_out: Vec<(NodeId, Operand)>,
     /// Rebuilt on demand after mutation.
     uses: Vec<Vec<CnId>>,
-    desc: Vec<BitSet>,
+    /// Packed reachability: row `i` holds the ancestors of node `i`. A
+    /// single allocation probed on every pair the parallelism matrix
+    /// builds, so it lives in one cache-friendly [`BitMatrix`] rather
+    /// than a `Vec` of heap-allocated sets.
+    desc: BitMatrix,
     levels_top: Vec<u32>,
     levels_bottom: Vec<u32>,
     /// Per-bus usage counts (for the §IV-B path-choice heuristic).
@@ -233,10 +237,11 @@ impl CoverGraph {
             assignment,
             nodes: Vec::new(),
             value_of_orig: vec![None; dag.len()],
-            move_cache: HashMap::new(),
-            loadvar_cache: HashMap::new(),
-            mem_cn: HashMap::new(),
-            loads_by_sym: HashMap::new(),
+            n_banks: target.machine.banks().len(),
+            move_cache: Vec::new(),
+            loadvar_cache: Vec::new(),
+            mem_cn: vec![None; dag.len()],
+            loads_by_sym: Vec::new(),
             stores_by_sym: Vec::new(),
             bus_usage: vec![0; target.machine.buses().len()],
         };
@@ -267,7 +272,7 @@ impl CoverGraph {
             value_of_orig: b.value_of_orig,
             live_out,
             uses: Vec::new(),
-            desc: Vec::new(),
+            desc: BitMatrix::new(0, 0),
             levels_top: Vec::new(),
             levels_bottom: Vec::new(),
             bus_usage: b.bus_usage,
@@ -323,7 +328,7 @@ impl CoverGraph {
 
     /// Dependency test: is there a directed path between `a` and `b`?
     pub fn dependent(&self, a: CnId, b: CnId) -> bool {
-        self.desc[a.index()].contains(b.index()) || self.desc[b.index()].contains(a.index())
+        self.desc.contains(a.index(), b.index()) || self.desc.contains(b.index(), a.index())
     }
 
     /// All predecessors (operands + ordering deps) of `id`.
@@ -410,14 +415,14 @@ impl CoverGraph {
             "cover graph must stay acyclic"
         );
 
-        self.desc = vec![BitSet::new(n); n];
+        self.desc = BitMatrix::new(n, n);
         for &i in &order {
-            let mut acc = BitSet::new(n);
+            // Predecessors come earlier in `order`, so their rows are
+            // final; accumulate them into row `i` in place.
             for p in self.preds(CnId(i as u32)) {
-                acc.insert(p.index());
-                acc.union_with(&self.desc[p.index()]);
+                self.desc.set(i, p.index());
+                self.desc.or_row_from(i, p.index());
             }
-            self.desc[i] = acc;
         }
         self.levels_bottom = vec![0; n];
         for &i in &order {
@@ -926,21 +931,64 @@ struct GraphBuilder<'a> {
     assignment: &'a Assignment,
     nodes: Vec<CoverNode>,
     value_of_orig: Vec<Option<CnId>>,
-    /// (producer, dest bank) → chain tail.
-    move_cache: HashMap<(CnId, BankId), CnId>,
-    /// (variable, dest bank) → chain tail.
-    loadvar_cache: HashMap<(Sym, BankId), CnId>,
-    /// Original memory node → cover node (for serialization edges).
-    mem_cn: HashMap<NodeId, CnId>,
+    /// Bank count — the row stride of the two flat transfer caches.
+    n_banks: usize,
+    /// `producer.index() * n_banks + bank.index()` → chain tail. Flat and
+    /// index-keyed: the builder probes it once per operand it resolves,
+    /// so it must be a plain array lookup, not a hash probe. Grown on
+    /// demand as nodes are appended.
+    move_cache: Vec<Option<CnId>>,
+    /// `sym.index() * n_banks + bank.index()` → chain tail; grown on
+    /// demand (the builder never sees the symbol table's size).
+    loadvar_cache: Vec<Option<CnId>>,
+    /// Original memory node → cover node (for serialization edges),
+    /// indexed by `NodeId`.
+    mem_cn: Vec<Option<CnId>>,
     /// Entry-value loads per variable (LoadVar nodes only, not the moves
     /// behind them) — write-backs of the same variable must follow them.
-    loads_by_sym: HashMap<Sym, Vec<CnId>>,
+    /// Indexed by `Sym`, grown on demand.
+    loads_by_sym: Vec<Vec<CnId>>,
     /// Write-backs per variable.
     stores_by_sym: Vec<(Sym, CnId)>,
     bus_usage: Vec<usize>,
 }
 
 impl<'a> GraphBuilder<'a> {
+    /// Cached transfer-chain tail ferrying `producer` into `bank`.
+    fn move_cached(&self, producer: CnId, bank: BankId) -> Option<CnId> {
+        let idx = producer.index() * self.n_banks + bank.index();
+        self.move_cache.get(idx).copied().flatten()
+    }
+
+    fn cache_move(&mut self, producer: CnId, bank: BankId, tail: CnId) {
+        let idx = producer.index() * self.n_banks + bank.index();
+        if idx >= self.move_cache.len() {
+            self.move_cache.resize(idx + 1, None);
+        }
+        self.move_cache[idx] = Some(tail);
+    }
+
+    /// Cached load-chain tail delivering `sym`'s entry value into `bank`.
+    fn loadvar_cached(&self, sym: Sym, bank: BankId) -> Option<CnId> {
+        let idx = sym.index() * self.n_banks + bank.index();
+        self.loadvar_cache.get(idx).copied().flatten()
+    }
+
+    fn cache_loadvar(&mut self, sym: Sym, bank: BankId, tail: CnId) {
+        let idx = sym.index() * self.n_banks + bank.index();
+        if idx >= self.loadvar_cache.len() {
+            self.loadvar_cache.resize(idx + 1, None);
+        }
+        self.loadvar_cache[idx] = Some(tail);
+    }
+
+    fn record_load(&mut self, sym: Sym, load: CnId) {
+        if sym.index() >= self.loads_by_sym.len() {
+            self.loads_by_sym.resize(sym.index() + 1, Vec::new());
+        }
+        self.loads_by_sym[sym.index()].push(load);
+    }
+
     fn push(&mut self, kind: CnKind, args: Vec<Operand>) -> CnId {
         if let Resource::Bus(b) = (CoverNode {
             kind: kind.clone(),
@@ -987,7 +1035,7 @@ impl<'a> GraphBuilder<'a> {
             Op::Const => Operand::Imm(n.imm.expect("validated: const has imm")),
             Op::Input => {
                 let sym = n.sym.expect("validated: input has sym");
-                if let Some(&t) = self.loadvar_cache.get(&(sym, bank)) {
+                if let Some(t) = self.loadvar_cached(sym, bank) {
                     return Operand::Cn(t);
                 }
                 let path = self.choose_path(Location::Mem, Location::Bank(bank));
@@ -996,7 +1044,7 @@ impl<'a> GraphBuilder<'a> {
                     let id = match (hop.from, hop.to) {
                         (Location::Mem, Location::Bank(t)) => {
                             // Intermediate banks are cacheable too.
-                            if let Some(&c) = self.loadvar_cache.get(&(sym, t)) {
+                            if let Some(c) = self.loadvar_cached(sym, t) {
                                 c
                             } else {
                                 let c = self.push(
@@ -1007,14 +1055,14 @@ impl<'a> GraphBuilder<'a> {
                                     },
                                     Vec::new(),
                                 );
-                                self.loadvar_cache.insert((sym, t), c);
-                                self.loads_by_sym.entry(sym).or_default().push(c);
+                                self.cache_loadvar(sym, t, c);
+                                self.record_load(sym, c);
                                 c
                             }
                         }
                         (Location::Bank(f), Location::Bank(t)) => {
                             let prev = cur.expect("bank hop follows the memory hop");
-                            if let Some(&c) = self.loadvar_cache.get(&(sym, t)) {
+                            if let Some(c) = self.loadvar_cached(sym, t) {
                                 c
                             } else {
                                 let c = self.push(
@@ -1025,7 +1073,7 @@ impl<'a> GraphBuilder<'a> {
                                     },
                                     vec![Operand::Cn(prev)],
                                 );
-                                self.loadvar_cache.insert((sym, t), c);
+                                self.cache_loadvar(sym, t, c);
                                 c
                             }
                         }
@@ -1044,7 +1092,7 @@ impl<'a> GraphBuilder<'a> {
                 if pbank == bank {
                     return Operand::Cn(producer);
                 }
-                if let Some(&t) = self.move_cache.get(&(producer, bank)) {
+                if let Some(t) = self.move_cached(producer, bank) {
                     return Operand::Cn(t);
                 }
                 let path = self.choose_path(Location::Bank(pbank), Location::Bank(bank));
@@ -1053,7 +1101,7 @@ impl<'a> GraphBuilder<'a> {
                     let (Location::Bank(f), Location::Bank(t)) = (hop.from, hop.to) else {
                         unreachable!("memory is never an intermediate hop")
                     };
-                    cur = if let Some(&c) = self.move_cache.get(&(producer, t)) {
+                    cur = if let Some(c) = self.move_cached(producer, t) {
                         c
                     } else {
                         let c = self.push(
@@ -1064,7 +1112,7 @@ impl<'a> GraphBuilder<'a> {
                             },
                             vec![Operand::Cn(cur)],
                         );
-                        self.move_cache.insert((producer, t), c);
+                        self.cache_move(producer, t, c);
                         c
                     };
                 }
@@ -1106,7 +1154,7 @@ impl<'a> GraphBuilder<'a> {
                                 self.dag.node(vnode).imm.expect("validated: const has imm"),
                             )],
                         );
-                        self.mem_cn.insert(orig, cn);
+                        self.mem_cn[orig.index()] = Some(cn);
                         self.stores_by_sym.push((sym, cn));
                         continue;
                     }
@@ -1164,8 +1212,7 @@ impl<'a> GraphBuilder<'a> {
                             cur = Operand::Cn(cn);
                         }
                     }
-                    self.mem_cn
-                        .insert(orig, store_cn.expect("store path nonempty"));
+                    self.mem_cn[orig.index()] = Some(store_cn.expect("store path nonempty"));
                 }
                 Op::Store | Op::Load => {
                     let ai = self.assignment.choice[orig.index()]
@@ -1181,12 +1228,12 @@ impl<'a> GraphBuilder<'a> {
                         let addr = self.resolve(n.args[0], bank);
                         let cn = self.push(CnKind::LoadDyn { orig, bus, bank }, vec![addr]);
                         self.value_of_orig[orig.index()] = Some(cn);
-                        self.mem_cn.insert(orig, cn);
+                        self.mem_cn[orig.index()] = Some(cn);
                     } else {
                         let addr = self.resolve(n.args[0], bank);
                         let val = self.resolve(n.args[1], bank);
                         let cn = self.push(CnKind::StoreDyn { orig, bus, bank }, vec![addr, val]);
-                        self.mem_cn.insert(orig, cn);
+                        self.mem_cn[orig.index()] = Some(cn);
                     }
                 }
                 _ => {
@@ -1251,7 +1298,7 @@ impl<'a> GraphBuilder<'a> {
         // of its entry value (write-after-read on the variable's memory
         // cell). Loads have no inputs, so these edges cannot form cycles.
         for (sym, store_cn) in self.stores_by_sym.clone() {
-            for &load_cn in self.loads_by_sym.get(&sym).into_iter().flatten() {
+            for &load_cn in self.loads_by_sym.get(sym.index()).into_iter().flatten() {
                 if !self.nodes[store_cn.index()].deps.contains(&load_cn) {
                     self.nodes[store_cn.index()].deps.push(load_cn);
                 }
@@ -1259,7 +1306,7 @@ impl<'a> GraphBuilder<'a> {
         }
         // Memory serialization edges.
         for &(earlier, later) in self.dag.mem_deps() {
-            if let (Some(&a), Some(&b)) = (self.mem_cn.get(&earlier), self.mem_cn.get(&later)) {
+            if let (Some(a), Some(b)) = (self.mem_cn[earlier.index()], self.mem_cn[later.index()]) {
                 if a != b && !self.nodes[b.index()].deps.contains(&a) {
                     self.nodes[b.index()].deps.push(a);
                 }

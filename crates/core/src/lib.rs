@@ -32,11 +32,11 @@ pub use assign::{explore, Assignment, ExploreResult, ExploreTrace};
 pub use budget::{Budget, Exhaustion};
 pub use codegen::{
     BlockPlan, BlockReport, BlockResult, CodeGenerator, CodegenError, CompileReport, CoverMode,
-    Downgrade, DowngradeReason, FunctionReport,
+    Downgrade, DowngradeReason, FunctionReport, StageTimes,
 };
 pub use cover::{
-    cover, cover_budgeted, cover_sequential, cover_sequential_budgeted, verify_schedule,
-    CoverError, Schedule, SpillRecord,
+    cover, cover_budgeted, cover_sequential, cover_sequential_budgeted, peak_pressure,
+    verify_schedule, CoverError, Schedule, SpillRecord,
 };
 pub use covergraph::{CnId, CnKind, CoverGraph, CoverNode, Operand, Resource};
 pub use emit::{

@@ -101,6 +101,94 @@ fn every_asset_pair_is_identical_across_worker_counts() {
     }
 }
 
+/// Compile a batch of functions with the given worker count and render
+/// every result (programs and reports) into one comparable transcript.
+fn batch_transcript(
+    functions: &[Function],
+    machine: Machine,
+    jobs: usize,
+    fuel: Option<u64>,
+) -> String {
+    let gen = CodeGenerator::new(machine).options(
+        CodegenOptions::default()
+            .with_jobs(jobs)
+            .with_fuel(fuel)
+            .with_verify(true),
+    );
+    let mut out = String::new();
+    for (i, result) in gen.compile_batch(functions).into_iter().enumerate() {
+        match result {
+            Ok((program, report)) => {
+                out.push_str(&format!("=== {i} ok ===\n"));
+                out.push_str(&program.render(gen.target()));
+                for d in &report.downgrades {
+                    out.push_str(&format!("downgrade: {d}\n"));
+                }
+                out.push_str(&format!("complete: {}\n", report.complete));
+            }
+            Err(e) => out.push_str(&format!("=== {i} err ===\n{e}\n")),
+        }
+    }
+    out
+}
+
+/// Program-level parallelism must be as invisible as block-level: the
+/// whole batch transcript — assembly bytes, downgrade reports, error
+/// outcomes — is byte-identical at jobs 1, 4, and 0.
+#[test]
+fn batch_compile_is_identical_across_worker_counts() {
+    let dir = assets_dir();
+    let mut functions = Vec::new();
+    let mut paths: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("av"))
+        .collect();
+    paths.sort();
+    for p in &paths {
+        functions.push(parse_function(&fs::read_to_string(p).unwrap()).unwrap());
+    }
+    assert!(functions.len() >= 2, "need a real batch");
+
+    for machine in ["fig3.isdl", "archII.isdl", "dsp_mac.isdl"] {
+        let seq = batch_transcript(&functions, load_machine(machine), 1, None);
+        for jobs in [4, 0] {
+            let par = batch_transcript(&functions, load_machine(machine), jobs, None);
+            assert_eq!(seq, par, "{machine}: batch differs at jobs={jobs}");
+        }
+    }
+}
+
+/// Budgeted batches downgrade identically at every worker count: the
+/// degradation ladder is per-block-deterministic, so the reported
+/// downgrades must not depend on scheduling.
+#[test]
+fn batch_downgrades_are_identical_across_worker_counts() {
+    let functions: Vec<Function> = (0..6)
+        .map(|seed| {
+            let cfg = RandDagConfig {
+                n_ops: 8,
+                n_inputs: 3,
+                n_outputs: 2,
+                ops: vec![aviv_ir::Op::Add, aviv_ir::Op::Sub, aviv_ir::Op::Mul],
+                ..Default::default()
+            };
+            random_function(&cfg, 3, seed)
+        })
+        .collect();
+    let machine = aviv_isdl::archs::example_arch(3);
+    // Tight fuel forces ladder steps; the transcript embeds them.
+    let seq = batch_transcript(&functions, machine.clone(), 1, Some(40));
+    assert!(
+        seq.contains("downgrade:"),
+        "fuel too generous for the test:\n{seq}"
+    );
+    for jobs in [4, 0] {
+        let par = batch_transcript(&functions, machine.clone(), jobs, Some(40));
+        assert_eq!(seq, par, "budgeted batch differs at jobs={jobs}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
     #[test]

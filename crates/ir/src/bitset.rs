@@ -23,6 +23,20 @@ impl BitSet {
         }
     }
 
+    /// Create a set holding every index in `0..len`.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet::new(len);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(last) = s.words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        s
+    }
+
     /// Capacity in indices.
     pub fn capacity(&self) -> usize {
         self.len
@@ -123,6 +137,54 @@ impl BitSet {
     }
 }
 
+/// Lexicographic order over the *ascending element sequences* of two
+/// sets: `{0, 5} < {0, 9}` and `{0} < {0, 5}` (a proper prefix sorts
+/// first), exactly the order `a.iter().collect::<Vec<_>>()` would give —
+/// but computed word-at-a-time without allocating. Ties on content are
+/// broken by capacity so the order stays consistent with the derived
+/// `Eq` (which compares the backing words *and* the length).
+impl Ord for BitSet {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        let n = self.words.len().max(other.words.len());
+        for i in 0..n {
+            let a = self.words.get(i).copied().unwrap_or(0);
+            let b = other.words.get(i).copied().unwrap_or(0);
+            if a == b {
+                continue;
+            }
+            // The lowest differing bit `d` belongs to exactly one set;
+            // call it X. X's element sequence matches the other's up to
+            // `d`, then X has `d` where the other has its next element
+            // (> d) or nothing. So X sorts first iff the other set has
+            // any element above `d`; otherwise the other set is a proper
+            // prefix of X and sorts first.
+            let low = (a ^ b) & (a ^ b).wrapping_neg();
+            let above = !(low | (low - 1));
+            let (holder_is_self, rest_word, rest_tail) = if a & low != 0 {
+                (true, b, &other.words)
+            } else {
+                (false, a, &self.words)
+            };
+            let rest_has_more = rest_word & above != 0
+                || rest_tail
+                    .get(i + 1..)
+                    .is_some_and(|tail| tail.iter().any(|&w| w != 0));
+            return match (holder_is_self, rest_has_more) {
+                (true, true) | (false, false) => Ordering::Less,
+                (true, false) | (false, true) => Ordering::Greater,
+            };
+        }
+        self.len.cmp(&other.len)
+    }
+}
+
+impl PartialOrd for BitSet {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// Iterator over set bit indices; see [`BitSet::iter`].
 pub struct Iter<'a> {
     set: &'a BitSet,
@@ -175,6 +237,135 @@ impl Extend<usize> for BitSet {
 impl fmt::Debug for BitSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// A dense boolean matrix packed as bitset rows in one allocation.
+///
+/// The covering engine's pairwise relations — conflict matrices, DAG
+/// reachability — are square boolean tables probed millions of times per
+/// block. One `Vec<u64>` with a fixed row stride keeps every row cache-
+/// adjacent and lets row-level operations (intersection, union, overlap
+/// tests) run word-at-a-time instead of bit-at-a-time.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    words: Vec<u64>,
+    /// Words per row.
+    stride: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl BitMatrix {
+    /// An all-zero `rows` × `cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let stride = cols.div_ceil(64);
+        BitMatrix {
+            words: vec![0; rows * stride],
+            stride,
+            rows,
+            cols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Set bit `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of range.
+    pub fn set(&mut self, r: usize, c: usize) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "bit ({r}, {c}) out of range"
+        );
+        self.words[r * self.stride + c / 64] |= 1 << (c % 64);
+    }
+
+    /// Test bit `(r, c)`.
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        r < self.rows
+            && c < self.cols
+            && self.words[r * self.stride + c / 64] & (1 << (c % 64)) != 0
+    }
+
+    /// The words backing row `r` (low bit of word 0 is column 0).
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        &self.words[r * self.stride..(r + 1) * self.stride]
+    }
+
+    /// True if row `r` shares any set column with `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set`'s capacity differs from the column count.
+    pub fn row_intersects(&self, r: usize, set: &BitSet) -> bool {
+        assert_eq!(set.len, self.cols, "bitset capacity mismatch");
+        self.row_words(r)
+            .iter()
+            .zip(&set.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// `set &= row r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set`'s capacity differs from the column count.
+    pub fn intersect_row_into(&self, r: usize, set: &mut BitSet) {
+        assert_eq!(set.len, self.cols, "bitset capacity mismatch");
+        for (dst, src) in set.words.iter_mut().zip(self.row_words(r)) {
+            *dst &= src;
+        }
+    }
+
+    /// `set |= row r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set`'s capacity differs from the column count.
+    pub fn union_row_into(&self, r: usize, set: &mut BitSet) {
+        assert_eq!(set.len, self.cols, "bitset capacity mismatch");
+        for (dst, src) in set.words.iter_mut().zip(self.row_words(r)) {
+            *dst |= src;
+        }
+    }
+
+    /// `row dst |= row src` (used to accumulate reachability in
+    /// topological order).
+    pub fn or_row_from(&mut self, dst: usize, src: usize) {
+        assert!(dst < self.rows && src < self.rows, "row out of range");
+        for k in 0..self.stride {
+            let v = self.words[src * self.stride + k];
+            self.words[dst * self.stride + k] |= v;
+        }
+    }
+
+    /// Row `r` as a freestanding [`BitSet`] (capacity = column count).
+    pub fn row_to_bitset(&self, r: usize) -> BitSet {
+        BitSet {
+            words: self.row_words(r).to_vec(),
+            len: self.cols,
+        }
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut rows = f.debug_list();
+        for r in 0..self.rows {
+            rows.entry(&self.row_to_bitset(r));
+        }
+        rows.finish()
     }
 }
 
@@ -231,5 +422,106 @@ mod tests {
     fn out_of_range_insert_panics() {
         let mut s = BitSet::new(4);
         s.insert(4);
+    }
+
+    /// `Ord` must agree with lexicographic order over the ascending
+    /// element sequences — the order the old allocation-per-comparison
+    /// sort key (`iter().collect::<Vec<_>>()`) produced.
+    #[test]
+    fn ord_matches_element_sequence_order() {
+        let cap = 200;
+        let sets: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![0],
+            vec![0, 5],
+            vec![0, 5, 9],
+            vec![0, 9],
+            vec![0, 64],
+            vec![0, 64, 130],
+            vec![1],
+            vec![5],
+            vec![63, 64],
+            vec![64],
+            vec![64, 65],
+            vec![130],
+            vec![199],
+        ];
+        let bits: Vec<BitSet> = sets
+            .iter()
+            .map(|els| {
+                let mut b = BitSet::new(cap);
+                for &e in els {
+                    b.insert(e);
+                }
+                b
+            })
+            .collect();
+        for (i, a) in bits.iter().enumerate() {
+            for (j, b) in bits.iter().enumerate() {
+                assert_eq!(
+                    a.cmp(b),
+                    sets[i].cmp(&sets[j]),
+                    "order of {:?} vs {:?}",
+                    sets[i],
+                    sets[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ord_consistent_with_eq() {
+        let a: BitSet = [1usize, 70].into_iter().collect();
+        let b = a.clone();
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        // Same elements at different capacities are unequal under the
+        // derived `Eq`; `Ord` must not call them equal either.
+        let mut c = a.clone();
+        c.grow(500);
+        assert_ne!(a, c);
+        assert_ne!(a.cmp(&c), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn full_sets_every_bit() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let s = BitSet::full(len);
+            assert_eq!(s.count(), len);
+            assert_eq!(s.iter().collect::<Vec<_>>(), (0..len).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn matrix_set_contains_rows() {
+        let mut m = BitMatrix::new(3, 130);
+        m.set(0, 0);
+        m.set(0, 129);
+        m.set(2, 64);
+        assert!(m.contains(0, 0) && m.contains(0, 129) && m.contains(2, 64));
+        assert!(!m.contains(1, 0) && !m.contains(0, 64));
+        assert!(!m.contains(5, 0));
+        assert_eq!(m.row_to_bitset(0).iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn matrix_row_ops() {
+        let mut m = BitMatrix::new(2, 100);
+        m.set(0, 3);
+        m.set(0, 70);
+        m.set(1, 70);
+        let mut s = BitSet::full(100);
+        assert!(m.row_intersects(0, &s));
+        m.intersect_row_into(0, &mut s);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 70]);
+        let mut t = BitSet::new(100);
+        m.union_row_into(1, &mut t);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![70]);
+        assert!(!m.row_intersects(1, &{
+            let mut z = BitSet::new(100);
+            z.insert(3);
+            z
+        }));
+        m.or_row_from(1, 0);
+        assert_eq!(m.row_to_bitset(1).iter().collect::<Vec<_>>(), vec![3, 70]);
     }
 }

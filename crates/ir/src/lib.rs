@@ -43,7 +43,7 @@ pub mod randdag;
 pub mod simplify;
 pub mod symbols;
 
-pub use bitset::BitSet;
+pub use bitset::{BitMatrix, BitSet};
 pub use dag::{BlockDag, DagNode, NodeId};
 pub use interp::{eval_block_isolated, run_function, InterpError, InterpResult, Interpreter};
 pub use op::Op;

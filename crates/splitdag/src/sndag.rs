@@ -255,14 +255,36 @@ pub struct SplitNodeDag {
     nodes: Vec<SnNode>,
     /// Split node of each original node (ops only).
     split_of: Vec<Option<SnId>>,
-    /// Alternatives of each original node (ops and dynamic loads).
-    alts: Vec<Vec<AltInfo>>,
+    /// Alternatives of all original nodes (ops and dynamic loads),
+    /// arena-flattened: `alt_ranges[orig]` slices this one allocation.
+    /// Assignment exploration walks these lists for every enumerated
+    /// assignment, so they are contiguous instead of one heap vector per
+    /// node.
+    alts: Vec<AltInfo>,
+    /// Half-open `(start, end)` range into `alts` per original node.
+    alt_ranges: Vec<(u32, u32)>,
     /// Complex matches found on the block.
     matches: Vec<ComplexMatch>,
     /// For each original node, the matches covering it as an interior.
     covered_by: Vec<Vec<usize>>,
-    /// Store-node alternatives of each original store node.
-    store_alts: Vec<Vec<SnId>>,
+    /// Store-node alternatives of all original store nodes, flattened
+    /// like `alts`.
+    store_alts: Vec<SnId>,
+    /// Half-open `(start, end)` range into `store_alts` per node.
+    store_alt_ranges: Vec<(u32, u32)>,
+}
+
+/// Flatten per-node lists into one arena plus per-node ranges.
+fn flatten_arena<T>(per_node: Vec<Vec<T>>) -> (Vec<T>, Vec<(u32, u32)>) {
+    let total = per_node.iter().map(Vec::len).sum();
+    let mut arena = Vec::with_capacity(total);
+    let mut ranges = Vec::with_capacity(per_node.len());
+    for items in per_node {
+        let start = arena.len() as u32;
+        arena.extend(items);
+        ranges.push((start, arena.len() as u32));
+    }
+    (arena, ranges)
 }
 
 impl SplitNodeDag {
@@ -299,7 +321,8 @@ impl SplitNodeDag {
     /// Implementation alternatives of an original node (empty for leaves
     /// and stores).
     pub fn alts(&self, orig: NodeId) -> &[AltInfo] {
-        &self.alts[orig.index()]
+        let (start, end) = self.alt_ranges[orig.index()];
+        &self.alts[start as usize..end as usize]
     }
 
     /// The split node of an original operation node.
@@ -340,9 +363,9 @@ impl SplitNodeDag {
                 SnKind::StoreNode { .. } => s.store_nodes += 1,
             }
         }
-        for alts in &self.alts {
-            if !alts.is_empty() {
-                s.assignment_space = s.assignment_space.saturating_mul(alts.len() as u128);
+        for &(start, end) in &self.alt_ranges {
+            if end > start {
+                s.assignment_space = s.assignment_space.saturating_mul(u128::from(end - start));
             }
         }
         s
@@ -407,7 +430,8 @@ impl SplitNodeDag {
 
     /// Store alternatives (one per usable memory bus) of a store node.
     pub fn store_alts(&self, orig: NodeId) -> &[SnId] {
-        &self.store_alts[orig.index()]
+        let (start, end) = self.store_alt_ranges[orig.index()];
+        &self.store_alts[start as usize..end as usize]
     }
 }
 
@@ -684,13 +708,17 @@ impl<'a> Builder<'a> {
                 }
             }
         }
+        let (alts, alt_ranges) = flatten_arena(self.alts);
+        let (store_alts, store_alt_ranges) = flatten_arena(self.store_alts);
         Ok(SplitNodeDag {
             nodes: self.nodes,
             split_of: self.split_of,
-            alts: self.alts,
+            alts,
+            alt_ranges,
             matches: self.matches,
             covered_by: self.covered_by,
-            store_alts: self.store_alts,
+            store_alts,
+            store_alt_ranges,
         })
     }
 }
