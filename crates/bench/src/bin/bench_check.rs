@@ -1,6 +1,11 @@
 //! CI gate for `BENCH_*.json` snapshots.
 //!
-//! Usage: `bench_check <snapshot.json> [other-run.json]`
+//! Usage:
+//!
+//! ```text
+//! bench_check <snapshot.json> [other-run.json]
+//! bench_check --baseline <baseline.json> <current.json>
+//! ```
 //!
 //! Verifies each file against the pinned schema (version and required
 //! keys; see `aviv_bench::json::check_schema`). When two files are
@@ -8,14 +13,52 @@
 //! their deterministic skeletons — everything except wall times — have
 //! to match byte for byte, or the run was nondeterministic and the job
 //! fails.
+//!
+//! With `--baseline`, the current snapshot is diffed against a
+//! committed baseline (see `results/baselines/`): schema or row-set
+//! drift fails hard, while timing and metric movement is printed to
+//! stdout as a markdown table for the PR artifact (see
+//! `aviv_bench::json::diff_against_baseline`).
 
-use aviv_bench::{check_schema, deterministic_skeleton};
+use aviv_bench::{check_schema, deterministic_skeleton, diff_against_baseline};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--baseline") {
+        args.remove(0);
+        let [baseline_path, current_path] = args.as_slice() else {
+            eprintln!("usage: bench_check --baseline <baseline.json> <current.json>");
+            return ExitCode::FAILURE;
+        };
+        let read = |path: &String| match std::fs::read_to_string(path) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                None
+            }
+        };
+        let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+            return ExitCode::FAILURE;
+        };
+        return match diff_against_baseline(&baseline, &current) {
+            Ok(table) => {
+                print!("{table}");
+                eprintln!("{current_path}: baseline gate ok (vs {baseline_path})");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{current_path}: baseline gate failed vs {baseline_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if args.is_empty() || args.len() > 2 {
-        eprintln!("usage: bench_check <snapshot.json> [other-run.json]");
+        eprintln!(
+            "usage: bench_check <snapshot.json> [other-run.json]\n\
+             \u{20}      bench_check --baseline <baseline.json> <current.json>"
+        );
         return ExitCode::FAILURE;
     }
     let mut docs = Vec::new();

@@ -1,0 +1,244 @@
+//! Warm-vs-cold serving benchmark: the wall-time case for the `avivd`
+//! plan cache, measured over every bundled program×machine pair.
+//!
+//! Each pair is compiled `ITERATIONS` times cold (a fresh
+//! [`PlanCache`] per compile — every block planned from scratch) and
+//! `ITERATIONS` times warm (one shared cache, primed once — every
+//! block answered from cache), asserting along the way that the warm
+//! bytes are identical to the cold bytes.
+//!
+//! Flags: `--json [dir]` additionally writes a `BENCH_serving.json`
+//! snapshot (two rows per pair, `<program>:cold` and `<program>:warm`,
+//! with `cache_hits`/`cache_misses` recorded per row); `--check`
+//! enforces the serving acceptance gate — warm passes are 100% cache
+//! hits and at least [`REQUIRED_SPEEDUP`]× faster than cold — and
+//! exits nonzero otherwise.
+
+use aviv::{CodeGenerator, CodegenOptions, PlanCache};
+use aviv_ir::parse_function;
+use aviv_isdl::parse_machine;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Measured compiles per temperature per pair: enough to average out
+/// scheduler noise on sub-millisecond warm compiles.
+const ITERATIONS: u32 = 20;
+
+/// `--check` fails when warm wall time is not at least this many times
+/// lower than cold.
+const REQUIRED_SPEEDUP: f64 = 5.0;
+
+struct PairResult {
+    program: String,
+    machine: String,
+    blocks: usize,
+    instructions: usize,
+    spills: usize,
+    node_expansions: u64,
+    peak_pressure: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    warm_hits: usize,
+    warm_misses: usize,
+    bytes_match: bool,
+}
+
+fn assets_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../assets")
+}
+
+fn measure_pair(prog_name: &str, machine_name: &str) -> PairResult {
+    let dir = assets_dir();
+    let machine_src = std::fs::read_to_string(dir.join(format!("{machine_name}.isdl")))
+        .expect("bundled machine readable");
+    let program_src = std::fs::read_to_string(dir.join(format!("{prog_name}.av")))
+        .expect("bundled program readable");
+    let machine = parse_machine(&machine_src).expect("bundled machine parses");
+    let function = parse_function(&program_src).expect("bundled program parses");
+    let target = Arc::new(aviv_isdl::Target::new(machine));
+    let options = CodegenOptions::heuristics_on;
+
+    // Cold: a fresh cache per compile, so every block is planned from
+    // scratch (and inserted — the same work a server's first request
+    // for a program does).
+    let mut cold_asm = Vec::new();
+    let mut report = None;
+    let t0 = Instant::now();
+    for _ in 0..ITERATIONS {
+        let generator = CodeGenerator::with_shared_target(Arc::clone(&target))
+            .options(options())
+            .with_cache(Arc::new(PlanCache::default()));
+        let (program, r) = generator.compile_function(&function).expect("cold compile");
+        cold_asm = program.render(generator.target()).into_bytes();
+        report = Some(r);
+    }
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(ITERATIONS);
+    let report = report.expect("at least one iteration");
+
+    // Warm: one shared cache, primed once; the measured compiles are
+    // what a steady-state server pays per request.
+    let cache = Arc::new(PlanCache::default());
+    let prime = CodeGenerator::with_shared_target(Arc::clone(&target))
+        .options(options())
+        .with_cache(Arc::clone(&cache));
+    prime.compile_function(&function).expect("priming compile");
+    let mut warm_asm = Vec::new();
+    let mut warm_report = None;
+    let t0 = Instant::now();
+    for _ in 0..ITERATIONS {
+        let generator = CodeGenerator::with_shared_target(Arc::clone(&target))
+            .options(options())
+            .with_cache(Arc::clone(&cache));
+        let (program, r) = generator.compile_function(&function).expect("warm compile");
+        warm_asm = program.render(generator.target()).into_bytes();
+        warm_report = Some(r);
+    }
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(ITERATIONS);
+    let warm_report = warm_report.expect("at least one iteration");
+
+    PairResult {
+        program: prog_name.to_string(),
+        machine: machine_name.to_string(),
+        blocks: report.blocks.len(),
+        instructions: report.total_instructions,
+        spills: report.blocks.iter().map(|b| b.spills).sum(),
+        node_expansions: report.blocks.iter().map(|b| b.node_expansions).sum(),
+        peak_pressure: report
+            .blocks
+            .iter()
+            .map(|b| b.peak_pressure)
+            .max()
+            .unwrap_or(0),
+        cold_ms,
+        warm_ms,
+        warm_hits: warm_report.cache_hits,
+        warm_misses: warm_report.cache_misses,
+        bytes_match: cold_asm == warm_asm,
+    }
+}
+
+/// Serialize the results as a `BENCH_serving.json` document: the
+/// standard snapshot schema (version 1) with two rows per pair plus
+/// the serving-specific `cache_hits`/`cache_misses` keys (additions
+/// are allowed within a schema version).
+fn to_json(results: &[PairResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"schema_version\": {},",
+        aviv_bench::json::SCHEMA_VERSION
+    );
+    out.push_str("  \"suite\": \"serving\",\n  \"rows\": [");
+    let mut first = true;
+    for r in results {
+        for (temp, wall_ms, hits, misses) in [
+            ("cold", r.cold_ms, 0usize, r.blocks),
+            ("warm", r.warm_ms, r.warm_hits, r.warm_misses),
+        ] {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    {\n");
+            let _ = writeln!(out, "      \"name\": \"{}:{temp}\",", r.program);
+            let _ = writeln!(out, "      \"machine\": \"{}\",", r.machine);
+            let _ = writeln!(out, "      \"wall_ms\": {wall_ms:.3},");
+            let _ = writeln!(out, "      \"instructions\": {},", r.instructions);
+            let _ = writeln!(out, "      \"spills\": {},", r.spills);
+            let _ = writeln!(out, "      \"node_expansions\": {},", r.node_expansions);
+            let _ = writeln!(out, "      \"peak_pressure\": {},", r.peak_pressure);
+            let _ = writeln!(out, "      \"cache_hits\": {hits},");
+            let _ = writeln!(out, "      \"cache_misses\": {misses}");
+            out.push_str("    }");
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let json_dir = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with('-'))
+            .cloned()
+            .unwrap_or_else(|| ".".to_string())
+    });
+
+    let machines = ["fig3", "archII", "dsp_mac"];
+    let programs = ["sum_loop", "dot4"];
+    let mut results = Vec::new();
+    println!(
+        "{:22} | {:>9} | {:>9} | {:>8} | {:>10}",
+        "pair", "cold ms", "warm ms", "speedup", "warm cache"
+    );
+    println!("{}", "-".repeat(70));
+    for m in machines {
+        for p in programs {
+            let r = measure_pair(p, m);
+            println!(
+                "{:22} | {:>9.3} | {:>9.3} | {:>7.1}x | {:>4} hit {:>2} miss",
+                format!("{p}@{m}"),
+                r.cold_ms,
+                r.warm_ms,
+                r.cold_ms / r.warm_ms.max(1e-9),
+                r.warm_hits,
+                r.warm_misses,
+            );
+            results.push(r);
+        }
+    }
+    println!(
+        "\nmeans over {ITERATIONS} compiles; cold = fresh plan cache per \
+         compile, warm = shared primed cache."
+    );
+
+    if let Some(dir) = &json_dir {
+        let path = Path::new(dir).join("BENCH_serving.json");
+        let json = to_json(&results);
+        aviv_bench::check_schema(&json).expect("serving snapshot matches the schema");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+
+    if check {
+        let mut failures = Vec::new();
+        for r in &results {
+            let pair = format!("{}@{}", r.program, r.machine);
+            if r.warm_misses != 0 || r.warm_hits != r.blocks {
+                failures.push(format!(
+                    "{pair}: warm pass not 100% cache hits \
+                     ({} hits / {} misses over {} blocks)",
+                    r.warm_hits, r.warm_misses, r.blocks
+                ));
+            }
+            if !r.bytes_match {
+                failures.push(format!("{pair}: warm assembly differs from cold"));
+            }
+            let speedup = r.cold_ms / r.warm_ms.max(1e-9);
+            if speedup < REQUIRED_SPEEDUP {
+                failures.push(format!(
+                    "{pair}: warm speedup {speedup:.1}x below the \
+                     {REQUIRED_SPEEDUP:.0}x gate (cold {:.3} ms, warm {:.3} ms)",
+                    r.cold_ms, r.warm_ms
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("serving check failed: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "serving check passed: warm passes are all-hits and ≥{REQUIRED_SPEEDUP:.0}x faster"
+        );
+    }
+}

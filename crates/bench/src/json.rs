@@ -228,6 +228,184 @@ pub fn check_schema(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// One row of a parsed snapshot (see [`parse_snapshot`]). Numeric
+/// fields are `u64` except the wall time; `stages_ms` is dropped (the
+/// baseline gate never inspects it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedRow {
+    /// Workload name.
+    pub name: String,
+    /// Machine the workload was compiled for.
+    pub machine: String,
+    /// End-to-end wall time in milliseconds (nondeterministic).
+    pub wall_ms: f64,
+    /// VLIW instructions emitted.
+    pub instructions: u64,
+    /// Spills inserted.
+    pub spills: u64,
+    /// Covering-search node expansions.
+    pub node_expansions: u64,
+    /// Peak register-bank occupancy.
+    pub peak_pressure: u64,
+}
+
+/// A fully parsed `BENCH_*.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSnapshot {
+    /// Suite name.
+    pub suite: String,
+    /// Rows in file order.
+    pub rows: Vec<ParsedRow>,
+}
+
+/// Parse a snapshot document properly (the baseline gate needs values,
+/// not just key presence like [`check_schema`]). Rejects documents
+/// whose `schema_version` is not [`SCHEMA_VERSION`].
+///
+/// # Errors
+///
+/// Returns a message naming the first structural problem.
+pub fn parse_snapshot(json: &str) -> Result<ParsedSnapshot, String> {
+    use aviv::jsonv::{self, Json};
+    let doc = jsonv::parse(json).map_err(|e| e.to_string())?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing `schema_version`")?;
+    if version != u64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "schema version {version} (this tool understands {SCHEMA_VERSION})"
+        ));
+    }
+    let suite = doc
+        .get("suite")
+        .and_then(Json::as_str)
+        .ok_or("missing `suite`")?
+        .to_string();
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing `rows`")?;
+    let mut parsed = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let str_field = |key: &str| -> Result<String, String> {
+            row.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("row {i}: missing string `{key}`"))
+        };
+        let num_field = |key: &str| -> Result<u64, String> {
+            row.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("row {i}: missing integer `{key}`"))
+        };
+        parsed.push(ParsedRow {
+            name: str_field("name")?,
+            machine: str_field("machine")?,
+            wall_ms: row
+                .get("wall_ms")
+                .and_then(Json::as_f64)
+                .ok_or(format!("row {i}: missing number `wall_ms`"))?,
+            instructions: num_field("instructions")?,
+            spills: num_field("spills")?,
+            node_expansions: num_field("node_expansions")?,
+            peak_pressure: num_field("peak_pressure")?,
+        });
+    }
+    Ok(ParsedSnapshot {
+        suite,
+        rows: parsed,
+    })
+}
+
+/// Diff a freshly measured snapshot against a committed baseline.
+///
+/// Hard failures (the CI gate) are **structural only**: unparsable
+/// documents, a suite mismatch, or row-set drift — a workload identity
+/// `(name, machine)` present on one side and missing on the other.
+/// Everything else — wall-time movement, but also instruction/spill/
+/// expansion/pressure changes, which are legitimate consequences of
+/// generator changes — lands in the returned markdown table for humans
+/// to read in the PR artifact, with changed metric cells marked.
+///
+/// # Errors
+///
+/// Returns the structural failure message.
+pub fn diff_against_baseline(baseline: &str, current: &str) -> Result<String, String> {
+    let base = parse_snapshot(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = parse_snapshot(current).map_err(|e| format!("current: {e}"))?;
+    if base.suite != cur.suite {
+        return Err(format!(
+            "suite mismatch: baseline `{}` vs current `{}`",
+            base.suite, cur.suite
+        ));
+    }
+    let key = |r: &ParsedRow| (r.name.clone(), r.machine.clone());
+    let cur_keys: std::collections::BTreeSet<_> = cur.rows.iter().map(key).collect();
+    let base_keys: std::collections::BTreeSet<_> = base.rows.iter().map(key).collect();
+    let missing: Vec<_> = base_keys.difference(&cur_keys).collect();
+    let added: Vec<_> = cur_keys.difference(&base_keys).collect();
+    if !missing.is_empty() || !added.is_empty() {
+        let fmt = |v: &[&(String, String)]| {
+            v.iter()
+                .map(|(n, m)| format!("{n}@{m}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        return Err(format!(
+            "row-set drift in suite `{}`: missing [{}], added [{}]",
+            base.suite,
+            fmt(&missing),
+            fmt(&added)
+        ));
+    }
+
+    let by_key: std::collections::BTreeMap<_, _> = cur.rows.iter().map(|r| (key(r), r)).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "### Bench deltas: `{}` suite\n", base.suite);
+    let _ = writeln!(
+        out,
+        "| workload | machine | wall ms (base → now) | Δ wall | instructions | \
+         spills | expansions | pressure |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for b in &base.rows {
+        let c = by_key[&key(b)];
+        let delta = if b.wall_ms > 0.0 {
+            format!("{:+.0}%", (c.wall_ms - b.wall_ms) / b.wall_ms * 100.0)
+        } else {
+            "n/a".to_string()
+        };
+        let metric = |base_v: u64, cur_v: u64| {
+            if base_v == cur_v {
+                format!("{cur_v}")
+            } else {
+                format!("**{base_v} → {cur_v}**")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.3} → {:.3} | {} | {} | {} | {} | {} |",
+            b.name,
+            b.machine,
+            b.wall_ms,
+            c.wall_ms,
+            delta,
+            metric(b.instructions, c.instructions),
+            metric(b.spills, c.spills),
+            metric(b.node_expansions, c.node_expansions),
+            metric(b.peak_pressure, c.peak_pressure),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nWall times are informational (runner-dependent); bold cells mark \
+         deterministic metrics that moved. Row-set or schema drift fails the \
+         gate instead of appearing here."
+    );
+    Ok(out)
+}
+
 /// Strip the nondeterministic fields (`wall_ms`, `stages_ms`) from a
 /// snapshot document, leaving only the deterministic skeleton. Two runs
 /// of the same suite at any `--jobs` value must agree on this skeleton;
@@ -321,5 +499,53 @@ mod tests {
     #[test]
     fn file_name_embeds_suite() {
         assert_eq!(sample().file_name(), "BENCH_kernels.json");
+    }
+
+    #[test]
+    fn parse_snapshot_round_trips_the_writer() {
+        let snap = sample();
+        let parsed = parse_snapshot(&snap.to_json()).unwrap();
+        assert_eq!(parsed.suite, "kernels");
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[0].name, "dot4");
+        assert_eq!(parsed.rows[0].instructions, 7);
+        assert_eq!(parsed.rows[1].node_expansions, 999);
+        assert!((parsed.rows[1].wall_ms - 10.0).abs() < 1e-9);
+
+        assert!(parse_snapshot("{}").is_err());
+        let bad_version = snap
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 9");
+        assert!(parse_snapshot(&bad_version).is_err());
+    }
+
+    #[test]
+    fn baseline_diff_tolerates_timing_but_rejects_row_drift() {
+        let base = sample().to_json();
+        // Timing-only movement: fine, reported in the table.
+        let mut timing = sample();
+        timing.rows[0].wall_ms *= 3.0;
+        let table = diff_against_baseline(&base, &timing.to_json()).unwrap();
+        assert!(table.contains("| dot4 |"), "{table}");
+        assert!(table.contains("+200%"), "{table}");
+
+        // Deterministic metric movement: still not a hard failure, but
+        // marked in the table.
+        let mut faster = sample();
+        faster.rows[0].instructions = 5;
+        let table = diff_against_baseline(&base, &faster.to_json()).unwrap();
+        assert!(table.contains("**7 → 5**"), "{table}");
+
+        // Row-set drift: hard failure naming the drifted workload.
+        let mut dropped = sample();
+        dropped.rows.pop();
+        let e = diff_against_baseline(&base, &dropped.to_json()).unwrap_err();
+        assert!(e.contains("row-set drift"), "{e}");
+        assert!(e.contains("rand12@exampleArch"), "{e}");
+
+        // Suite mismatch: hard failure.
+        let mut other = sample();
+        other.suite = "scaling".into();
+        assert!(diff_against_baseline(&base, &other.to_json()).is_err());
     }
 }

@@ -1,0 +1,44 @@
+//! `avivd` — long-running compile server (see `docs/serving.md`).
+
+use aviv_cli::serve::{ServeConfig, Server};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match ServeConfig::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = Server::new(&config);
+
+    #[cfg(unix)]
+    if let Some(path) = &config.socket {
+        return match server.serve_unix(std::path::Path::new(path)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("avivd: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    #[cfg(not(unix))]
+    if config.socket.is_some() {
+        eprintln!("avivd: --socket is only supported on Unix platforms");
+        return ExitCode::FAILURE;
+    }
+
+    // The unlocked handle: `StdoutLock` is not `Send`, and the pooled
+    // pump hands the writer to a drain thread.
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout();
+    match server.serve(stdin, stdout) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("avivd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -24,6 +24,8 @@
 
 #![warn(missing_docs)]
 
+pub mod serve;
+
 use aviv::verify::{check_program, lint_machine, render_report, Format, Severity};
 use aviv::{CodeGenerator, CodegenError, CodegenOptions, VliwProgram};
 use aviv_ir::{parse_function, Function, MemLayout};

@@ -1,0 +1,736 @@
+//! `avivd` — the serving layer: a long-running compile server answering
+//! newline-delimited JSON requests from an incremental plan cache.
+//!
+//! One request per line in, one response per line out, in request order
+//! regardless of how many workers race on the middle. The interesting
+//! part is what *doesn't* recompute: every block plan is memoized in a
+//! shared [`PlanCache`] keyed on `(block content hash, target
+//! fingerprint, planning-options fingerprint)`, so a client recompiling
+//! an edited program pays only for the blocks it actually changed — and
+//! the served bytes are identical to a cold one-shot `avivc` compile at
+//! any worker/job count (see `docs/serving.md` for the full contract).
+//!
+//! ```text
+//! → {"op":"ping"}
+//! ← {"ok":true,"op":"ping","protocol":1}
+//! → {"id":1,"op":"compile","machine_path":"assets/fig3.isdl","program_path":"assets/dot4.av"}
+//! ← {"id":1,"ok":true,"op":"compile","blocks":1,"cache_hits":0,"cache_misses":1,...,"asm":"..."}
+//! → {"op":"stats"}
+//! ← {"ok":true,"op":"stats","requests":2,"cache":{"hits":0,"misses":1,...}}
+//! → {"op":"shutdown"}
+//! ← {"ok":true,"op":"shutdown"}
+//! ```
+//!
+//! Requests carry their own QoS: `preset`, `jobs`, `fuel`, and
+//! `timeout_ms` per compile, with the same meaning as the `avivc`
+//! flags. Budgeted (incomplete) compiles still answer, but only
+//! *complete* plans enter the cache, so a degraded response never
+//! poisons later requests.
+
+use aviv::jsonv::{self, Json};
+use aviv::{CacheStats, CodeGenerator, CodegenOptions, PlanCache};
+use aviv_ir::parse_function;
+use aviv_isdl::{parse_machine, Target};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Version of the request/response protocol, reported by `ping`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Server construction knobs (the `avivd` command line).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Request workers: 1 = handle requests sequentially (default),
+    /// 0 = one per available core. Responses are always delivered in
+    /// request order and are byte-identical for every value.
+    pub workers: usize,
+    /// Plan-cache capacity in block plans (see
+    /// [`aviv::DEFAULT_CACHE_CAPACITY`]).
+    pub cache_size: usize,
+    /// Serve a Unix socket at this path instead of stdin/stdout.
+    pub socket: Option<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            cache_size: aviv::DEFAULT_CACHE_CAPACITY,
+            socket: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Parse the `avivd` argument vector (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`](crate::CliError) describing the first
+    /// problem; `--help` yields an error carrying [`SERVE_USAGE`].
+    pub fn parse(args: &[String]) -> Result<ServeConfig, crate::CliError> {
+        let mut config = ServeConfig::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "-h" | "--help" => return Err(crate::CliError(SERVE_USAGE.to_string())),
+                "--workers" => {
+                    let n = it
+                        .next()
+                        .ok_or_else(|| crate::CliError("--workers needs a count".into()))?;
+                    config.workers = n
+                        .parse()
+                        .map_err(|_| crate::CliError(format!("bad worker count `{n}`")))?;
+                }
+                "--cache-size" => {
+                    let n = it
+                        .next()
+                        .ok_or_else(|| crate::CliError("--cache-size needs a count".into()))?;
+                    config.cache_size = n
+                        .parse()
+                        .map_err(|_| crate::CliError(format!("bad cache size `{n}`")))?;
+                }
+                "--socket" => {
+                    config.socket = Some(
+                        it.next()
+                            .ok_or_else(|| crate::CliError("--socket needs a path".into()))?
+                            .clone(),
+                    );
+                }
+                other => {
+                    return Err(crate::CliError(format!(
+                        "unknown argument `{other}`\n{SERVE_USAGE}"
+                    )))
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Usage text for the `avivd` binary.
+pub const SERVE_USAGE: &str = "\
+usage: avivd [--workers <n>] [--cache-size <n>] [--socket <path>]
+
+Long-running compile server. Reads one JSON request per line from
+stdin (or the Unix socket given with --socket) and writes one JSON
+response per line, in request order. See docs/serving.md for the
+protocol.
+
+options:
+  --workers <n>     request workers (1 = sequential, 0 = one per
+                    core; default: 1). Responses are identical and
+                    in request order for every value
+  --cache-size <n>  plan-cache capacity in block plans
+                    (default: 4096)
+  --socket <path>   bind a Unix socket instead of stdin/stdout
+                    (connections are served one at a time; the cache
+                    persists across connections)
+  -h, --help        this text
+";
+
+/// What [`Server::serve`] did: how many requests it answered and
+/// whether a `shutdown` request ended the stream (as opposed to EOF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Responses written.
+    pub requests: u64,
+    /// True when a `shutdown` request ended the session.
+    pub shutdown: bool,
+}
+
+struct Response {
+    body: String,
+    shutdown: bool,
+}
+
+/// The compile server: a shared [`PlanCache`], a memoized machine
+/// table, and the request pump. One `Server` outlives any number of
+/// [`serve`](Server::serve) sessions, so the cache stays warm across
+/// socket connections.
+pub struct Server {
+    cache: Arc<PlanCache>,
+    /// Parsed machines memoized by source-text hash: repeat requests
+    /// skip ISDL parsing and share one `Target` across workers.
+    targets: Mutex<HashMap<u64, Arc<Target>>>,
+    workers: usize,
+    requests: AtomicU64,
+}
+
+impl Server {
+    /// Build a server from `config` (`workers == 0` resolves to one
+    /// per available core).
+    pub fn new(config: &ServeConfig) -> Server {
+        let workers = match config.workers {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        };
+        Server {
+            cache: Arc::new(PlanCache::new(config.cache_size)),
+            targets: Mutex::new(HashMap::new()),
+            workers,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared plan cache (for inspection in tests and stats).
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Pump requests from `reader` to `writer` until EOF or a
+    /// `shutdown` request. Responses are written in request order and
+    /// flushed per line; with more than one worker, requests are
+    /// answered concurrently behind a reorder buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the reader or writer. Malformed
+    /// requests are *not* errors — they get an `"ok":false` response.
+    pub fn serve<R: BufRead, W: Write + Send>(
+        &self,
+        reader: R,
+        mut writer: W,
+    ) -> io::Result<ServeSummary> {
+        if self.workers == 1 {
+            let mut summary = ServeSummary {
+                requests: 0,
+                shutdown: false,
+            };
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let r = self.respond(&line);
+                writeln!(writer, "{}", r.body)?;
+                writer.flush()?;
+                summary.requests += 1;
+                if r.shutdown {
+                    summary.shutdown = true;
+                    break;
+                }
+            }
+            return Ok(summary);
+        }
+        self.serve_pooled(reader, writer)
+    }
+
+    /// The multi-worker pump: a job channel fans lines out to workers,
+    /// a reorder buffer puts responses back in request order.
+    fn serve_pooled<R: BufRead, W: Write + Send>(
+        &self,
+        reader: R,
+        mut writer: W,
+    ) -> io::Result<ServeSummary> {
+        let workers = self.workers;
+        let (job_tx, job_rx) = mpsc::channel::<(u64, String)>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (out_tx, out_rx) = mpsc::channel::<(u64, String, bool)>();
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&job_rx);
+                let tx = out_tx.clone();
+                s.spawn(move || {
+                    // Tell nested per-block pools how wide this outer
+                    // pool is, so workers × jobs never oversubscribes
+                    // the machine (see aviv::register_outer_pool).
+                    aviv::register_outer_pool(workers);
+                    loop {
+                        let job = {
+                            let guard = lock_unpoisoned(&rx);
+                            guard.recv()
+                        };
+                        let Ok((seq, line)) = job else { break };
+                        let r = self.respond(&line);
+                        if tx.send((seq, r.body, r.shutdown)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(out_tx);
+
+            let drain = s.spawn(move || -> io::Result<ServeSummary> {
+                let mut pending: BTreeMap<u64, (String, bool)> = BTreeMap::new();
+                let mut next = 0u64;
+                let mut summary = ServeSummary {
+                    requests: 0,
+                    shutdown: false,
+                };
+                while let Ok((seq, body, shutdown)) = out_rx.recv() {
+                    pending.insert(seq, (body, shutdown));
+                    while let Some((body, shutdown)) = pending.remove(&next) {
+                        writeln!(writer, "{body}")?;
+                        writer.flush()?;
+                        next += 1;
+                        summary.requests += 1;
+                        summary.shutdown |= shutdown;
+                    }
+                }
+                Ok(summary)
+            });
+
+            let mut seq = 0u64;
+            let mut read_error = None;
+            for line in reader.lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        read_error = Some(e);
+                        break;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // Stop reading once a shutdown request is enqueued;
+                // earlier requests still drain through the reorder
+                // buffer before the session ends.
+                let is_shutdown = jsonv::parse(&line)
+                    .ok()
+                    .and_then(|v| v.get("op").and_then(Json::as_str).map(|o| o == "shutdown"))
+                    .unwrap_or(false);
+                if job_tx.send((seq, line)).is_err() {
+                    break;
+                }
+                seq += 1;
+                if is_shutdown {
+                    break;
+                }
+            }
+            drop(job_tx);
+
+            let summary = drain
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("response writer panicked")))?;
+            match read_error {
+                Some(e) => Err(e),
+                None => Ok(summary),
+            }
+        })
+    }
+
+    /// Serve a Unix socket: connections are accepted one at a time and
+    /// share the plan cache, so a reconnecting client keeps its warm
+    /// entries. Returns after a client sends `shutdown`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/accept/stream I/O errors.
+    #[cfg(unix)]
+    pub fn serve_unix(&self, path: &std::path::Path) -> io::Result<()> {
+        use std::os::unix::net::UnixListener;
+        // A stale socket file from a previous run would make bind fail.
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        loop {
+            let (stream, _) = listener.accept()?;
+            let reader = io::BufReader::new(stream.try_clone()?);
+            let summary = self.serve(reader, stream)?;
+            if summary.shutdown {
+                break;
+            }
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+
+    /// Answer one request line. Never panics on malformed input: every
+    /// failure becomes an `"ok":false` response carrying the request id
+    /// when one was given.
+    fn respond(&self, line: &str) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match jsonv::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                return Response {
+                    body: error_body("", &format!("bad request: {e}")),
+                    shutdown: false,
+                }
+            }
+        };
+        let id = id_prefix(&req);
+        let Some(op) = req.get("op").and_then(Json::as_str) else {
+            return Response {
+                body: error_body(&id, "missing `op` field"),
+                shutdown: false,
+            };
+        };
+        match op {
+            "ping" => Response {
+                body: format!(
+                    "{{{id}\"ok\":true,\"op\":\"ping\",\"protocol\":{PROTOCOL_VERSION}}}"
+                ),
+                shutdown: false,
+            },
+            "stats" => Response {
+                body: self.stats_body(&id),
+                shutdown: false,
+            },
+            "shutdown" => Response {
+                body: format!("{{{id}\"ok\":true,\"op\":\"shutdown\"}}"),
+                shutdown: true,
+            },
+            "compile" => match self.compile(&req) {
+                Ok(fields) => Response {
+                    body: format!("{{{id}\"ok\":true,\"op\":\"compile\",{fields}}}"),
+                    shutdown: false,
+                },
+                Err(message) => Response {
+                    body: error_body(&id, &message),
+                    shutdown: false,
+                },
+            },
+            other => Response {
+                body: error_body(&id, &format!("unknown op `{other}`")),
+                shutdown: false,
+            },
+        }
+    }
+
+    fn stats_body(&self, id: &str) -> String {
+        let CacheStats {
+            hits,
+            misses,
+            evictions,
+            entries,
+            capacity,
+        } = self.cache.stats();
+        format!(
+            "{{{id}\"ok\":true,\"op\":\"stats\",\"requests\":{},\"workers\":{},\
+             \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions},\
+             \"entries\":{entries},\"capacity\":{capacity}}}}}",
+            self.requests.load(Ordering::Relaxed),
+            self.workers,
+        )
+    }
+
+    /// Handle a `compile` request, returning the response's payload
+    /// fields (everything after `"op":"compile",`) or an error message.
+    fn compile(&self, req: &Json) -> Result<String, String> {
+        let machine_src = source_field(req, "machine", "machine_path")?;
+        let program_src = source_field(req, "program", "program_path")?;
+        let options = request_options(req)?;
+        let target = self.target_for(&machine_src)?;
+        let function = parse_function(&program_src).map_err(|e| format!("program: {e}"))?;
+        let generator = CodeGenerator::with_shared_target(target)
+            .options(options)
+            .with_cache(Arc::clone(&self.cache));
+        let (program, report) = generator
+            .compile_function(&function)
+            .map_err(|e| format!("compile: {e}"))?;
+        let asm = program.render(generator.target());
+
+        let mut notes = String::new();
+        for d in &report.downgrades {
+            let _ = writeln!(notes, "downgrade: {d}");
+        }
+        if !report.complete {
+            notes.push_str("note: compile incomplete under the given budget\n");
+        }
+        let mut fields = format!(
+            "\"blocks\":{},\"instructions\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"complete\":{}",
+            report.blocks.len(),
+            report.total_instructions,
+            report.cache_hits,
+            report.cache_misses,
+            report.complete,
+        );
+        if !notes.is_empty() {
+            let _ = write!(fields, ",\"notes\":\"{}\"", jsonv::escape(&notes));
+        }
+        let _ = write!(fields, ",\"asm\":\"{}\"", jsonv::escape(&asm));
+        Ok(fields)
+    }
+
+    /// Parse-or-reuse the machine for `machine_src`. Keyed on the raw
+    /// source text: two requests with the same bytes share one
+    /// [`Target`] (and its derived tables) across all workers.
+    fn target_for(&self, machine_src: &str) -> Result<Arc<Target>, String> {
+        let key = aviv_ir::stablehash::hash_str(machine_src);
+        if let Some(t) = lock_unpoisoned(&self.targets).get(&key) {
+            return Ok(Arc::clone(t));
+        }
+        let machine =
+            parse_machine(machine_src).map_err(|e| format!("machine description: {e}"))?;
+        let target = Arc::new(Target::new(machine));
+        // A racing worker may have inserted meanwhile; keep the first.
+        Ok(Arc::clone(
+            lock_unpoisoned(&self.targets).entry(key).or_insert(target),
+        ))
+    }
+}
+
+/// Per-request codegen options: the same knobs as the `avivc` command
+/// line, defaulting to the default preset with sequential inner jobs.
+fn request_options(req: &Json) -> Result<CodegenOptions, String> {
+    let preset = req.get("preset").and_then(Json::as_str).unwrap_or("on");
+    let base = match preset {
+        "on" => CodegenOptions::heuristics_on(),
+        "thorough" => CodegenOptions::thorough(),
+        "off" => CodegenOptions::heuristics_off(),
+        other => return Err(format!("unknown preset `{other}`")),
+    };
+    let jobs = match req.get("jobs") {
+        None => 1,
+        Some(v) => v.as_u64().ok_or("`jobs` must be a non-negative integer")? as usize,
+    };
+    let fuel = match req.get("fuel") {
+        None => None,
+        Some(v) => Some(v.as_u64().ok_or("`fuel` must be a non-negative integer")?),
+    };
+    let timeout_ms = match req.get("timeout_ms") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("`timeout_ms` must be a non-negative integer")?,
+        ),
+    };
+    Ok(base
+        .with_jobs(jobs)
+        .with_fuel(fuel)
+        .with_deadline_ms(timeout_ms))
+}
+
+/// Resolve a source payload that may be inline (`machine`/`program`)
+/// or a path to read (`machine_path`/`program_path`).
+fn source_field(req: &Json, inline_key: &str, path_key: &str) -> Result<String, String> {
+    match (req.get(inline_key), req.get(path_key)) {
+        (Some(_), Some(_)) => Err(format!("give `{inline_key}` or `{path_key}`, not both")),
+        (Some(v), None) => v
+            .as_str()
+            .map(str::to_string)
+            .ok_or(format!("`{inline_key}` must be a string")),
+        (None, Some(v)) => {
+            let path = v.as_str().ok_or(format!("`{path_key}` must be a string"))?;
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+        }
+        (None, None) => Err(format!("missing `{inline_key}` (or `{path_key}`)")),
+    }
+}
+
+/// Render the echoed `"id":...,` fragment (empty when the request has
+/// no id). Integer and string ids are supported.
+fn id_prefix(req: &Json) -> String {
+    match req.get("id") {
+        Some(Json::Num(_)) => match req.get("id").and_then(Json::as_u64) {
+            Some(n) => format!("\"id\":{n},"),
+            None => String::new(),
+        },
+        Some(Json::Str(s)) => format!("\"id\":\"{}\",", jsonv::escape(s)),
+        _ => String::new(),
+    }
+}
+
+fn error_body(id: &str, message: &str) -> String {
+    format!(
+        "{{{id}\"ok\":false,\"error\":\"{}\"}}",
+        jsonv::escape(message)
+    )
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MACHINE: &str = "machine M {
+        unit U1 { ops { add, sub, compl, cmpgt } regfile R1[4]; }
+        unit U2 { ops { add, mul } regfile R2[4]; }
+        memory DM;
+        bus DB capacity 1 connects { R1, R2, DM };
+    }";
+
+    const PROGRAM: &str = "func f(a, b) { x = a * b + 1; return x; }";
+
+    fn run(server: &Server, requests: &str) -> Vec<Json> {
+        let mut out = Vec::new();
+        server
+            .serve(io::Cursor::new(requests.to_string()), &mut out)
+            .unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| jsonv::parse(l).unwrap())
+            .collect()
+    }
+
+    fn compile_req(id: u64) -> String {
+        format!(
+            "{{\"id\":{id},\"op\":\"compile\",\"machine\":\"{}\",\"program\":\"{}\"}}",
+            jsonv::escape(MACHINE),
+            jsonv::escape(PROGRAM)
+        )
+    }
+
+    #[test]
+    fn config_parses_and_rejects() {
+        let c = ServeConfig::parse(&[]).unwrap();
+        assert_eq!((c.workers, c.cache_size), (1, aviv::DEFAULT_CACHE_CAPACITY));
+        let c = ServeConfig::parse(&[
+            "--workers".into(),
+            "4".into(),
+            "--cache-size".into(),
+            "64".into(),
+            "--socket".into(),
+            "/tmp/s".into(),
+        ])
+        .unwrap();
+        assert_eq!((c.workers, c.cache_size), (4, 64));
+        assert_eq!(c.socket.as_deref(), Some("/tmp/s"));
+        assert!(ServeConfig::parse(&["--workers".into()]).is_err());
+        assert!(ServeConfig::parse(&["--workers".into(), "many".into()]).is_err());
+        assert!(ServeConfig::parse(&["--wat".into()]).is_err());
+        let help = ServeConfig::parse(&["--help".into()]).unwrap_err();
+        assert!(help.0.contains("usage"));
+    }
+
+    #[test]
+    fn ping_stats_and_shutdown_round_trip() {
+        let server = Server::new(&ServeConfig::default());
+        let responses = run(
+            &server,
+            "{\"op\":\"ping\"}\n{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n{\"op\":\"ping\"}\n",
+        );
+        // The request after shutdown is never answered.
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            responses[0].get("protocol").and_then(Json::as_u64),
+            Some(u64::from(PROTOCOL_VERSION))
+        );
+        let cache = responses[1].get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            responses[2].get("op").and_then(Json::as_str),
+            Some("shutdown")
+        );
+    }
+
+    #[test]
+    fn malformed_requests_get_error_responses() {
+        let server = Server::new(&ServeConfig::default());
+        let responses = run(
+            &server,
+            "not json\n{\"op\":\"wat\"}\n{\"id\":7,\"op\":\"compile\",\"machine\":\"m\"}\n\
+             {\"op\":\"compile\",\"machine\":\"bad\",\"program\":\"func f(a) { return a; }\"}\n",
+        );
+        assert_eq!(responses.len(), 4);
+        for r in &responses {
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{r:?}");
+            assert!(r.get("error").is_some());
+        }
+        // The id is echoed even on errors.
+        assert_eq!(responses[2].get("id").and_then(Json::as_u64), Some(7));
+        let msg = responses[3].get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("machine description"), "{msg}");
+    }
+
+    #[test]
+    fn repeat_compiles_hit_the_cache_and_match() {
+        let server = Server::new(&ServeConfig::default());
+        let responses = run(
+            &server,
+            &format!("{}\n{}\n", compile_req(1), compile_req(2)),
+        );
+        let cold = &responses[0];
+        let warm = &responses[1];
+        assert_eq!(
+            cold.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{cold:?}"
+        );
+        assert_eq!(cold.get("cache_hits").and_then(Json::as_u64), Some(0));
+        assert_eq!(warm.get("cache_misses").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            warm.get("cache_hits").and_then(Json::as_u64),
+            warm.get("blocks").and_then(Json::as_u64)
+        );
+        assert_eq!(cold.get("asm"), warm.get("asm"));
+        // And the served assembly equals the one-shot driver's bytes.
+        let opts = crate::Options::parse(&["--machine".into(), "m.isdl".into(), "prog.av".into()])
+            .unwrap();
+        let oneshot = crate::drive(&opts, MACHINE, PROGRAM).unwrap();
+        assert_eq!(
+            cold.get("asm").and_then(Json::as_str).unwrap().as_bytes(),
+            &oneshot.output[..]
+        );
+    }
+
+    #[test]
+    fn worker_pool_keeps_request_order_and_bytes() {
+        let sequential = Server::new(&ServeConfig::default());
+        let requests: String = (0..8).map(|i| format!("{}\n", compile_req(i))).collect();
+        let expect = run(&sequential, &requests);
+        for workers in [2, 0] {
+            let pooled = Server::new(&ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            });
+            let got = run(&pooled, &requests);
+            assert_eq!(got.len(), expect.len());
+            for (g, e) in got.iter().zip(&expect) {
+                assert_eq!(g.get("id"), e.get("id"), "workers={workers}");
+                assert_eq!(g.get("asm"), e.get("asm"), "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_request_qos_is_honored() {
+        let server = Server::new(&ServeConfig::default());
+        let tight = format!(
+            "{{\"op\":\"compile\",\"machine\":\"{}\",\"program\":\"{}\",\"fuel\":1}}",
+            jsonv::escape(MACHINE),
+            jsonv::escape(PROGRAM)
+        );
+        let responses = run(&server, &format!("{tight}\n{}\n", compile_req(1)));
+        let degraded = &responses[0];
+        assert_eq!(degraded.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            degraded.get("complete").and_then(Json::as_bool),
+            Some(false)
+        );
+        let notes = degraded.get("notes").and_then(Json::as_str).unwrap();
+        assert!(notes.contains("downgrade:"), "{notes}");
+        // The degraded compile did not poison the cache: the follow-up
+        // unbudgeted request is a miss, not a bogus hit.
+        let fresh = &responses[1];
+        assert_eq!(fresh.get("complete").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            fresh.get("cache_hits").and_then(Json::as_u64),
+            Some(0),
+            "{fresh:?}"
+        );
+    }
+
+    #[test]
+    fn string_ids_and_unknown_presets() {
+        let server = Server::new(&ServeConfig::default());
+        let responses = run(
+            &server,
+            "{\"id\":\"req-a\",\"op\":\"ping\"}\n\
+             {\"op\":\"compile\",\"machine\":\"m\",\"program\":\"p\",\"preset\":\"fast\"}\n",
+        );
+        assert_eq!(responses[0].get("id").and_then(Json::as_str), Some("req-a"));
+        let msg = responses[1].get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("unknown preset"), "{msg}");
+    }
+}

@@ -1,0 +1,293 @@
+//! Serve-smoke: replay every bundled program×machine pair through the
+//! `avivd` serving layer twice and hold the cache to its contract —
+//! the second pass is answered 100% from cache, and the served bytes
+//! are identical to a cold pass and to a one-shot `avivc` compile, at
+//! every worker/job count.
+
+use aviv::jsonv::{self, Json};
+use aviv_cli::serve::{ServeConfig, Server};
+use aviv_cli::{drive, Options};
+use std::path::PathBuf;
+
+fn assets_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("assets")
+}
+
+/// Every bundled machine × program pair, as (label, machine source,
+/// program source).
+fn pairs() -> Vec<(String, String, String)> {
+    let dir = assets_dir();
+    let machines = ["fig3", "archII", "dsp_mac"];
+    let programs = ["sum_loop", "dot4"];
+    let mut out = Vec::new();
+    for m in machines {
+        let machine = std::fs::read_to_string(dir.join(format!("{m}.isdl"))).unwrap();
+        for p in programs {
+            let program = std::fs::read_to_string(dir.join(format!("{p}.av"))).unwrap();
+            out.push((format!("{p}@{m}"), machine.clone(), program.clone()));
+        }
+    }
+    out
+}
+
+fn compile_request(id: usize, machine: &str, program: &str, jobs: usize) -> String {
+    format!(
+        "{{\"id\":{id},\"op\":\"compile\",\"machine\":\"{}\",\"program\":\"{}\",\"jobs\":{jobs}}}",
+        jsonv::escape(machine),
+        jsonv::escape(program)
+    )
+}
+
+/// Run one batch of requests against `server`, returning the parsed
+/// response per request.
+fn session(server: &Server, requests: &[String]) -> Vec<Json> {
+    let input = requests.join("\n") + "\n";
+    let mut out = Vec::new();
+    server.serve(std::io::Cursor::new(input), &mut out).unwrap();
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| jsonv::parse(l).unwrap())
+        .collect()
+}
+
+fn oneshot_asm(machine: &str, program: &str, jobs: usize) -> Vec<u8> {
+    let opts = Options::parse(&[
+        "--machine".into(),
+        "m.isdl".into(),
+        "p.av".into(),
+        "--jobs".into(),
+        jobs.to_string(),
+    ])
+    .unwrap();
+    drive(&opts, machine, program).unwrap().output
+}
+
+/// The tentpole acceptance gate: for every bundled pair, the second
+/// pass is all cache hits and every response byte-matches both the
+/// cold pass and the one-shot driver, for inner jobs 1, 4, and 0.
+#[test]
+fn second_pass_is_all_hits_and_byte_identical() {
+    let pairs = pairs();
+    for jobs in [1usize, 4, 0] {
+        let server = Server::new(&ServeConfig::default());
+        let reqs = |base: usize| -> Vec<String> {
+            pairs
+                .iter()
+                .enumerate()
+                .map(|(i, (_, m, p))| compile_request(base + i, m, p, jobs))
+                .collect()
+        };
+        let cold = session(&server, &reqs(0));
+        let warm = session(&server, &reqs(pairs.len()));
+        assert_eq!(cold.len(), pairs.len());
+        assert_eq!(warm.len(), pairs.len());
+        for (i, (label, machine, program)) in pairs.iter().enumerate() {
+            let c = &cold[i];
+            let w = &warm[i];
+            assert_eq!(
+                c.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{label} jobs={jobs}: {c:?}"
+            );
+            assert_eq!(
+                c.get("complete").and_then(Json::as_bool),
+                Some(true),
+                "{label} jobs={jobs}"
+            );
+            // Warm pass: zero misses, every block a hit.
+            assert_eq!(
+                w.get("cache_misses").and_then(Json::as_u64),
+                Some(0),
+                "{label} jobs={jobs}: {w:?}"
+            );
+            assert_eq!(
+                w.get("cache_hits").and_then(Json::as_u64),
+                w.get("blocks").and_then(Json::as_u64),
+                "{label} jobs={jobs}"
+            );
+            // Byte-identity: warm == cold == one-shot avivc.
+            let asm = c.get("asm").and_then(Json::as_str).unwrap();
+            assert_eq!(w.get("asm").and_then(Json::as_str), Some(asm), "{label}");
+            assert_eq!(
+                asm.as_bytes(),
+                &oneshot_asm(machine, program, jobs)[..],
+                "{label} jobs={jobs}: served bytes differ from one-shot avivc"
+            );
+        }
+        // The stats op agrees that the warm pass was answered from
+        // cache: every resident entry was hit at least once.
+        let stats = session(&server, &["{\"op\":\"stats\"}".to_string()]);
+        let cache = stats[0].get("cache").unwrap();
+        let hits = cache.get("hits").and_then(Json::as_u64).unwrap();
+        let entries = cache.get("entries").and_then(Json::as_u64).unwrap();
+        assert!(hits >= entries, "jobs={jobs}: {stats:?}");
+        assert!(entries > 0, "jobs={jobs}");
+    }
+}
+
+/// The worker pool must not change ordering or bytes, and pooled
+/// warm passes stay 100% hits (the passes are separate sessions, so
+/// pass 2 never races pass 1).
+#[test]
+fn pooled_server_matches_sequential_server() {
+    let pairs = pairs();
+    let reqs = |base: usize| -> Vec<String> {
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, m, p))| compile_request(base + i, m, p, 1))
+            .collect()
+    };
+    let sequential = Server::new(&ServeConfig::default());
+    let cold_expect = session(&sequential, &reqs(0));
+    let warm_expect = session(&sequential, &reqs(pairs.len()));
+
+    for workers in [3usize, 0] {
+        let pooled = Server::new(&ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        });
+        let cold = session(&pooled, &reqs(0));
+        let warm = session(&pooled, &reqs(pairs.len()));
+        for (got, expect) in cold
+            .iter()
+            .zip(&cold_expect)
+            .chain(warm.iter().zip(&warm_expect))
+        {
+            assert_eq!(got.get("id"), expect.get("id"), "workers={workers}");
+            assert_eq!(got.get("asm"), expect.get("asm"), "workers={workers}");
+            assert_eq!(
+                got.get("cache_misses"),
+                expect.get("cache_misses"),
+                "workers={workers}"
+            );
+        }
+    }
+}
+
+/// Path-based requests (what the CI smoke job sends) resolve against
+/// the filesystem and share cache entries with inline requests for the
+/// same content.
+#[test]
+fn path_requests_share_the_cache_with_inline_requests() {
+    let dir = assets_dir();
+    let machine_path = dir.join("fig3.isdl");
+    let program_path = dir.join("dot4.av");
+    let machine = std::fs::read_to_string(&machine_path).unwrap();
+    let program = std::fs::read_to_string(&program_path).unwrap();
+
+    let server = Server::new(&ServeConfig::default());
+    let by_path = format!(
+        "{{\"op\":\"compile\",\"machine_path\":\"{}\",\"program_path\":\"{}\"}}",
+        jsonv::escape(machine_path.to_str().unwrap()),
+        jsonv::escape(program_path.to_str().unwrap())
+    );
+    let inline = compile_request(1, &machine, &program, 1);
+    let responses = session(&server, &[by_path, inline]);
+    assert_eq!(
+        responses[0].get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{:?}",
+        responses[0]
+    );
+    // The inline follow-up hits the entries planted by the path request.
+    assert_eq!(
+        responses[1].get("cache_misses").and_then(Json::as_u64),
+        Some(0),
+        "{:?}",
+        responses[1]
+    );
+    assert_eq!(responses[0].get("asm"), responses[1].get("asm"));
+}
+
+/// The cache outlives a session: a reconnecting client (modeled as a
+/// second `serve` call, which is exactly what `serve_unix` does per
+/// connection) starts warm.
+#[test]
+fn cache_survives_across_sessions() {
+    let (label, machine, program) = pairs().remove(0);
+    let server = Server::new(&ServeConfig::default());
+    let first = session(&server, &[compile_request(0, &machine, &program, 1)]);
+    assert!(
+        first[0].get("cache_misses").and_then(Json::as_u64).unwrap() > 0,
+        "{label}"
+    );
+    let second = session(&server, &[compile_request(1, &machine, &program, 1)]);
+    assert_eq!(
+        second[0].get("cache_misses").and_then(Json::as_u64),
+        Some(0),
+        "{label}"
+    );
+}
+
+/// End-to-end over an actual Unix socket: two connections, the second
+/// one warm, then shutdown stops the listener.
+#[cfg(unix)]
+#[test]
+fn unix_socket_serves_and_shuts_down() {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::os::unix::net::UnixStream;
+
+    let (_, machine, program) = pairs().remove(0);
+    let path = std::env::temp_dir().join(format!("avivd-test-{}.sock", std::process::id()));
+    let path_for_server = path.clone();
+    let server = std::sync::Arc::new(Server::new(&ServeConfig::default()));
+    let server_for_thread = std::sync::Arc::clone(&server);
+    let listener =
+        std::thread::spawn(move || server_for_thread.serve_unix(&path_for_server).unwrap());
+
+    // The listener needs a moment to bind before the first connect.
+    let mut first = None;
+    for _ in 0..100 {
+        match UnixStream::connect(&path) {
+            Ok(s) => {
+                first = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+        }
+    }
+    fn request_response(mut s: UnixStream, requests: &[String]) -> Vec<Json> {
+        let mut reader = BufReader::new(s.try_clone().unwrap());
+        for r in requests {
+            writeln!(s, "{r}").unwrap();
+        }
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut out = Vec::new();
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap() > 0 {
+            out.push(jsonv::parse(line.trim_end()).unwrap());
+            line.clear();
+        }
+        out
+    }
+
+    let cold = request_response(
+        first.expect("listener never bound"),
+        &[compile_request(0, &machine, &program, 1)],
+    );
+    assert_eq!(cold[0].get("ok").and_then(Json::as_bool), Some(true));
+
+    let warm = request_response(
+        UnixStream::connect(&path).unwrap(),
+        &[
+            compile_request(1, &machine, &program, 1),
+            "{\"op\":\"shutdown\"}".to_string(),
+        ],
+    );
+    assert_eq!(
+        warm[0].get("cache_misses").and_then(Json::as_u64),
+        Some(0),
+        "{:?}",
+        warm[0]
+    );
+    assert_eq!(cold[0].get("asm"), warm[0].get("asm"));
+    assert_eq!(warm[1].get("op").and_then(Json::as_str), Some("shutdown"));
+
+    listener.join().unwrap();
+    assert!(!path.exists(), "socket file cleaned up");
+}

@@ -35,6 +35,7 @@
 
 use crate::assign::{explore, ExploreResult};
 use crate::budget::{self, Budget, Exhaustion};
+use crate::cache::{CacheKey, PlanCache};
 use crate::cover::{cover_budgeted, cover_sequential_budgeted, CoverError, Schedule};
 use crate::covergraph::{CoverGraph, Operand};
 use crate::emit::{
@@ -54,6 +55,7 @@ use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Code-generation failure.
@@ -253,6 +255,9 @@ pub struct BlockReport {
     /// Peak simultaneous register occupancy of any one bank over the
     /// final schedule (see [`crate::cover::peak_pressure`]).
     pub peak_pressure: usize,
+    /// `true` when this block's plan was served from the
+    /// [`PlanCache`](crate::PlanCache) instead of being computed.
+    pub cached: bool,
     /// The degradation-ladder rung that produced the block's code.
     pub mode: CoverMode,
     /// Every ladder step the block took, in order.
@@ -329,6 +334,12 @@ pub struct CompileReport {
     /// [`BlockReport::complete`]): no downgrades, no truncation, no
     /// budget exhaustion — the output matches an unbudgeted run.
     pub complete: bool,
+    /// Blocks whose plans were served from the attached
+    /// [`PlanCache`](crate::PlanCache) (0 when no cache is attached).
+    pub cache_hits: usize,
+    /// Blocks planned from scratch while a cache was attached (0 when no
+    /// cache is attached).
+    pub cache_misses: usize,
 }
 
 impl Default for CompileReport {
@@ -338,6 +349,8 @@ impl Default for CompileReport {
             total_instructions: 0,
             downgrades: Vec::new(),
             complete: true,
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 }
@@ -383,24 +396,36 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CodeGenerator {
-    target: Target,
+    target: Arc<Target>,
     options: CodegenOptions,
+    /// Shared plan cache; `None` (the default) plans every block fresh.
+    cache: Option<Arc<PlanCache>>,
+    /// [`Target::fingerprint`] of `target`, computed once when the cache
+    /// is attached (it is only ever read on cache paths).
+    target_fp: u64,
 }
 
 impl CodeGenerator {
     /// Create a generator for `machine` with default options.
     pub fn new(machine: Machine) -> Self {
-        CodeGenerator {
-            target: Target::new(machine),
-            options: CodegenOptions::default(),
-        }
+        Self::with_shared_target(Arc::new(Target::new(machine)))
     }
 
     /// Create a generator from a prebuilt [`Target`].
     pub fn with_target(target: Target) -> Self {
+        Self::with_shared_target(Arc::new(target))
+    }
+
+    /// Create a generator from a shared [`Target`]: the derived
+    /// correlation databases are immutable, so any number of generators
+    /// (one per server request, say) can retarget against one `Arc`
+    /// without rebuilding them.
+    pub fn with_shared_target(target: Arc<Target>) -> Self {
         CodeGenerator {
             target,
             options: CodegenOptions::default(),
+            cache: None,
+            target_fp: 0,
         }
     }
 
@@ -410,9 +435,35 @@ impl CodeGenerator {
         self
     }
 
+    /// Attach a shared [`PlanCache`]: [`CodeGenerator::compile_function`]
+    /// and [`CodeGenerator::compile_batch`] will serve block plans from
+    /// it and insert the complete plans they compute. The cache can be
+    /// shared across generators, targets, and threads — keys incorporate
+    /// the target and options fingerprints, so mixed use is sound.
+    ///
+    /// Caching changes wall-clock only, never bytes: a cache hit replays
+    /// a plan that is byte-identical to what planning would produce (see
+    /// the [`crate::cache`] module docs for the argument).
+    pub fn with_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.target_fp = self.target.fingerprint();
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached plan cache, if any.
+    pub fn cache_ref(&self) -> Option<&Arc<PlanCache>> {
+        self.cache.as_ref()
+    }
+
     /// The target in use.
     pub fn target(&self) -> &Target {
         &self.target
+    }
+
+    /// The target in use, as the shareable handle
+    /// ([`CodeGenerator::with_shared_target`] of another generator).
+    pub fn shared_target(&self) -> Arc<Target> {
+        Arc::clone(&self.target)
     }
 
     /// The options in use.
@@ -773,6 +824,7 @@ impl CodeGenerator {
             stages,
             node_expansions: rung_budget.spent(),
             peak_pressure: crate::cover::peak_pressure(&graph, &self.target, &schedule),
+            cached: false,
             mode,
             downgrades: Vec::new(), // filled in by plan_block_at
             exhausted,
@@ -892,14 +944,19 @@ impl CodeGenerator {
         let snapshot = f.syms.clone();
         let deadline = budget::deadline(self.options.deadline_ms);
         let dags: Vec<&BlockDag> = f.iter().map(|(_, b)| &b.dag).collect();
+        // Cache keys are computed on the post-DCE dags (what is actually
+        // planned), so toggling `exact_liveness` cannot alias entries.
+        let keys = self.plan_cache_keys(f);
         let jobs = effective_jobs(self.options.jobs, dags.len());
         let plans: Vec<Result<BlockPlan, CodegenError>> = if jobs <= 1 {
             dags.iter()
                 .enumerate()
-                .map(|(i, d)| self.plan_block_guarded(d, &snapshot, i, deadline))
+                .map(|(i, d)| {
+                    self.plan_block_keyed(d, &snapshot, i, deadline, keys.as_ref().map(|k| k[i]))
+                })
                 .collect()
         } else {
-            self.plan_blocks_parallel(&dags, &snapshot, jobs, deadline)
+            self.plan_blocks_parallel(&dags, &snapshot, jobs, deadline, keys.as_deref())
         };
 
         let mut syms = snapshot;
@@ -1026,6 +1083,10 @@ impl CodeGenerator {
             report.downgrades.extend(b.downgrades.iter().cloned());
         }
         report.complete = report.blocks.iter().all(|b| b.complete);
+        if keys.is_some() {
+            report.cache_hits = report.blocks.iter().filter(|b| b.cached).count();
+            report.cache_misses = report.blocks.len() - report.cache_hits;
+        }
         let var_addrs = syms
             .iter()
             .map(|(s, name)| (name.to_string(), layout.addr(s)))
@@ -1066,6 +1127,15 @@ impl CodeGenerator {
         if jobs <= 1 {
             return functions.iter().map(|f| self.compile_function(f)).collect();
         }
+        // Nested-pool accounting: this batch may itself run inside an
+        // enclosing pool (a server worker that called
+        // `register_outer_pool`, or an outer batch). Workers are fresh
+        // threads whose thread-local resets to 1, so the enclosing width
+        // must be captured here, on the calling thread, and multiplied
+        // in — otherwise `jobs = 0` block planning inside a worker would
+        // divide by this batch's width alone and oversubscribe.
+        let outer = OUTER_POOL_WIDTH.with(std::cell::Cell::get).max(1);
+        let nested = outer.saturating_mul(jobs);
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<Result<(VliwProgram, CompileReport), CodegenError>>> = Vec::new();
         slots.resize_with(functions.len(), || None);
@@ -1074,7 +1144,7 @@ impl CodeGenerator {
             let handles: Vec<_> = (0..jobs)
                 .map(|_| {
                     s.spawn(move || {
-                        OUTER_POOL_WIDTH.with(|w| w.set(jobs));
+                        OUTER_POOL_WIDTH.with(|w| w.set(nested));
                         let mut done = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -1100,6 +1170,54 @@ impl CodeGenerator {
             .into_iter()
             .map(|r| r.expect("every function compiled exactly once"))
             .collect()
+    }
+
+    /// Cache keys for every block of `f` (post-DCE), or `None` when
+    /// caching is off: no cache attached, or fault injection configured —
+    /// the injector fires by block *position*, which a content-addressed
+    /// cache would short-circuit nondeterministically.
+    fn plan_cache_keys(&self, f: &Function) -> Option<Vec<CacheKey>> {
+        if self.cache.is_none() || self.options.faults.is_some() {
+            return None;
+        }
+        let options_fp = self.options.planning_fingerprint();
+        Some(
+            f.iter()
+                .map(|(_, b)| CacheKey {
+                    block: aviv_ir::block_dag_hash(&b.dag, &f.syms),
+                    target: self.target_fp,
+                    options: options_fp,
+                })
+                .collect(),
+        )
+    }
+
+    /// [`CodeGenerator::plan_block_guarded`] behind the plan cache: serve
+    /// a hit as a clone of the resident plan (marking the report
+    /// `cached`), or plan from scratch and — if the result is *complete*,
+    /// i.e. byte-identical to an unbudgeted run — insert it. Incomplete
+    /// (degraded/truncated) plans depend on budgets and wall-clock, so
+    /// they are recomputed every time.
+    fn plan_block_keyed(
+        &self,
+        dag: &BlockDag,
+        snapshot: &SymbolTable,
+        block: usize,
+        deadline: Option<Instant>,
+        key: Option<CacheKey>,
+    ) -> Result<BlockPlan, CodegenError> {
+        let (Some(key), Some(cache)) = (key, self.cache.as_deref()) else {
+            return self.plan_block_guarded(dag, snapshot, block, deadline);
+        };
+        if let Some(mut plan) = cache.lookup(&key) {
+            plan.report.cached = true;
+            return Ok(plan);
+        }
+        let plan = self.plan_block_guarded(dag, snapshot, block, deadline)?;
+        if plan.report.complete {
+            cache.insert(key, plan.clone());
+        }
+        Ok(plan)
     }
 
     /// [`CodeGenerator::plan_block_at`] with a last-resort panic guard:
@@ -1135,6 +1253,7 @@ impl CodeGenerator {
         snapshot: &SymbolTable,
         jobs: usize,
         deadline: Option<Instant>,
+        keys: Option<&[CacheKey]>,
     ) -> Vec<Result<BlockPlan, CodegenError>> {
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<Result<BlockPlan, CodegenError>>> = Vec::new();
@@ -1150,7 +1269,11 @@ impl CodeGenerator {
                             if i >= dags.len() {
                                 break;
                             }
-                            done.push((i, self.plan_block_guarded(dags[i], snapshot, i, deadline)));
+                            let key = keys.map(|k| k[i]);
+                            done.push((
+                                i,
+                                self.plan_block_keyed(dags[i], snapshot, i, deadline, key),
+                            ));
                         }
                         done
                     })
@@ -1194,12 +1317,27 @@ fn missing_live_out(block: usize, what: &str) -> CodegenError {
 }
 
 std::thread_local! {
-    /// Worker count of the enclosing program-level pool — set by
-    /// [`CodeGenerator::compile_batch`] workers, 1 everywhere else. When
+    /// Total multiplicity of the enclosing pools — set by
+    /// [`CodeGenerator::compile_batch`] workers (enclosing width × batch
+    /// width) and by [`register_outer_pool`], 1 everywhere else. When
     /// `jobs = 0` resolves against the core count, it divides by this so
-    /// that a batch of functions each planning blocks "per core" shares
-    /// the machine instead of oversubscribing it quadratically.
+    /// that nested pools — server workers running batches running
+    /// per-core block planning — share the machine instead of
+    /// oversubscribing it multiplicatively.
     static OUTER_POOL_WIDTH: std::cell::Cell<usize> = const { std::cell::Cell::new(1) };
+}
+
+/// Declare that the current thread is one worker of a pool of `width`
+/// (clamped to ≥ 1), so that `jobs = 0` compiles on this thread claim
+/// `cores / width` workers instead of the whole machine.
+///
+/// Call this once from each worker thread of a request-serving pool
+/// (`avivd` does). The registration is thread-local and compounds
+/// correctly with [`CodeGenerator::compile_batch`], whose workers
+/// multiply their own width on top; it is *not* inherited by unrelated
+/// threads the caller spawns itself.
+pub fn register_outer_pool(width: usize) {
+    OUTER_POOL_WIDTH.with(|w| w.set(width.max(1)));
 }
 
 /// Resolve the `jobs` option against the machine and the work: `0` means
@@ -1232,6 +1370,52 @@ mod tests {
         assert_eq!(effective_jobs(8, 0), 1);
         assert_eq!(effective_jobs(0, 0), 1);
         assert!(effective_jobs(0, 1000) >= 1);
+    }
+
+    /// Regression test for nested-pool oversubscription: `compile_batch`
+    /// workers used to install the batch width alone, discarding any
+    /// enclosing pool's width — so a server worker pool of N running
+    /// batches of width J would let inner `jobs = 0` planning resolve to
+    /// `cores / J` instead of `cores / (N * J)`, oversubscribing the
+    /// machine N-fold. The fix captures the caller's width before
+    /// spawning and installs the product in each worker; this pins both
+    /// the capture and the multiplication.
+    #[test]
+    fn batch_workers_compose_with_registered_server_pool() {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Simulate an avivd worker: one of 3 server threads.
+                register_outer_pool(3);
+                // What compile_batch does before spawning its workers...
+                let outer = OUTER_POOL_WIDTH.with(std::cell::Cell::get).max(1);
+                assert_eq!(outer, 3, "caller width must be captured, not reset");
+                let jobs = 2;
+                let nested = outer.saturating_mul(jobs);
+                // ...and what each worker thread must observe.
+                s.spawn(move || {
+                    OUTER_POOL_WIDTH.with(|w| w.set(nested));
+                    assert_eq!(OUTER_POOL_WIDTH.with(std::cell::Cell::get), 6);
+                    // Inner per-block pools divide the cores by the full
+                    // nested width, so server × batch × blocks can never
+                    // exceed the machine.
+                    let cores =
+                        std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+                    assert_eq!(effective_jobs(0, 1000), cores.div_ceil(6).max(1));
+                });
+            });
+        });
+    }
+
+    /// A fresh thread never inherits a pool registration — which is why
+    /// `compile_batch` must propagate it explicitly (the bug above).
+    #[test]
+    fn pool_registration_is_thread_local() {
+        register_outer_pool(5);
+        let seen = std::thread::spawn(|| OUTER_POOL_WIDTH.with(std::cell::Cell::get))
+            .join()
+            .expect("probe thread");
+        assert_eq!(seen, 1);
+        register_outer_pool(1);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 pub mod assign;
 pub mod budget;
+pub mod cache;
 pub mod cliques;
 pub mod codegen;
 pub mod cover;
@@ -22,6 +23,7 @@ pub mod covergraph;
 pub mod emit;
 pub mod faults;
 pub mod invariants;
+pub mod jsonv;
 pub mod optimal;
 pub mod options;
 pub mod peephole;
@@ -30,9 +32,10 @@ pub mod report;
 
 pub use assign::{explore, Assignment, ExploreResult, ExploreTrace};
 pub use budget::{Budget, Exhaustion};
+pub use cache::{CacheKey, CacheStats, PlanCache, DEFAULT_CACHE_CAPACITY};
 pub use codegen::{
-    BlockPlan, BlockReport, BlockResult, CodeGenerator, CodegenError, CompileReport, CoverMode,
-    Downgrade, DowngradeReason, FunctionReport, StageTimes,
+    register_outer_pool, BlockPlan, BlockReport, BlockResult, CodeGenerator, CodegenError,
+    CompileReport, CoverMode, Downgrade, DowngradeReason, FunctionReport, StageTimes,
 };
 pub use cover::{
     cover, cover_budgeted, cover_sequential, cover_sequential_budgeted, peak_pressure,

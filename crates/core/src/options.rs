@@ -203,6 +203,49 @@ impl CodegenOptions {
         self.faults = faults;
         self
     }
+
+    /// Stable fingerprint of the options that can change what a *complete*
+    /// block plan looks like — the options component of plan-cache keys.
+    ///
+    /// Deliberately excluded, so that requests differing only in these
+    /// still share cache entries:
+    ///
+    /// * [`jobs`](CodegenOptions::jobs) — pure parallelism; output is
+    ///   byte-identical at every worker count by construction.
+    /// * [`fuel`](CodegenOptions::fuel) /
+    ///   [`deadline_ms`](CodegenOptions::deadline_ms) — budgets only decide
+    ///   *whether* a block degrades; a plan that reports
+    ///   [`complete`](crate::BlockReport::complete) (the only kind the
+    ///   cache stores) is byte-identical to an unbudgeted run's.
+    /// * [`exact_liveness`](CodegenOptions::exact_liveness) — dead-code
+    ///   elimination runs before blocks are hashed, so its effect is
+    ///   already in the block component of the key.
+    /// * [`faults`](CodegenOptions::faults) — fault injection disables
+    ///   caching entirely (injections are keyed on block position, not
+    ///   content).
+    ///
+    /// Everything else — the §IV/§VI heuristic knobs and the invariant
+    /// verifier — is hashed.
+    pub fn planning_fingerprint(&self) -> u64 {
+        let mut h = aviv_ir::StableHasher::new();
+        h.write_bool(self.prune_assignments);
+        h.write_i64(self.prune_slack);
+        h.write_u64(self.assignment_beam as u64);
+        h.write_u64(self.assignments_to_explore as u64);
+        h.write_u64(self.max_assignments as u64);
+        match self.clique_level_window {
+            Some(w) => {
+                h.write_bool(true);
+                h.write_u64(u64::from(w));
+            }
+            None => h.write_bool(false),
+        }
+        h.write_bool(self.lookahead);
+        h.write_bool(self.peephole);
+        h.write_bool(self.pressure_aware_assignment);
+        h.write_bool(self.verify);
+        h.finish()
+    }
 }
 
 impl Default for CodegenOptions {
@@ -226,5 +269,39 @@ mod tests {
         assert!(!o.prune_assignments);
         assert_eq!(o.clique_level_window, None);
         assert!(o.assignments_to_explore > 1 << 20);
+    }
+
+    #[test]
+    fn fingerprint_ignores_parallelism_and_budget_knobs() {
+        let base = CodegenOptions::default();
+        let fp = base.planning_fingerprint();
+        for tweaked in [
+            base.clone().with_jobs(7),
+            base.clone().with_jobs(0),
+            base.clone().with_fuel(Some(10)),
+            base.clone().with_deadline_ms(Some(5)),
+            base.clone().with_exact_liveness(false),
+        ] {
+            assert_eq!(fp, tweaked.planning_fingerprint());
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_planning_knobs() {
+        let base = CodegenOptions::default();
+        let fp = base.planning_fingerprint();
+        let mut lookahead_off = base.clone();
+        lookahead_off.lookahead = false;
+        let mut wider_beam = base.clone();
+        wider_beam.assignment_beam += 1;
+        let mut no_peephole = base;
+        no_peephole.peephole = false;
+        for tweaked in [lookahead_off, wider_beam, no_peephole] {
+            assert_ne!(fp, tweaked.planning_fingerprint());
+        }
+        assert_ne!(
+            CodegenOptions::heuristics_on().planning_fingerprint(),
+            CodegenOptions::heuristics_off().planning_fingerprint()
+        );
     }
 }

@@ -224,6 +224,32 @@ impl BlockDag {
         self.live_outs.clear();
     }
 
+    /// Rewrite the value of an existing [`Op::Const`] leaf in place,
+    /// keeping the value-numbering table consistent. Returns `false`
+    /// (and changes nothing) when `id` is not a constant node.
+    ///
+    /// This is the one sanctioned structural edit on a built DAG; the
+    /// incremental-compilation tests use it to model "the user changed a
+    /// literal in one block" without rebuilding the whole function.
+    pub fn set_const_value(&mut self, id: NodeId, value: i64) -> bool {
+        let Some(node) = self.nodes.get_mut(id.index()) else {
+            return false;
+        };
+        if node.op != Op::Const {
+            return false;
+        }
+        let old = node.imm;
+        node.imm = Some(value);
+        let old_key = (Op::Const, Vec::new(), old, None);
+        if self.vn.get(&old_key) == Some(&id) {
+            self.vn.remove(&old_key);
+        }
+        self.vn
+            .entry((Op::Const, Vec::new(), Some(value), None))
+            .or_insert(id);
+        true
+    }
+
     /// Consumers of each node: `uses[n]` lists the nodes having `n` as an
     /// operand (each consumer listed once per distinct edge position).
     pub fn uses(&self) -> Vec<Vec<NodeId>> {

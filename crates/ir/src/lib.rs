@@ -41,6 +41,7 @@ pub mod printer;
 pub mod program;
 pub mod randdag;
 pub mod simplify;
+pub mod stablehash;
 pub mod symbols;
 
 pub use bitset::{BitMatrix, BitSet};
@@ -50,4 +51,5 @@ pub use op::Op;
 pub use parser::{parse_function, ParseError};
 pub use printer::to_source;
 pub use program::{BasicBlock, BlockId, Function, MemLayout, Terminator};
+pub use stablehash::{block_dag_hash, function_block_hashes, StableHasher};
 pub use symbols::{Sym, SymbolTable};

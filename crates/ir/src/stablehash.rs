@@ -1,0 +1,260 @@
+//! Stable structural hashing of IR for content-addressed caching.
+//!
+//! The compile service ([`crate`]'s consumers in `aviv` and `avivd`) keys
+//! per-block plans on *content*: two blocks with the same operations,
+//! operands, constants, and symbol bindings must hash equal, and any
+//! structural difference must (with overwhelming probability) hash
+//! different. The std `Hash`/`Hasher` pair is deliberately not used —
+//! `DefaultHasher` is documented to vary across releases, and `HashMap`
+//! iteration order would leak into any naive implementation. This module
+//! hashes only explicitly ordered structure with a fixed algorithm
+//! (FNV-1a, 64-bit), so a hash is reproducible for the lifetime of a
+//! process and across processes of the same build.
+//!
+//! What a block hash covers (and why):
+//!
+//! * every DAG node in id order — operation, operand ids, immediate,
+//!   and for named leaves/roots both the symbol **id** and its **name**
+//!   (a cached plan embeds `Sym` ids, so a hit must guarantee the ids
+//!   resolve to the same names);
+//! * the store-root order (memory semantics), live-out registrations,
+//!   and memory serialization edges.
+//!
+//! What it deliberately excludes: anything about *other* blocks, the
+//! rest of the symbol table, or the function's CFG — so editing one
+//! block invalidates exactly that block's cache entries.
+
+use crate::dag::BlockDag;
+use crate::program::Function;
+use crate::symbols::SymbolTable;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A tiny FNV-1a 64-bit hasher with a fixed, documented algorithm.
+///
+/// Unlike [`std::hash::Hasher`] implementations, the output is part of
+/// this crate's behavioral contract: it depends only on the byte
+/// sequence fed in, never on platform, process, or standard-library
+/// version.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Start a fresh hash.
+    pub fn new() -> StableHasher {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Feed raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feed a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feed an `i64` (little-endian bytes).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feed a `usize` widened to 64 bits.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feed a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// cannot collide.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feed a bool.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[u8::from(v)]);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Hash a string with the same algorithm as [`StableHasher`].
+pub fn hash_str(s: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(s);
+    h.finish()
+}
+
+/// Content hash of one basic-block DAG, including the names bound to
+/// every symbol it mentions (see the module docs for the exact coverage).
+///
+/// Two calls agree iff the blocks are structurally identical and their
+/// symbol references resolve to the same `(id, name)` pairs — which is
+/// exactly the precondition for reusing a cached block plan.
+///
+/// # Panics
+///
+/// Panics if the DAG references a symbol not present in `syms` (the same
+/// contract as [`SymbolTable::name`]).
+pub fn block_dag_hash(dag: &BlockDag, syms: &SymbolTable) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_usize(dag.len());
+    for (_, n) in dag.iter() {
+        h.write_u64(n.op as u64);
+        h.write_usize(n.args.len());
+        for a in &n.args {
+            h.write_usize(a.index());
+        }
+        match n.imm {
+            Some(v) => {
+                h.write_bool(true);
+                h.write_i64(v);
+            }
+            None => h.write_bool(false),
+        }
+        match n.sym {
+            Some(s) => {
+                h.write_bool(true);
+                h.write_usize(s.index());
+                h.write_str(syms.name(s));
+            }
+            None => h.write_bool(false),
+        }
+    }
+    h.write_usize(dag.stores().len());
+    for s in dag.stores() {
+        h.write_usize(s.index());
+    }
+    h.write_usize(dag.live_outs().len());
+    for &(sym, node) in dag.live_outs() {
+        h.write_usize(sym.index());
+        h.write_str(syms.name(sym));
+        h.write_usize(node.index());
+    }
+    h.write_usize(dag.mem_deps().len());
+    for &(a, b) in dag.mem_deps() {
+        h.write_usize(a.index());
+        h.write_usize(b.index());
+    }
+    h.finish()
+}
+
+/// Per-block content hashes for a whole function, in block order.
+pub fn function_block_hashes(f: &Function) -> Vec<u64> {
+    f.blocks
+        .iter()
+        .map(|b| block_dag_hash(&b.dag, &f.syms))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use crate::parser::parse_function;
+    use crate::printer::to_source;
+
+    fn sample() -> Function {
+        parse_function(
+            "func f(a, b) { x = a * b + 1; if (x > 3) goto t; \
+             y = x + 2; t: return x; }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hashes_are_deterministic_and_reparse_stable() {
+        let f = sample();
+        let h1 = function_block_hashes(&f);
+        let h2 = function_block_hashes(&f);
+        assert_eq!(h1, h2);
+        // The serving cache hashes whatever the parser builds from request
+        // text, so the load-bearing property is: parsing the same source
+        // twice (fresh symbol tables each time) gives identical hashes.
+        // (`to_source` output is a different-but-equivalent program — it
+        // names temps, so it is NOT expected to hash like the original.)
+        let src = to_source(&f);
+        let g1 = parse_function(&src).unwrap();
+        let g2 = parse_function(&src).unwrap();
+        assert_eq!(function_block_hashes(&g1), function_block_hashes(&g2));
+    }
+
+    #[test]
+    fn distinct_blocks_hash_distinct() {
+        let f = sample();
+        let h = function_block_hashes(&f);
+        assert!(h.len() >= 2);
+        for i in 0..h.len() {
+            for j in i + 1..h.len() {
+                assert_ne!(h[i], h[j], "blocks {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_change_moves_the_hash() {
+        let a = parse_function("func f(a) { x = a + 1; return x; }").unwrap();
+        let b = parse_function("func f(a) { x = a + 2; return x; }").unwrap();
+        assert_ne!(
+            block_dag_hash(&a.blocks[0].dag, &a.syms),
+            block_dag_hash(&b.blocks[0].dag, &b.syms)
+        );
+    }
+
+    #[test]
+    fn renamed_symbol_moves_the_hash() {
+        let a = parse_function("func f(a) { x = a + 1; return x; }").unwrap();
+        let b = parse_function("func f(a) { y = a + 1; return y; }").unwrap();
+        assert_ne!(
+            block_dag_hash(&a.blocks[0].dag, &a.syms),
+            block_dag_hash(&b.blocks[0].dag, &b.syms)
+        );
+    }
+
+    #[test]
+    fn hasher_is_order_and_boundary_sensitive() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+        assert_eq!(hash_str("x"), hash_str("x"));
+        assert_ne!(hash_str("x"), hash_str("y"));
+    }
+
+    #[test]
+    fn set_const_value_changes_exactly_that_block() {
+        let mut f = sample();
+        let before = function_block_hashes(&f);
+        // Find a const node in block 0 and retag it.
+        let dag = &mut f.blocks[0].dag;
+        let id = dag
+            .iter()
+            .find(|(_, n)| n.op == Op::Const)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(dag.set_const_value(id, 12345));
+        let after = function_block_hashes(&f);
+        assert_ne!(before[0], after[0]);
+        assert_eq!(before[1..], after[1..]);
+    }
+}

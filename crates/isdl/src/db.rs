@@ -368,4 +368,18 @@ impl Target {
             round_trip_bank,
         }
     }
+
+    /// Stable content fingerprint of the machine description.
+    ///
+    /// Two `Target`s fingerprint equal iff their machines print to the
+    /// same canonical ISDL text — the derived databases (`ops`, `xfers`,
+    /// bank picks) are pure functions of the machine, so hashing the
+    /// canonical printout covers everything covering and scheduling can
+    /// observe. Compile services use this as the target component of
+    /// plan-cache keys, so the value must be reproducible across parses
+    /// and processes; it is built on [`aviv_ir::StableHasher`] (FNV-1a),
+    /// never the std hasher.
+    pub fn fingerprint(&self) -> u64 {
+        aviv_ir::stablehash::hash_str(&crate::printer::to_isdl(&self.machine))
+    }
 }
