@@ -4,12 +4,48 @@
 //! Flags: `--json [dir]` additionally writes a machine-readable
 //! `BENCH_kernels.json` snapshot (schema in `docs/benchmarking.md`)
 //! into `dir` (default: the current directory).
+//!
+//! Besides the default configuration, each kernel is also compiled
+//! with the analysis-bounds lookahead cutoff disabled
+//! (`{kernel}+nobounds` rows), and a cheap subset additionally runs in
+//! exhaustive mode (`{kernel}+exact` / `{kernel}+exact-nobounds`), so
+//! the snapshot records the node-expansion savings the admissible
+//! lower bounds buy without any code-quality movement.
 
 use aviv::{CodeGenerator, CodegenOptions};
-use aviv_bench::{all_kernels, BenchRow, BenchSnapshot};
-use aviv_ir::MemLayout;
-use aviv_isdl::archs;
+use aviv_bench::{all_kernels, BenchRow, BenchSnapshot, Kernel};
+use aviv_ir::{Function, MemLayout};
+use aviv_isdl::{archs, Machine};
 use std::time::Instant;
+
+/// Kernels cheap enough to run through the exhaustive covering mode.
+const EXACT_KERNELS: [&str; 2] = ["dot4", "cmul"];
+
+fn run_row(
+    row_name: &str,
+    machine: &Machine,
+    f: &Function,
+    options: CodegenOptions,
+) -> Option<BenchRow> {
+    let gen = CodeGenerator::new(machine.clone()).options(options);
+    let mut syms = f.syms.clone();
+    let mut layout = MemLayout::for_function(f);
+    let t0 = Instant::now();
+    let r = gen
+        .compile_block(&f.blocks[0].dag, &mut syms, &mut layout)
+        .ok()?;
+    let wall = t0.elapsed();
+    Some(BenchRow {
+        name: row_name.to_string(),
+        machine: machine.name.clone(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        instructions: r.report.instructions,
+        spills: r.report.spills,
+        node_expansions: r.report.node_expansions,
+        peak_pressure: r.report.peak_pressure,
+        stages_ms: Some(r.report.stages.into()),
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +63,24 @@ fn main() {
         archs::wide_arch(4),
         archs::single_alu(6),
     ];
+    let variants = [
+        ("", CodegenOptions::heuristics_on()),
+        (
+            "+nobounds",
+            CodegenOptions::heuristics_on().with_analysis_bounds(false),
+        ),
+    ];
+    let exact_variants = [
+        ("+exact", CodegenOptions::heuristics_off()),
+        (
+            "+exact-nobounds",
+            CodegenOptions::heuristics_off().with_analysis_bounds(false),
+        ),
+    ];
+
     let mut snapshot = BenchSnapshot::new("kernels");
+    let mut pruned = 0usize;
+    let mut compared = 0usize;
     print!("{:12}", "kernel");
     for m in &machines {
         print!(" | {:>10}", m.name);
@@ -38,32 +91,44 @@ fn main() {
         let f = k.function();
         print!("{:12}", k.name);
         for machine in &machines {
-            let gen = CodeGenerator::new(machine.clone()).options(CodegenOptions::heuristics_on());
-            let mut syms = f.syms.clone();
-            let mut layout = MemLayout::for_function(&f);
-            let t0 = Instant::now();
-            match gen.compile_block(&f.blocks[0].dag, &mut syms, &mut layout) {
-                Ok(r) => {
-                    let wall = t0.elapsed();
-                    print!(" | {:>10}", r.report.instructions);
-                    snapshot.rows.push(BenchRow {
-                        name: k.name.to_string(),
-                        machine: machine.name.clone(),
-                        wall_ms: wall.as_secs_f64() * 1e3,
-                        instructions: r.report.instructions,
-                        spills: r.report.spills,
-                        node_expansions: r.report.node_expansions,
-                        peak_pressure: r.report.peak_pressure,
-                        stages_ms: Some(r.report.stages.into()),
-                    });
+            let mut expansions = Vec::new();
+            for (suffix, options) in variants.iter().chain(
+                exact_rows(&k)
+                    .then_some(exact_variants.iter())
+                    .into_iter()
+                    .flatten(),
+            ) {
+                let row_name = format!("{}{suffix}", k.name);
+                match run_row(&row_name, machine, &f, options.clone()) {
+                    Some(row) => {
+                        if suffix.is_empty() {
+                            print!(" | {:>10}", row.instructions);
+                        }
+                        expansions.push(row.node_expansions);
+                        snapshot.rows.push(row);
+                    }
+                    None if suffix.is_empty() => print!(" | {:>10}", "n/a"),
+                    None => {}
                 }
-                Err(_) => print!(" | {:>10}", "n/a"),
+            }
+            // Pairs are (bounds on, bounds off); count strict wins.
+            for pair in expansions.chunks(2) {
+                if let [on, off] = pair {
+                    compared += 1;
+                    if on < off {
+                        pruned += 1;
+                    }
+                }
             }
         }
         println!();
     }
     println!("\ncells: VLIW instructions for the kernel body (n/a = kernel uses");
     println!("an operation the machine does not implement).");
+    println!(
+        "analysis-bounds pruning strictly reduced node expansions on \
+         {pruned}/{compared} on/off row pairs."
+    );
 
     if let Some(dir) = json_dir {
         match snapshot.write_to(std::path::Path::new(&dir)) {
@@ -74,4 +139,8 @@ fn main() {
             }
         }
     }
+}
+
+fn exact_rows(k: &Kernel) -> bool {
+    EXACT_KERNELS.contains(&k.name)
 }

@@ -17,6 +17,8 @@
 //! avivc lint fig3.isdl --format json
 //! avivc check program.av                            # program dataflow check
 //! avivc check program.av --machine fig3.isdl --deny-warnings
+//! avivc analyze program.av --machine fig3.isdl      # feasibility pre-flight
+//! avivc analyze program.av --machine fig3.isdl --format json
 //! ```
 //!
 //! The argument parser is deliberately dependency-free; see
@@ -26,7 +28,9 @@
 
 pub mod serve;
 
-use aviv::verify::{check_program, lint_machine, render_report, Format, Severity};
+use aviv::verify::{
+    analyze_program, check_program, lint_machine, render_analysis, render_report, Format, Severity,
+};
 use aviv::{CodeGenerator, CodegenError, CodegenOptions, VliwProgram};
 use aviv_ir::{parse_function, Function, MemLayout};
 use aviv_isdl::{parse_machine, parse_machine_lenient, Target};
@@ -75,6 +79,10 @@ pub struct Options {
     pub stats: bool,
     /// Print the per-block compilation explanation.
     pub explain: bool,
+    /// Print the per-block optimality-gap table: achieved instruction
+    /// count and peak pressure against the static lower bounds from
+    /// `aviv_verify::analyze`.
+    pub report: bool,
     /// Use the sequential baseline generator instead of AVIV.
     pub baseline: bool,
     /// Force the pipeline invariant verifier on (it already defaults on
@@ -99,6 +107,10 @@ pub enum Command {
     /// `avivc check <program.av>`: statically analyze a source program
     /// with the global dataflow framework and report coded diagnostics.
     Check(CheckOptions),
+    /// `avivc analyze <program.av> --machine <m.isdl>`: machine×program
+    /// feasibility pre-flight with `M`-coded diagnostics and admissible
+    /// per-block lower bounds.
+    Analyze(AnalyzeOptions),
 }
 
 /// Options for the `lint` subcommand.
@@ -121,6 +133,20 @@ pub struct CheckOptions {
     /// compiled for that machine with the pipeline invariant verifier
     /// on, and any `V` diagnostics join the report.
     pub machine_path: Option<String>,
+    /// Report format.
+    pub format: Format,
+    /// Exit nonzero on warnings, not just errors.
+    pub deny_warnings: bool,
+}
+
+/// Options for the `analyze` subcommand.
+#[derive(Debug, Clone)]
+pub struct AnalyzeOptions {
+    /// Path to the source program to analyze.
+    pub program_path: String,
+    /// Path to the machine description to analyze against (required —
+    /// feasibility is a property of the pair).
+    pub machine_path: String,
     /// Report format.
     pub format: Format,
     /// Exit nonzero on warnings, not just errors.
@@ -192,6 +218,40 @@ impl Command {
                 format,
                 deny_warnings,
             }))
+        } else if args.first().is_some_and(|a| a == "analyze") {
+            let mut program_path = None;
+            let mut machine_path = None;
+            let mut format = Format::Text;
+            let mut deny_warnings = false;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "-h" | "--help" => return Err(err(USAGE)),
+                    "--format" => {
+                        let f = it.next().ok_or_else(|| err("--format needs text|json"))?;
+                        format = f.parse().map_err(err)?;
+                    }
+                    "--machine" => {
+                        machine_path = Some(
+                            it.next()
+                                .ok_or_else(|| err("--machine needs a path"))?
+                                .clone(),
+                        );
+                    }
+                    "--deny-warnings" => deny_warnings = true,
+                    other if !other.starts_with('-') && program_path.is_none() => {
+                        program_path = Some(other.to_string());
+                    }
+                    other => return Err(err(format!("unknown argument `{other}`\n{USAGE}"))),
+                }
+            }
+            Ok(Command::Analyze(AnalyzeOptions {
+                program_path: program_path.ok_or_else(|| err("analyze needs a program path"))?,
+                machine_path: machine_path
+                    .ok_or_else(|| err("analyze needs --machine <file.isdl>"))?,
+                format,
+                deny_warnings,
+            }))
         } else {
             Options::parse(args).map(Command::Compile)
         }
@@ -220,6 +280,8 @@ usage: avivc --machine <file.isdl> <program.av> [more.av ...] [options]
        avivc lint <file.isdl> [--format text|json] [--deny-warnings]
        avivc check <program.av> [--machine <file.isdl>]
                                 [--format text|json] [--deny-warnings]
+       avivc analyze <program.av> --machine <file.isdl>
+                                [--format text|json] [--deny-warnings]
 
 options:
   --emit asm|bin|rom|dot|sndag-dot|isdl
@@ -235,6 +297,10 @@ options:
   --simulate k=v[,k=v...]             run the program with these inputs
   --stats                             print utilization statistics
   --explain                           print per-block decisions
+  --report                            print the per-block optimality-gap
+                                      table: achieved instructions and
+                                      peak pressure vs the static lower
+                                      bounds
   --baseline                          use the sequential phase-ordered
                                       generator instead of AVIV
   --verify                            run the pipeline invariant verifier
@@ -272,6 +338,14 @@ stores, unused parameters, redundant copies, constant branches — and
 reports `P`-coded diagnostics under the same exit-code contract. With
 `--machine`, the program is additionally compiled for that machine with
 the pipeline invariant verifier on.
+
+`avivc analyze` runs the machine×program feasibility pre-flight: it
+proves every operation coverable and every def→use value route present
+on the given machine, reporting `M`-coded errors naming the exact node,
+op, and bank pair otherwise, and prints admissible per-block lower
+bounds on instruction count and register pressure. Exit status follows
+the lint/check contract: nonzero on any error-severity finding, or on
+any finding at all under `--deny-warnings`.
 ";
 
 impl Options {
@@ -292,6 +366,7 @@ impl Options {
         let mut simulate = None;
         let mut stats = false;
         let mut explain = false;
+        let mut report = false;
         let mut baseline = false;
         let mut verify = false;
         let mut fuel = None;
@@ -371,6 +446,7 @@ impl Options {
                 }
                 "--stats" => stats = true,
                 "--explain" => explain = true,
+                "--report" => report = true,
                 "--baseline" => baseline = true,
                 "--verify" => verify = true,
                 other if !other.starts_with('-') && program_path.is_none() => {
@@ -393,6 +469,7 @@ impl Options {
             simulate,
             stats,
             explain,
+            report,
             baseline,
             verify,
             fuel,
@@ -478,6 +555,24 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
         );
     }
 
+    if options.report {
+        let _ = writeln!(
+            outcome.report,
+            "block  instrs  bound  gap  pressure  bound  gap"
+        );
+        for (bi, b) in report.blocks.iter().enumerate() {
+            let _ = writeln!(
+                outcome.report,
+                "bb{bi}: {} {} {} {} {} {}",
+                b.instructions,
+                b.min_instructions_bound,
+                b.instructions.saturating_sub(b.min_instructions_bound),
+                b.peak_pressure,
+                b.min_pressure_bound,
+                b.peak_pressure.saturating_sub(b.min_pressure_bound),
+            );
+        }
+    }
     if options.explain {
         let mut syms = function.syms.clone();
         let mut layout = MemLayout::for_function(&function);
@@ -668,6 +763,39 @@ pub fn run_check(
     let fail = diags.iter().any(|d| d.severity() == Severity::Error)
         || (options.deny_warnings && !diags.is_empty());
     Ok((render_report(&diags, options.format), fail))
+}
+
+/// Run the `analyze` subcommand on an in-memory program and machine
+/// description: the machine×program feasibility pre-flight behind
+/// `avivc analyze`.
+///
+/// Returns the rendered analysis plus whether the binary should exit
+/// nonzero, under the same contract as [`run_lint`]: any `M`-coded
+/// error (uncoverable op, missing value route), or — under
+/// `--deny-warnings` — any finding at all, including machine lints.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unparsable sources only; feasibility
+/// defects become diagnostics in the report.
+pub fn run_analyze(
+    options: &AnalyzeOptions,
+    program_src: &str,
+    machine_src: &str,
+) -> Result<(String, bool), CliError> {
+    let machine =
+        parse_machine(machine_src).map_err(|e| err(format!("machine description: {e}")))?;
+    let function = parse_function(program_src).map_err(|e| err(format!("program: {e}")))?;
+    let target = Target::new(machine);
+    let analysis = analyze_program(&function, &target);
+    let machine_error = analysis
+        .machine
+        .diagnostics
+        .iter()
+        .any(|d| d.severity() == Severity::Error);
+    let n_findings = analysis.machine.diagnostics.len() + analysis.diagnostics.len();
+    let fail = !analysis.feasible() || machine_error || (options.deny_warnings && n_findings > 0);
+    Ok((render_analysis(&analysis, options.format), fail))
 }
 
 fn drive_baseline(
@@ -1142,5 +1270,95 @@ mod tests {
         assert!(report.contains("warning[P004]"), "{report}");
         let (_, fail) = run_check(&check_opts(&["--deny-warnings"]), warn, None).unwrap();
         assert!(fail);
+    }
+
+    fn analyze_opts(extra: &[&str]) -> AnalyzeOptions {
+        let mut args = vec![
+            "analyze".to_string(),
+            "prog.av".to_string(),
+            "--machine".to_string(),
+            "m.isdl".to_string(),
+        ];
+        args.extend(extra.iter().map(std::string::ToString::to_string));
+        let Command::Analyze(analyze) = Command::parse(&args).unwrap() else {
+            panic!("expected analyze command");
+        };
+        analyze
+    }
+
+    #[test]
+    fn analyze_subcommand_parses() {
+        let a = analyze_opts(&[]);
+        assert_eq!(a.program_path, "prog.av");
+        assert_eq!(a.machine_path, "m.isdl");
+        assert_eq!(a.format, Format::Text);
+        assert!(!a.deny_warnings);
+
+        let a = analyze_opts(&["--format", "json", "--deny-warnings"]);
+        assert_eq!(a.format, Format::Json);
+        assert!(a.deny_warnings);
+
+        // The machine is required: feasibility is a property of the pair.
+        assert!(Command::parse(&["analyze".into(), "p.av".into()]).is_err());
+        assert!(Command::parse(&["analyze".into()]).is_err());
+        assert!(Command::parse(&["analyze".into(), "p".into(), "--wat".into()]).is_err());
+    }
+
+    #[test]
+    fn analyze_reports_feasible_program() {
+        let (report, fail) = run_analyze(&analyze_opts(&[]), PROGRAM, MACHINE).unwrap();
+        assert!(!fail, "{report}");
+        assert!(report.contains("feasible"), "{report}");
+        assert!(report.contains(">="), "{report}");
+        assert!(report.contains("0 errors"), "{report}");
+    }
+
+    #[test]
+    fn analyze_flags_unsupported_op_as_m001() {
+        // MACHINE has no divider, so `/` is statically uncoverable.
+        let bad = "func f(a, b) { x = a / b; return x; }";
+        let (report, fail) = run_analyze(&analyze_opts(&[]), bad, MACHINE).unwrap();
+        assert!(fail);
+        assert!(report.contains("error[M001]"), "{report}");
+        assert!(report.contains("INFEASIBLE"), "{report}");
+
+        let (json, fail) = run_analyze(&analyze_opts(&["--format", "json"]), bad, MACHINE).unwrap();
+        assert!(fail);
+        assert!(json.contains("\"code\":\"M001\""), "{json}");
+        assert!(json.contains("\"feasible\":false"), "{json}");
+    }
+
+    #[test]
+    fn analyze_json_is_schema_stable() {
+        let (json, fail) =
+            run_analyze(&analyze_opts(&["--format", "json"]), PROGRAM, MACHINE).unwrap();
+        assert!(!fail);
+        for key in [
+            "\"schema_version\":1",
+            "\"machine\":\"M\"",
+            "\"program\":\"f\"",
+            "\"feasible\":true",
+            "\"ops\":{",
+            "\"routes\":[",
+            "\"blocks\":[",
+            "\"min_instructions\":",
+            "\"min_pressure\":",
+            "\"errors\":0",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn report_flag_prints_gap_table() {
+        assert!(!opts(&[]).report);
+        assert!(opts(&["--report"]).report);
+        let out = drive(&opts(&["--report"]), MACHINE, PROGRAM).unwrap();
+        assert!(
+            out.report.contains("block  instrs  bound  gap"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("bb0:"), "{}", out.report);
     }
 }

@@ -1,6 +1,6 @@
 //! `avivc` — compile programs for ISDL-described machines.
 
-use aviv_cli::{drive, drive_batch, run_check, run_lint, Command};
+use aviv_cli::{drive, drive_batch, run_analyze, run_check, run_lint, Command};
 use std::io::Write as _;
 use std::process::ExitCode;
 
@@ -49,6 +49,36 @@ fn main() -> ExitCode {
                 None => None,
             };
             match run_check(&options, &program_src, machine_src.as_deref()) {
+                Ok((report, fail)) => {
+                    print!("{report}");
+                    if fail {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Ok(Command::Analyze(options)) => {
+            let program_src = match std::fs::read_to_string(&options.program_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", options.program_path);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let machine_src = match std::fs::read_to_string(&options.machine_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", options.machine_path);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_analyze(&options, &program_src, &machine_src) {
                 Ok((report, fail)) => {
                     print!("{report}");
                     if fail {

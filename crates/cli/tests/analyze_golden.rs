@@ -1,0 +1,56 @@
+//! Golden-file pin of the `avivc analyze --format json` schema.
+//!
+//! The analyze JSON document is a tool-facing contract (CI gates and
+//! editor integrations key on its fields), so its exact bytes for a
+//! fixed machine × program pair are pinned: any serializer change
+//! fails here and must bump the document's `schema_version` (and this
+//! golden) deliberately.
+
+use aviv::verify::Format;
+use aviv_cli::{run_analyze, AnalyzeOptions};
+
+const MACHINE: &str = include_str!("../../../assets/archII.isdl");
+const PROGRAM: &str = include_str!("../../../assets/dot4.av");
+
+fn golden_path() -> &'static str {
+    concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/analyze_dot4_archII.json"
+    )
+}
+
+fn render() -> String {
+    let options = AnalyzeOptions {
+        program_path: "dot4.av".into(),
+        machine_path: "archII.isdl".into(),
+        format: Format::Json,
+        deny_warnings: false,
+    };
+    let (report, fail) = run_analyze(&options, PROGRAM, MACHINE).expect("analyze runs");
+    assert!(!fail, "bundled pair must analyze clean:\n{report}");
+    report
+}
+
+/// Regenerate the golden after a deliberate schema change:
+/// `cargo test -p aviv-cli --test analyze_golden -- --ignored regen_golden`
+#[test]
+#[ignore = "writes tests/golden/analyze_dot4_archII.json; run with --ignored to regenerate"]
+fn regen_golden() {
+    std::fs::write(golden_path(), render()).unwrap();
+}
+
+#[test]
+fn analyze_json_matches_golden_file() {
+    let golden = include_str!("golden/analyze_dot4_archII.json");
+    assert_eq!(
+        render(),
+        golden,
+        "analyze JSON schema drifted from the golden file; if the change \
+         is intentional, bump schema_version and regenerate the golden"
+    );
+}
+
+#[test]
+fn golden_declares_the_pinned_schema_version() {
+    assert!(include_str!("golden/analyze_dot4_archII.json").contains("\"schema_version\":1"));
+}

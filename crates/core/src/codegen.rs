@@ -255,6 +255,15 @@ pub struct BlockReport {
     /// Peak simultaneous register occupancy of any one bank over the
     /// final schedule (see [`crate::cover::peak_pressure`]).
     pub peak_pressure: usize,
+    /// Admissible static lower bound on the block's instruction count,
+    /// from [`aviv_verify::analyze::block_bounds`]. The gap to
+    /// [`instructions`](BlockReport::instructions) bounds how far the
+    /// block is from provably optimal (`avivc --report` prints it).
+    pub min_instructions_bound: usize,
+    /// Admissible static lower bound on peak single-bank register
+    /// pressure, from the same analysis; compare
+    /// [`peak_pressure`](BlockReport::peak_pressure).
+    pub min_pressure_bound: usize,
     /// `true` when this block's plan was served from the
     /// [`PlanCache`](crate::PlanCache) instead of being computed.
     pub cached: bool,
@@ -802,6 +811,10 @@ impl CodeGenerator {
             }
         }
 
+        // Static lower bounds for the optimality-gap columns — a pure
+        // function of (dag, target), so cached-plan replays agree.
+        let bounds = aviv_verify::analyze::block_bounds(dag, &self.target);
+
         // The only table mutation covering performs is appending fresh
         // spill slots; record the names so the merge can replay them.
         let appended_syms = winner_syms
@@ -824,6 +837,8 @@ impl CodeGenerator {
             stages,
             node_expansions: rung_budget.spent(),
             peak_pressure: crate::cover::peak_pressure(&graph, &self.target, &schedule),
+            min_instructions_bound: bounds.0,
+            min_pressure_bound: bounds.1,
             cached: false,
             mode,
             downgrades: Vec::new(), // filled in by plan_block_at

@@ -431,15 +431,39 @@ pub fn cover_budgeted(
                 .filter(|&gi| groups[gi].len() == best_size)
                 .collect();
             let winner = if tied.len() > 1 && options.lookahead {
-                *tied
-                    .iter()
-                    .min_by_key(|&&gi| {
-                        (
-                            lookahead_estimate(graph, target, &covered, &pool, &groups[gi], budget),
-                            gi,
-                        )
-                    })
-                    .expect("feasible set is non-empty here")
+                // Evaluate candidates in order, keeping the incumbent.
+                // With `analysis_bounds`, later rollouts abort as soon
+                // as an admissible lower bound proves they cannot
+                // strictly beat the incumbent — ties keep the earlier
+                // group, exactly as the plain (estimate, index) minimum
+                // would, so the winner is identical either way.
+                let mut best_gi = tied[0];
+                let mut best_est = lookahead_estimate(
+                    graph,
+                    target,
+                    &covered,
+                    &pool,
+                    &groups[best_gi],
+                    budget,
+                    None,
+                );
+                for &gi in &tied[1..] {
+                    let cutoff = options.analysis_bounds.then_some(best_est);
+                    let est = lookahead_estimate(
+                        graph,
+                        target,
+                        &covered,
+                        &pool,
+                        &groups[gi],
+                        budget,
+                        cutoff,
+                    );
+                    if est < best_est {
+                        best_est = est;
+                        best_gi = gi;
+                    }
+                }
+                best_gi
             } else {
                 tied[0]
             };
@@ -683,6 +707,16 @@ fn wedged(covered: usize, total: usize) -> CoverError {
 /// register bound and count the steps. Futures that wedge on pressure get
 /// a heavy penalty — this is what steers the engine away from parking
 /// far-future values in scarce registers.
+///
+/// When `cutoff` is set (the incumbent tie-break estimate, under
+/// `CodegenOptions::analysis_bounds`), the rollout aborts — returning
+/// the incumbent value — as soon as `steps` plus an admissible lower
+/// bound on the remaining steps reaches it: every later iteration adds
+/// one step and covers at most the largest clique in `pool`, so the
+/// eventual estimate could not have been strictly smaller (the wedge
+/// penalty only inflates it further). The abort therefore never changes
+/// which group wins, it only skips budget charges the comparison no
+/// longer needs.
 fn lookahead_estimate(
     graph: &CoverGraph,
     target: &Target,
@@ -690,15 +724,32 @@ fn lookahead_estimate(
     pool: &Pool,
     first: &[CnId],
     budget: &Budget,
+    cutoff: Option<usize>,
 ) -> usize {
     const STUCK_PENALTY: usize = 1000;
     let mut covered = covered.clone();
     for &id in first {
         covered.insert(id.index());
     }
+    let max_per_step = match cutoff {
+        Some(_) => pool
+            .cliques
+            .iter()
+            .map(BitSet::count)
+            .max()
+            .unwrap_or(1)
+            .max(1),
+        None => 1,
+    };
     let mut steps = 1usize;
     let total = graph.alive().len();
     while covered.count() < total {
+        if let Some(best) = cutoff {
+            let lb = (total - covered.count()).div_ceil(max_per_step);
+            if steps + lb >= best {
+                return best;
+            }
+        }
         // Soft charge: an estimator cannot propagate exhaustion, but the
         // enclosing selection loop's next charge observes it.
         budget.note(1);

@@ -83,6 +83,15 @@ pub struct CodegenOptions {
     /// nondeterministic; prefer [`CodegenOptions::fuel`] when
     /// reproducibility matters. `None` disables the deadline.
     pub deadline_ms: Option<u64>,
+    /// Use the admissible per-block lower bounds from
+    /// `aviv_verify::analyze` to cut dominated partial covers inside the
+    /// lookahead simulation: once a candidate provably cannot beat the
+    /// best tie-break estimate seen so far, its rollout is abandoned.
+    /// Prunes only futures that cannot win, so emitted code is
+    /// byte-identical with the flag on or off — only the node-expansion
+    /// count ([`crate::BlockReport::node_expansions`]) drops. On by
+    /// default.
+    pub analysis_bounds: bool,
     /// Deterministic fault injection at stage boundaries (see
     /// [`crate::faults`]). `None` (the default) injects nothing; tests
     /// and the CI fuzz-smoke job set a seeded config to exercise the
@@ -102,6 +111,7 @@ impl CodegenOptions {
             clique_level_window: Some(2),
             lookahead: true,
             peephole: true,
+            analysis_bounds: true,
             pressure_aware_assignment: false,
             jobs: 1,
             verify: cfg!(debug_assertions),
@@ -127,6 +137,7 @@ impl CodegenOptions {
             clique_level_window: Some(2),
             lookahead: true,
             peephole: true,
+            analysis_bounds: true,
             pressure_aware_assignment: false,
             jobs: 1,
             verify: cfg!(debug_assertions),
@@ -151,6 +162,7 @@ impl CodegenOptions {
             clique_level_window: None,
             lookahead: true,
             peephole: true,
+            analysis_bounds: true,
             pressure_aware_assignment: false,
             jobs: 1,
             verify: cfg!(debug_assertions),
@@ -197,6 +209,13 @@ impl CodegenOptions {
         self
     }
 
+    /// Enable or disable lower-bound pruning in covering tie-breaks
+    /// (see [`CodegenOptions::analysis_bounds`]).
+    pub fn with_analysis_bounds(mut self, analysis_bounds: bool) -> Self {
+        self.analysis_bounds = analysis_bounds;
+        self
+    }
+
     /// Set the fault-injection configuration (see
     /// [`CodegenOptions::faults`]).
     pub fn with_faults(mut self, faults: Option<FaultConfig>) -> Self {
@@ -223,6 +242,10 @@ impl CodegenOptions {
     /// * [`faults`](CodegenOptions::faults) — fault injection disables
     ///   caching entirely (injections are keyed on block position, not
     ///   content).
+    /// * [`analysis_bounds`](CodegenOptions::analysis_bounds) — the
+    ///   bound cutoff prunes only candidate rollouts that provably
+    ///   cannot change the covering decision, so complete plans are
+    ///   byte-identical with it on or off.
     ///
     /// Everything else — the §IV/§VI heuristic knobs and the invariant
     /// verifier — is hashed.
@@ -281,6 +304,7 @@ mod tests {
             base.clone().with_fuel(Some(10)),
             base.clone().with_deadline_ms(Some(5)),
             base.clone().with_exact_liveness(false),
+            base.clone().with_analysis_bounds(false),
         ] {
             assert_eq!(fp, tweaked.planning_fingerprint());
         }

@@ -652,11 +652,22 @@ impl MachineBuilder {
 
     /// Add a complex instruction.
     pub fn complex(&mut self, name: &str, unit: UnitId, pattern: PatTree) -> &mut Self {
+        self.complex_with_cost(name, unit, pattern, 1)
+    }
+
+    /// Add a complex instruction with an explicit size cost.
+    pub fn complex_with_cost(
+        &mut self,
+        name: &str,
+        unit: UnitId,
+        pattern: PatTree,
+        cost: u32,
+    ) -> &mut Self {
         self.complexes.push(ComplexInstr {
             name: name.to_owned(),
             unit,
             pattern,
-            cost: 1,
+            cost,
         });
         self
     }

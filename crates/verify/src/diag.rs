@@ -4,7 +4,8 @@
 //! A [`Diagnostic`] pairs a stable [`Code`] with the machine element (or
 //! pipeline location) it refers to and a one-line message. Codes are
 //! namespaced by pass: `E`/`W` for machine-description lints, `V` for
-//! pipeline invariants, `P` for source-program checks. The registry is
+//! pipeline invariants, `P` for source-program checks, `M` for
+//! machine×program feasibility analysis. The registry is
 //! documented in `docs/diagnostics.md`; codes are append-only so tooling
 //! can match on them.
 
@@ -98,6 +99,20 @@ pub enum Code {
     /// A deterministic fault injected by the test harness
     /// (`CodegenOptions::faults`) was converted into a diagnostic.
     C005,
+    /// Machine×program feasibility: a program operation has no
+    /// implementing unit and no complex pattern covers it on the target
+    /// machine, so covering must fail before it starts.
+    M001,
+    /// Machine×program feasibility: a def→use value route is missing —
+    /// no transfer path (even via a memory round trip) connects any bank
+    /// the producer can write to any bank the consumer can read, or the
+    /// machine has no memory port at all for a value that must cross the
+    /// memory boundary.
+    M002,
+    /// Complex-instruction alternative shadowed by another declaration
+    /// with identical shape on the same unit at strictly lower cost: the
+    /// costlier alternative can never win.
+    W005,
 }
 
 impl Code {
@@ -131,6 +146,9 @@ impl Code {
             Code::C003 => "C003",
             Code::C004 => "C004",
             Code::C005 => "C005",
+            Code::M001 => "M001",
+            Code::M002 => "M002",
+            Code::W005 => "W005",
         }
     }
 
@@ -142,6 +160,7 @@ impl Code {
             | Code::W002
             | Code::W003
             | Code::W004
+            | Code::W005
             | Code::P002
             | Code::P003
             | Code::P004
@@ -182,6 +201,9 @@ impl Code {
             Code::C003 => "cover-graph construction requires well-formed DAG nodes, chosen alternatives, and memory-reachable banks",
             Code::C004 => "the covering engine must always have a ready node, a candidate group, and an evictable spill victim while work remains",
             Code::C005 => "a fault injected by the deterministic fault harness surfaced as a structured diagnostic instead of a crash",
+            Code::M001 => "a program operation has no implementing unit and no complex pattern covering it on the target machine",
+            Code::M002 => "no data-transfer route (even via a memory round trip) can carry a value from its producer's banks to its consumer's banks",
+            Code::W005 => "a complex alternative is dominated by an identical-shape declaration on the same unit at strictly lower cost",
         }
     }
 }
@@ -305,7 +327,7 @@ pub fn render_report(diags: &[Diagnostic], format: Format) -> String {
 }
 
 /// Escape a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

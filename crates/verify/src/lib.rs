@@ -11,6 +11,10 @@
 //! * [`check_program`] — the source-program checker behind
 //!   `avivc check`, reporting dataflow defects (`P001`…) found by the
 //!   global analyses in [`aviv_ir::dataflow`];
+//! * [`analyze_program`] — the machine×program feasibility analyzer
+//!   behind `avivc analyze`, proving every node coverable and every
+//!   def→use bank route present (`M001`…) and computing admissible
+//!   per-block lower bounds on instruction count and register pressure;
 //! * the pipeline invariant verifier in `aviv::invariants` (the core
 //!   crate), which reuses [`Diagnostic`] to report stage-by-stage
 //!   violations (`V001`…) during compilation.
@@ -28,10 +32,15 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod check;
 pub mod diag;
 pub mod lint;
 
+pub use analyze::{
+    analyze_machine, analyze_program, block_bounds, render_analysis, MachineAnalysis,
+    ProgramAnalysis,
+};
 pub use check::check_program;
 pub use diag::{render_report, Code, Diagnostic, Format, Severity};
 pub use lint::lint_machine;

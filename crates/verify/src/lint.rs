@@ -145,7 +145,7 @@ fn lint_reachability(machine: &Machine, out: &mut Vec<Diagnostic>) {
 /// child count disagrees with the op's arity (only constructible through
 /// the builder API; the parser rejects it) can never match either.
 fn lint_complexes(machine: &Machine, out: &mut Vec<Diagnostic>) {
-    let mut seen: Vec<(aviv_isdl::UnitId, &PatTree)> = Vec::new();
+    let mut seen: Vec<(aviv_isdl::UnitId, &PatTree, u32, &str)> = Vec::new();
     for cx in machine.complexes() {
         let element = format!("complex {}", cx.name);
         if cx.pattern.op_count() < 1 {
@@ -196,14 +196,38 @@ fn lint_complexes(machine: &Machine, out: &mut Vec<Diagnostic>) {
                 ));
             }
         }
-        if seen.iter().any(|&(u, p)| u == cx.unit && *p == cx.pattern) {
-            out.push(Diagnostic::new(
-                Code::W004,
-                element,
-                "identical complex pattern already declared on this unit",
-            ));
+        // Duplicate / shadowed alternatives on the same unit with an
+        // identical pattern shape. Equal cost is a plain duplicate
+        // (W004); a cost difference means one side is dominated on
+        // every axis and can never be chosen (W005) — the costlier
+        // declaration is the dead one, whichever order they appear in.
+        if let Some(&(_, _, prior_cost, prior_name)) = seen
+            .iter()
+            .find(|&&(u, p, _, _)| u == cx.unit && *p == cx.pattern)
+        {
+            if prior_cost == cx.cost {
+                out.push(Diagnostic::new(
+                    Code::W004,
+                    element.clone(),
+                    "identical complex pattern already declared on this unit",
+                ));
+            } else {
+                let (dead, live, dead_cost, live_cost) = if cx.cost > prior_cost {
+                    (cx.name.as_str(), prior_name, cx.cost, prior_cost)
+                } else {
+                    (prior_name, cx.name.as_str(), prior_cost, cx.cost)
+                };
+                out.push(Diagnostic::new(
+                    Code::W005,
+                    format!("complex {dead}"),
+                    format!(
+                        "shadowed by complex {live}: identical pattern on the same unit \
+                         at cost {live_cost} < {dead_cost}; {dead} can never be chosen"
+                    ),
+                ));
+            }
         }
-        seen.push((cx.unit, &cx.pattern));
+        seen.push((cx.unit, &cx.pattern, cx.cost, &cx.name));
     }
 }
 
@@ -582,6 +606,65 @@ mod tests {
         )
         .unwrap();
         assert_eq!(codes(&lint_machine(&m)), vec![Code::W004]);
+    }
+
+    /// Same unit + same pattern + strictly greater cost: the costlier
+    /// alternative is dominated on every axis and reported as W005, in
+    /// either declaration order. Equal costs stay a W004 duplicate.
+    #[test]
+    fn dominated_complex_is_w005_either_order() {
+        let mac = || {
+            PatTree::Op(
+                Op::Add,
+                vec![
+                    PatTree::Op(Op::Mul, vec![PatTree::Arg(0), PatTree::Arg(1)]),
+                    PatTree::Arg(2),
+                ],
+            )
+        };
+        for cheap_first in [true, false] {
+            let mut b = MachineBuilder::new("m");
+            let u1 = b.unit("U1", &[Op::Add, Op::Mul], 4);
+            b.bus("DB", &[u1], true, 1);
+            if cheap_first {
+                b.complex_with_cost("mac_fast", u1, mac(), 1);
+                b.complex_with_cost("mac_slow", u1, mac(), 3);
+            } else {
+                b.complex_with_cost("mac_slow", u1, mac(), 3);
+                b.complex_with_cost("mac_fast", u1, mac(), 1);
+            }
+            let m = b.build().unwrap();
+            let diags = lint_machine(&m);
+            assert_eq!(codes(&diags), vec![Code::W005], "cheap_first={cheap_first}");
+            assert!(
+                diags[0].element.contains("mac_slow"),
+                "the costlier declaration is the dead one: {diags:?}"
+            );
+            assert!(diags[0].message.contains("mac_fast"), "{diags:?}");
+        }
+    }
+
+    /// A shape duplicated on *different* units is neither W004 nor W005:
+    /// a second unit able to run the same fusion enables parallelism.
+    #[test]
+    fn cross_unit_duplicate_shape_is_clean() {
+        let mac = || {
+            PatTree::Op(
+                Op::Add,
+                vec![
+                    PatTree::Op(Op::Mul, vec![PatTree::Arg(0), PatTree::Arg(1)]),
+                    PatTree::Arg(2),
+                ],
+            )
+        };
+        let mut b = MachineBuilder::new("m");
+        let u1 = b.unit("U1", &[Op::Add, Op::Mul], 4);
+        let u2 = b.unit("U2", &[Op::Add, Op::Mul], 4);
+        b.bus("DB", &[u1, u2], true, 1);
+        b.complex_with_cost("mac1", u1, mac(), 1);
+        b.complex_with_cost("mac2", u2, mac(), 3);
+        let m = b.build().unwrap();
+        assert!(lint_machine(&m).is_empty());
     }
 
     #[test]
