@@ -149,7 +149,8 @@ impl BaselineGenerator {
             }
         }
         let instructions =
-            aviv::emit::emit_block(&graph, &self.target, &schedule, &alloc, syms, layout);
+            aviv::emit::emit_block(&graph, &self.target, &schedule, &alloc, syms, layout)
+                .map_err(CodegenError::Internal)?;
         Ok(BaselineResult {
             size: instructions.len(),
             spills: schedule.spills.len(),

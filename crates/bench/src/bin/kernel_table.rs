@@ -10,8 +10,12 @@
 //! (`{kernel}+nobounds` rows), and a cheap subset additionally runs in
 //! exhaustive mode (`{kernel}+exact` / `{kernel}+exact-nobounds`), so
 //! the snapshot records the node-expansion savings the admissible
-//! lower bounds buy without any code-quality movement.
+//! lower bounds buy without any code-quality movement. Every kernel
+//! also gets a `{kernel}+validate` row timing a full compile plus
+//! translation validation, so the validator's overhead lands in
+//! `BENCH_kernels.json` and the baseline gate.
 
+use aviv::verify::validate_asm;
 use aviv::{CodeGenerator, CodegenOptions};
 use aviv_bench::{all_kernels, BenchRow, BenchSnapshot, Kernel};
 use aviv_ir::{Function, MemLayout};
@@ -44,6 +48,49 @@ fn run_row(
         node_expansions: r.report.node_expansions,
         peak_pressure: r.report.peak_pressure,
         stages_ms: Some(r.report.stages.into()),
+    })
+}
+
+/// Time a whole-function compile *plus* render and translation
+/// validation, so the `+validate` rows capture the validator's
+/// end-to-end overhead. A divergence here is a compiler bug: fail the
+/// bench run loudly rather than recording a bogus row.
+fn run_validate_row(
+    row_name: &str,
+    machine: &Machine,
+    f: &Function,
+    options: CodegenOptions,
+) -> Option<BenchRow> {
+    let gen = CodeGenerator::new(machine.clone()).options(options);
+    let t0 = Instant::now();
+    let (program, report) = gen.compile_function(f).ok()?;
+    let asm = program.render(gen.target());
+    let tv = validate_asm(f, &asm, machine);
+    let wall = t0.elapsed();
+    if !tv.ok() {
+        eprintln!(
+            "{row_name} on {}: translation validation FAILED:",
+            machine.name
+        );
+        for d in &tv.diagnostics {
+            eprintln!("  {d}");
+        }
+        std::process::exit(1);
+    }
+    Some(BenchRow {
+        name: row_name.to_string(),
+        machine: machine.name.clone(),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        instructions: report.total_instructions,
+        spills: report.blocks.iter().map(|b| b.spills).sum(),
+        node_expansions: report.blocks.iter().map(|b| b.node_expansions).sum(),
+        peak_pressure: report
+            .blocks
+            .iter()
+            .map(|b| b.peak_pressure)
+            .max()
+            .unwrap_or(0),
+        stages_ms: None,
     })
 }
 
@@ -110,6 +157,12 @@ fn main() {
                     None if suffix.is_empty() => print!(" | {:>10}", "n/a"),
                     None => {}
                 }
+            }
+            let validate_name = format!("{}+validate", k.name);
+            if let Some(row) =
+                run_validate_row(&validate_name, machine, &f, CodegenOptions::heuristics_on())
+            {
+                snapshot.rows.push(row);
             }
             // Pairs are (bounds on, bounds off); count strict wins.
             for pair in expansions.chunks(2) {

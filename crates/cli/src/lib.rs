@@ -29,7 +29,8 @@
 pub mod serve;
 
 use aviv::verify::{
-    analyze_program, check_program, lint_machine, render_analysis, render_report, Format, Severity,
+    analyze_program, check_program, lint_machine, render_analysis, render_report, validate_asm,
+    Format, Severity,
 };
 use aviv::{CodeGenerator, CodegenError, CodegenOptions, VliwProgram};
 use aviv_ir::{parse_function, Function, MemLayout};
@@ -88,6 +89,10 @@ pub struct Options {
     /// Force the pipeline invariant verifier on (it already defaults on
     /// in debug builds).
     pub verify: bool,
+    /// Run the translation validator on the emitted assembly: re-parse
+    /// it and prove every block's exit-live values congruent to the
+    /// source function (`T` diagnostics on divergence).
+    pub validate: bool,
     /// Node-expansion fuel per block per degradation-ladder rung
     /// (`None` = unlimited).
     pub fuel: Option<u64>,
@@ -306,6 +311,11 @@ options:
   --verify                            run the pipeline invariant verifier
                                       (default in debug builds); compile
                                       fails on any violation
+  --validate                          re-parse the emitted assembly and
+                                      statically prove every block's
+                                      exit-live values congruent to the
+                                      source function; the compile fails
+                                      with `T` diagnostics on divergence
   --fuel <n>                          node-expansion fuel per block per
                                       degradation-ladder rung; on
                                       exhaustion the block falls back to
@@ -339,6 +349,13 @@ reports `P`-coded diagnostics under the same exit-code contract. With
 `--machine`, the program is additionally compiled for that machine with
 the pipeline invariant verifier on.
 
+`avivc --validate` runs the translation validator on every compile: the
+emitted assembly is parsed back and each block's exit-live values are
+proven congruent to the source IR over symbolic terms (see
+docs/diagnostics.md, `T` codes). A clean run adds a one-line
+`validate: ...` report; divergence fails the compile with the full
+`T`-coded report.
+
 `avivc analyze` runs the machine×program feasibility pre-flight: it
 proves every operation coverable and every def→use value route present
 on the given machine, reporting `M`-coded errors naming the exact node,
@@ -369,6 +386,7 @@ impl Options {
         let mut report = false;
         let mut baseline = false;
         let mut verify = false;
+        let mut validate = false;
         let mut fuel = None;
         let mut timeout_ms = None;
 
@@ -449,6 +467,7 @@ impl Options {
                 "--report" => report = true,
                 "--baseline" => baseline = true,
                 "--verify" => verify = true,
+                "--validate" => validate = true,
                 other if !other.starts_with('-') && program_path.is_none() => {
                     program_path = Some(other.to_string());
                 }
@@ -472,6 +491,7 @@ impl Options {
             report,
             baseline,
             verify,
+            validate,
             fuel,
             timeout_ms,
         })
@@ -511,6 +531,12 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
     let target = generator.target().clone();
 
     if options.baseline {
+        if options.validate {
+            return Err(err(
+                "--validate does not support --baseline (baseline blocks \
+                 carry no terminators to check)",
+            ));
+        }
         return drive_baseline(options, &target, &function, outcome);
     }
 
@@ -553,6 +579,16 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
             "note: compile incomplete under the given budget; output is \
              correct but may be slower than an unbudgeted compile"
         );
+    }
+
+    if options.validate {
+        run_validation(
+            &function,
+            &target,
+            &program.render(&target),
+            "",
+            &mut outcome.report,
+        )?;
     }
 
     if options.report {
@@ -617,6 +653,32 @@ pub fn drive(options: &Options, machine_src: &str, program_src: &str) -> Result<
     Ok(outcome)
 }
 
+/// Run the translation validator on rendered assembly and either append
+/// a one-line success note to `report` (prefixed for batch mode) or
+/// fail with the full `T`-coded report.
+fn run_validation(
+    function: &Function,
+    target: &Target,
+    asm: &str,
+    prefix: &str,
+    report: &mut String,
+) -> Result<(), CliError> {
+    let tv = validate_asm(function, asm, &target.machine);
+    if tv.ok() {
+        let _ = writeln!(
+            report,
+            "{prefix}validate: {} block(s), {} obligation(s), ok",
+            tv.blocks, tv.obligations
+        );
+        Ok(())
+    } else {
+        Err(err(format!(
+            "{prefix}validate: emitted assembly diverges from the source\n{}",
+            render_report(&tv.diagnostics, Format::Text)
+        )))
+    }
+}
+
 fn build_preset(options: &Options) -> CodegenOptions {
     let mut preset = match options.preset.as_str() {
         "thorough" => CodegenOptions::thorough(),
@@ -674,7 +736,7 @@ pub fn drive_batch(
     let target = generator.target().clone();
     let mut outcome = Outcome::default();
     let results = generator.compile_batch(&functions);
-    for ((name, _), result) in programs.iter().zip(results) {
+    for (((name, _), function), result) in programs.iter().zip(&functions).zip(results) {
         let (program, report) = result.map_err(|e| err(format!("{name}: compile: {e}")))?;
         for d in &report.downgrades {
             let _ = writeln!(outcome.report, "{name}: downgrade: {d}");
@@ -685,6 +747,15 @@ pub fn drive_batch(
                 "{name}: note: compile incomplete under the given budget; output \
                  is correct but may be slower than an unbudgeted compile"
             );
+        }
+        if options.validate {
+            run_validation(
+                function,
+                &target,
+                &program.render(&target),
+                &format!("{name}: "),
+                &mut outcome.report,
+            )?;
         }
         if options.stats {
             let stats = aviv_vm::program_stats(&target, &program);
@@ -1126,6 +1197,42 @@ mod tests {
         assert!(!out.output.is_empty());
         assert!(opts(&["--verify"]).verify);
         assert!(!opts(&[]).verify);
+    }
+
+    #[test]
+    fn validate_flag_proves_emitted_asm() {
+        assert!(!opts(&[]).validate);
+        assert!(opts(&["--validate"]).validate);
+        let out = drive(&opts(&["--validate"]), MACHINE, PROGRAM).unwrap();
+        assert!(
+            out.report.contains("validate: 1 block(s)"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("ok"), "{}", out.report);
+        // Multi-block control flow validates too.
+        let branchy = "func f(a, b) { x = a * b + 1; if (x > 3) goto t;
+            x = x + 2; t: return x; }";
+        let out = drive(&opts(&["--validate"]), MACHINE, branchy).unwrap();
+        assert!(out.report.contains("validate: "), "{}", out.report);
+        assert!(out.report.contains("ok"), "{}", out.report);
+        // Degraded (spill-heavy) compiles still validate clean.
+        let out = drive(&opts(&["--validate", "--fuel", "1"]), MACHINE, PROGRAM).unwrap();
+        assert!(out.report.contains("downgrade:"), "{}", out.report);
+        assert!(out.report.contains("validate: "), "{}", out.report);
+        // --baseline output has no terminators to check.
+        assert!(drive(&opts(&["--validate", "--baseline"]), MACHINE, PROGRAM).is_err());
+    }
+
+    #[test]
+    fn batch_validate_is_name_prefixed() {
+        let programs = vec![
+            ("a.av".to_string(), PROGRAM.to_string()),
+            ("b.av".to_string(), PROGRAM.to_string()),
+        ];
+        let out = drive_batch(&opts(&["--validate"]), MACHINE, &programs).unwrap();
+        assert!(out.report.contains("a.av: validate: "), "{}", out.report);
+        assert!(out.report.contains("b.av: validate: "), "{}", out.report);
     }
 
     #[test]

@@ -25,9 +25,15 @@
 //! `timeout_ms` per compile, with the same meaning as the `avivc`
 //! flags. Budgeted (incomplete) compiles still answer, but only
 //! *complete* plans enter the cache, so a degraded response never
-//! poisons later requests.
+//! poisons later requests. A request may also set `"validate":true`
+//! to run the translation validator on the rendered assembly — the
+//! check runs on the final bytes, after any cache hits, so even a
+//! corrupted cache entry is statically detectable; a clean check adds
+//! `"validated":true` to the response, a divergence fails the request
+//! with the `T`-coded report.
 
 use aviv::jsonv::{self, Json};
+use aviv::verify::{render_report, validate_asm, Format};
 use aviv::{CacheStats, CodeGenerator, CodegenOptions, PlanCache};
 use aviv_ir::parse_function;
 use aviv_isdl::{parse_machine, Target};
@@ -421,6 +427,10 @@ impl Server {
         let machine_src = source_field(req, "machine", "machine_path")?;
         let program_src = source_field(req, "program", "program_path")?;
         let options = request_options(req)?;
+        let validate = match req.get("validate") {
+            None => false,
+            Some(v) => v.as_bool().ok_or("`validate` must be a boolean")?,
+        };
         let target = self.target_for(&machine_src)?;
         let function = parse_function(&program_src).map_err(|e| format!("program: {e}"))?;
         let generator = CodeGenerator::with_shared_target(target)
@@ -430,6 +440,19 @@ impl Server {
             .compile_function(&function)
             .map_err(|e| format!("compile: {e}"))?;
         let asm = program.render(generator.target());
+
+        // Translation validation runs on the final rendered bytes, so
+        // cache-served plans are checked too: a poisoned or stale cache
+        // entry that changes the program's meaning is caught here.
+        if validate {
+            let tv = validate_asm(&function, &asm, &generator.target().machine);
+            if !tv.ok() {
+                return Err(format!(
+                    "validate: emitted assembly diverges from the source\n{}",
+                    render_report(&tv.diagnostics, Format::Text)
+                ));
+            }
+        }
 
         let mut notes = String::new();
         for d in &report.downgrades {
@@ -447,6 +470,9 @@ impl Server {
             report.cache_misses,
             report.complete,
         );
+        if validate {
+            fields.push_str(",\"validated\":true");
+        }
         if !notes.is_empty() {
             let _ = write!(fields, ",\"notes\":\"{}\"", jsonv::escape(&notes));
         }
@@ -719,6 +745,46 @@ mod tests {
             Some(0),
             "{fresh:?}"
         );
+    }
+
+    #[test]
+    fn validate_flag_checks_cold_and_cached_compiles() {
+        let server = Server::new(&ServeConfig::default());
+        let req = |id: u64| {
+            format!(
+                "{{\"id\":{id},\"op\":\"compile\",\"machine\":\"{}\",\"program\":\"{}\",\
+                 \"validate\":true}}",
+                jsonv::escape(MACHINE),
+                jsonv::escape(PROGRAM)
+            )
+        };
+        let responses = run(&server, &format!("{}\n{}\n", req(1), req(2)));
+        let cold = &responses[0];
+        let warm = &responses[1];
+        assert_eq!(
+            cold.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{cold:?}"
+        );
+        assert_eq!(cold.get("validated").and_then(Json::as_bool), Some(true));
+        // The warm request is served from the cache and still validated.
+        assert_eq!(
+            warm.get("cache_hits").and_then(Json::as_u64),
+            warm.get("blocks").and_then(Json::as_u64)
+        );
+        assert_eq!(warm.get("validated").and_then(Json::as_bool), Some(true));
+        // Requests without the flag carry no `validated` field.
+        let responses = run(&server, &format!("{}\n", compile_req(3)));
+        assert!(responses[0].get("validated").is_none());
+        // Non-boolean `validate` is rejected.
+        let bad = format!(
+            "{{\"op\":\"compile\",\"machine\":\"{}\",\"program\":\"{}\",\"validate\":7}}",
+            jsonv::escape(MACHINE),
+            jsonv::escape(PROGRAM)
+        );
+        let responses = run(&server, &format!("{bad}\n"));
+        let msg = responses[0].get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("`validate` must be a boolean"), "{msg}");
     }
 
     #[test]

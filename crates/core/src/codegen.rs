@@ -495,7 +495,7 @@ impl CodeGenerator {
         layout: &mut MemLayout,
     ) -> Result<BlockResult, CodegenError> {
         let plan = self.plan_block(dag, syms)?;
-        Ok(self.apply_plan(plan, syms, layout))
+        self.apply_plan(plan, syms, layout)
     }
 
     /// Plan one basic block against an immutable `snapshot` of the symbol
@@ -862,12 +862,18 @@ impl CodeGenerator {
     ///
     /// Plans must be applied in block order, against the same table their
     /// snapshots were taken from (plus earlier blocks' applications).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodegenError::Internal`] wrapping a `C006` diagnostic if
+    /// the plan's schedule or allocation is malformed (emission refuses
+    /// to lower it — see `docs/diagnostics.md`).
     pub fn apply_plan(
         &self,
         mut plan: BlockPlan,
         syms: &mut SymbolTable,
         layout: &mut MemLayout,
-    ) -> BlockResult {
+    ) -> Result<BlockResult, CodegenError> {
         let start = Instant::now();
         if !plan.appended_syms.is_empty() {
             let mut remap: HashMap<Sym, Sym> = HashMap::new();
@@ -902,19 +908,21 @@ impl CodeGenerator {
             &plan.alloc,
             syms,
             layout,
-        );
-        let live_out = live_out_operands(&plan.graph, &plan.alloc);
+        )
+        .map_err(CodegenError::Internal)?;
+        let live_out =
+            live_out_operands(&plan.graph, &plan.alloc).map_err(CodegenError::Internal)?;
         let mut report = plan.report;
         report.instructions = instructions.len();
         report.time += start.elapsed();
-        BlockResult {
+        Ok(BlockResult {
             instructions,
             graph: plan.graph,
             schedule: plan.schedule,
             alloc: plan.alloc,
             live_out,
             report,
-        }
+        })
     }
 
     /// Compile a whole function, lowering control flow conventionally
@@ -1007,7 +1015,7 @@ impl CodeGenerator {
                 if emit_fault == Some(FaultKind::Malform) {
                     plan.alloc.corrupt_one();
                 }
-                let result = self.apply_plan(plan, &mut syms, &mut layout);
+                let result = self.apply_plan(plan, &mut syms, &mut layout)?;
                 report.blocks.push(result.report.clone());
                 instructions.extend(result.instructions.iter().cloned());
 

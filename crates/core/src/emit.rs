@@ -7,10 +7,11 @@
 //! representation; [`VliwProgram::render`] prints human-readable assembly.
 
 use crate::cover::Schedule;
-use crate::covergraph::{CnKind, CoverGraph, Operand};
+use crate::covergraph::{CnId, CnKind, CoverGraph, Operand};
 use crate::regalloc::{Allocation, Reg};
 use aviv_ir::{MemLayout, SymbolTable};
 use aviv_isdl::{BusId, Target, UnitId};
+use aviv_verify::{Code, Diagnostic};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -238,8 +239,27 @@ impl VliwProgram {
     }
 }
 
+/// A `C006` diagnostic: emission received a malformed schedule or
+/// allocation (see `docs/diagnostics.md`).
+fn malformed(element: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(Code::C006, element, message)
+}
+
+fn allocated(alloc: &Allocation, id: CnId) -> Result<Reg, Diagnostic> {
+    alloc
+        .get(id)
+        .ok_or_else(|| malformed(format!("{id}"), "cover node has no allocated register"))
+}
+
 /// Lower one scheduled, register-allocated block into instructions (no
 /// control field yet — the function-level driver appends terminators).
+///
+/// # Errors
+///
+/// Returns a `C006` [`Diagnostic`] when the schedule or allocation is
+/// malformed: a unit double-booked within one instruction, an immediate
+/// where the field requires a register, or a value-producing cover node
+/// with no allocated register. A well-formed plan never trips these.
 pub fn emit_block(
     graph: &CoverGraph,
     target: &Target,
@@ -247,17 +267,26 @@ pub fn emit_block(
     alloc: &Allocation,
     syms: &SymbolTable,
     layout: &MemLayout,
-) -> Vec<VliwInstruction> {
+) -> Result<Vec<VliwInstruction>, Diagnostic> {
     let n_units = target.machine.units().len();
     let mut out = Vec::with_capacity(schedule.steps.len());
     for step in &schedule.steps {
         let mut inst = VliwInstruction::nop(n_units);
         for &id in step {
             let node = graph.node(id);
-            let reg_arg = |a: &Operand| -> AsmOperand {
+            let reg_arg = |a: &Operand| -> Result<AsmOperand, Diagnostic> {
                 match a {
-                    Operand::Imm(v) => AsmOperand::Imm(*v),
-                    Operand::Cn(c) => AsmOperand::Reg(alloc.reg(*c)),
+                    Operand::Imm(v) => Ok(AsmOperand::Imm(*v)),
+                    Operand::Cn(c) => allocated(alloc, *c).map(AsmOperand::Reg),
+                }
+            };
+            let reg_only = |a: &Operand, what: &str| -> Result<Reg, Diagnostic> {
+                match a {
+                    Operand::Cn(c) => allocated(alloc, *c),
+                    Operand::Imm(v) => Err(malformed(
+                        format!("{id}"),
+                        format!("{what} requires a register operand, got immediate #{v}"),
+                    )),
                 }
             };
             match &node.kind {
@@ -267,10 +296,10 @@ pub fn emit_block(
                         *unit,
                         SlotOp {
                             opcode: SlotOpcode::Basic(*op),
-                            dst: alloc.reg(id),
-                            args: node.args.iter().map(reg_arg).collect(),
+                            dst: allocated(alloc, id)?,
+                            args: node.args.iter().map(reg_arg).collect::<Result<_, _>>()?,
                         },
-                    );
+                    )?;
                 }
                 CnKind::Complex { unit, index, .. } => {
                     place_slot(
@@ -278,21 +307,18 @@ pub fn emit_block(
                         *unit,
                         SlotOp {
                             opcode: SlotOpcode::Complex(*index),
-                            dst: alloc.reg(id),
-                            args: node.args.iter().map(reg_arg).collect(),
+                            dst: allocated(alloc, id)?,
+                            args: node.args.iter().map(reg_arg).collect::<Result<_, _>>()?,
                         },
-                    );
+                    )?;
                 }
                 CnKind::Move { bus, .. } => {
-                    let from = match &node.args[0] {
-                        Operand::Cn(c) => alloc.reg(*c),
-                        Operand::Imm(_) => unreachable!("moves carry register values"),
-                    };
+                    let from = reg_only(&node.args[0], "move source")?;
                     inst.xfers.push(TransferOp {
                         bus: *bus,
                         kind: TransferKind::Move {
                             from,
-                            to: alloc.reg(id),
+                            to: allocated(alloc, id)?,
                         },
                     });
                 }
@@ -302,7 +328,7 @@ pub fn emit_block(
                         kind: TransferKind::LoadVar {
                             addr: layout.addr(*sym),
                             name: syms.name(*sym).to_string(),
-                            to: alloc.reg(id),
+                            to: allocated(alloc, id)?,
                         },
                     });
                 }
@@ -310,37 +336,28 @@ pub fn emit_block(
                     inst.xfers.push(TransferOp {
                         bus: *bus,
                         kind: TransferKind::StoreVar {
-                            value: reg_arg(&node.args[0]),
+                            value: reg_arg(&node.args[0])?,
                             addr: layout.addr(*sym),
                             name: syms.name(*sym).to_string(),
                         },
                     });
                 }
                 CnKind::LoadDyn { bus, .. } => {
-                    let addr = match &node.args[0] {
-                        Operand::Cn(c) => alloc.reg(*c),
-                        Operand::Imm(_) => unreachable!("dynamic loads take a register address"),
-                    };
+                    let addr = reg_only(&node.args[0], "dynamic load address")?;
                     inst.xfers.push(TransferOp {
                         bus: *bus,
                         kind: TransferKind::LoadDyn {
                             addr,
-                            to: alloc.reg(id),
+                            to: allocated(alloc, id)?,
                         },
                     });
                 }
                 CnKind::StoreDyn { bus, .. } => {
-                    let get = |a: &Operand| match a {
-                        Operand::Cn(c) => alloc.reg(*c),
-                        Operand::Imm(_) => {
-                            unreachable!("dynamic stores take register operands")
-                        }
-                    };
                     inst.xfers.push(TransferOp {
                         bus: *bus,
                         kind: TransferKind::StoreDyn {
-                            addr: get(&node.args[0]),
-                            value: get(&node.args[1]),
+                            addr: reg_only(&node.args[0], "dynamic store address")?,
+                            value: reg_only(&node.args[1], "dynamic store value")?,
                         },
                     });
                 }
@@ -348,32 +365,40 @@ pub fn emit_block(
         }
         out.push(inst);
     }
-    out
+    Ok(out)
 }
 
-fn place_slot(inst: &mut VliwInstruction, unit: UnitId, slot: SlotOp) {
+fn place_slot(inst: &mut VliwInstruction, unit: UnitId, slot: SlotOp) -> Result<(), Diagnostic> {
     let cell = &mut inst.slots[unit.index()];
-    assert!(
-        cell.is_none(),
-        "unit {unit} double-booked in one instruction"
-    );
+    if cell.is_some() {
+        return Err(malformed(
+            format!("{unit}"),
+            "unit double-booked in one instruction",
+        ));
+    }
     *cell = Some(slot);
+    Ok(())
 }
 
 /// Map live-out original nodes to the assembly operand holding them at
 /// block end (used by the function driver for branch conditions and
 /// return values).
+///
+/// # Errors
+///
+/// Returns a `C006` [`Diagnostic`] when a live-out cover node has no
+/// allocated register.
 pub fn live_out_operands(
     graph: &CoverGraph,
     alloc: &Allocation,
-) -> HashMap<aviv_ir::NodeId, AsmOperand> {
+) -> Result<HashMap<aviv_ir::NodeId, AsmOperand>, Diagnostic> {
     let mut out = HashMap::new();
     for &(orig, operand) in graph.live_out() {
         let a = match operand {
             Operand::Imm(v) => AsmOperand::Imm(v),
-            Operand::Cn(c) => AsmOperand::Reg(alloc.reg(c)),
+            Operand::Cn(c) => AsmOperand::Reg(allocated(alloc, c)?),
         };
         out.insert(orig, a);
     }
-    out
+    Ok(out)
 }

@@ -5,7 +5,8 @@
 //! pipeline location) it refers to and a one-line message. Codes are
 //! namespaced by pass: `E`/`W` for machine-description lints, `V` for
 //! pipeline invariants, `P` for source-program checks, `M` for
-//! machine×program feasibility analysis. The registry is
+//! machine×program feasibility analysis, `T` for translation
+//! validation of emitted assembly. The registry is
 //! documented in `docs/diagnostics.md`; codes are append-only so tooling
 //! can match on them.
 
@@ -113,6 +114,31 @@ pub enum Code {
     /// with identical shape on the same unit at strictly lower cost: the
     /// costlier alternative can never win.
     W005,
+    /// Emission received a malformed schedule or allocation: a unit
+    /// double-booked within one instruction, an immediate where a
+    /// register operand is required, or a cover node with no allocated
+    /// register.
+    C006,
+    /// Translation validation: the emitted assembly text does not parse
+    /// back under the grammar `VliwProgram::render` produces.
+    T001,
+    /// Translation validation: control structure of the emitted program
+    /// disagrees with the source CFG (block boundaries, jump/branch
+    /// targets, a stray or missing control field).
+    T002,
+    /// Translation validation: a named variable's value at block exit is
+    /// not congruent to its source term.
+    T003,
+    /// Translation validation: the dynamic-memory state at block exit is
+    /// not congruent to its source term.
+    T004,
+    /// Translation validation: a branch condition or return value is not
+    /// congruent to its source term.
+    T005,
+    /// Translation validation: the emitted code reads a register no
+    /// earlier packet of the block wrote (block-entry register contents
+    /// are undefined; values cross blocks only through memory).
+    T006,
 }
 
 impl Code {
@@ -149,6 +175,13 @@ impl Code {
             Code::M001 => "M001",
             Code::M002 => "M002",
             Code::W005 => "W005",
+            Code::C006 => "C006",
+            Code::T001 => "T001",
+            Code::T002 => "T002",
+            Code::T003 => "T003",
+            Code::T004 => "T004",
+            Code::T005 => "T005",
+            Code::T006 => "T006",
         }
     }
 
@@ -204,6 +237,13 @@ impl Code {
             Code::M001 => "a program operation has no implementing unit and no complex pattern covering it on the target machine",
             Code::M002 => "no data-transfer route (even via a memory round trip) can carry a value from its producer's banks to its consumer's banks",
             Code::W005 => "a complex alternative is dominated by an identical-shape declaration on the same unit at strictly lower cost",
+            Code::C006 => "emission must receive a well-formed schedule and allocation: one slot per unit per instruction, register operands where the field requires a register, and an allocated register for every value-producing cover node",
+            Code::T001 => "emitted assembly must parse back under the grammar the emitter prints",
+            Code::T002 => "the emitted program's control structure must mirror the source CFG block for block",
+            Code::T003 => "every named variable's block-exit value in the emitted code must be congruent to its source term",
+            Code::T004 => "the dynamic-memory state at block exit in the emitted code must be congruent to its source term",
+            Code::T005 => "every branch condition and return value in the emitted code must be congruent to its source term",
+            Code::T006 => "emitted code must write a register before reading it within the block; block-entry register contents are undefined",
         }
     }
 }

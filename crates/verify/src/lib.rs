@@ -15,6 +15,9 @@
 //!   behind `avivc analyze`, proving every node coverable and every
 //!   def→use bank route present (`M001`…) and computing admissible
 //!   per-block lower bounds on instruction count and register pressure;
+//! * [`tv::validate_asm`] — the translation validator behind
+//!   `avivc --validate`, which re-parses emitted assembly and proves
+//!   it congruent to the source function block by block (`T001`…);
 //! * the pipeline invariant verifier in `aviv::invariants` (the core
 //!   crate), which reuses [`Diagnostic`] to report stage-by-stage
 //!   violations (`V001`…) during compilation.
@@ -36,6 +39,7 @@ pub mod analyze;
 pub mod check;
 pub mod diag;
 pub mod lint;
+pub mod tv;
 
 pub use analyze::{
     analyze_machine, analyze_program, block_bounds, render_analysis, MachineAnalysis,
@@ -44,3 +48,4 @@ pub use analyze::{
 pub use check::check_program;
 pub use diag::{render_report, Code, Diagnostic, Format, Severity};
 pub use lint::lint_machine;
+pub use tv::{parse_asm, render_asm, validate_asm, AsmProgram, TvReport};

@@ -1,0 +1,1259 @@
+//! Translation validation: statically prove an emitted VLIW program
+//! equivalent to its source function, block by block.
+//!
+//! The validator closes the last trust gap in the pipeline. Lints check
+//! the machine, `check` checks the program, the invariant verifier
+//! checks intermediate stages — but the final assembly text was only
+//! ever spot-checked by *running* it on the `aviv-vm` simulator. This
+//! module instead proves, per compile and without executing anything:
+//!
+//! 1. [`parse_asm`] reads the emitted text back into a structured
+//!    program under exactly the grammar `VliwProgram::render` prints
+//!    (the round-trip is pinned byte-identical by the test suite);
+//! 2. a symbolic evaluator executes both the post-DCE source function
+//!    and the parsed assembly over a shared hash-consed term graph —
+//!    modeling register banks, bus transfers, named/spill memory
+//!    cells, and dynamic memory as a McCarthy store/select array;
+//! 3. [`validate_asm`] discharges, for every block, the obligation
+//!    that each exit-live value (named variables, dynamic memory,
+//!    branch conditions, return values) has a symbolic term in the
+//!    emitted code congruent to its source term.
+//!
+//! Congruence is term identity after normalization: commutative
+//! operations sort their operands, `mac` expands to `add(mul(..), ..)`
+//! (so a complex-instruction cover matches the basic-op tree it
+//! replaced), and complex instructions expand through their declared
+//! [`PatTree`]. Findings carry stable `T` codes (registry in
+//! `docs/diagnostics.md`) naming the block, variable, and divergent
+//! packet.
+//!
+//! Two modeling caveats, both matching the rest of the reproduction:
+//! aliasing between the named-variable address range and the dynamic
+//! region is unspecified (the two are modeled as disjoint spaces, as
+//! the code generator lowers them), and a complex instruction whose
+//! name shadows a basic mnemonic is resolved as the basic operation.
+
+use crate::diag::{Code, Diagnostic};
+use aviv_ir::{opt::eliminate_dead_code, Function, MemLayout, Op, Sym, Terminator};
+use aviv_isdl::{Machine, PatTree};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// Parsed assembly (a structural mirror of `aviv::emit`, kept free of a
+// core-crate dependency so the validator stays an independent observer).
+// ---------------------------------------------------------------------
+
+/// A register as printed in assembly: `r{bank}.{index}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsmReg {
+    /// Register-bank index.
+    pub bank: u32,
+    /// Register index within the bank.
+    pub index: u32,
+}
+
+impl fmt::Display for AsmReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}.{}", self.bank, self.index)
+    }
+}
+
+/// An operand: a register or an immediate (`#v`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsmOperand {
+    /// A register.
+    Reg(AsmReg),
+    /// An immediate.
+    Imm(i64),
+}
+
+impl fmt::Display for AsmOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmOperand::Reg(r) => write!(f, "{r}"),
+            AsmOperand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// A resolved slot opcode: a basic operation or a complex instruction
+/// (index into the machine's declaration list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsmOpcode {
+    /// A basic operation.
+    Basic(Op),
+    /// A complex instruction.
+    Complex(usize),
+}
+
+/// One functional-unit slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmSlot {
+    /// Unit index (into `Machine::units()`).
+    pub unit: usize,
+    /// The opcode.
+    pub opcode: AsmOpcode,
+    /// Destination register.
+    pub dst: AsmReg,
+    /// Source operands.
+    pub args: Vec<AsmOperand>,
+}
+
+/// One bus-transfer field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmXfer {
+    /// Bus index (into `Machine::buses()`).
+    pub bus: usize,
+    /// What moves where.
+    pub kind: AsmTransfer,
+}
+
+/// The kinds of bus activity, mirroring the emitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmTransfer {
+    /// Register-to-register move.
+    Move {
+        /// Source.
+        from: AsmReg,
+        /// Destination.
+        to: AsmReg,
+    },
+    /// Load from a static address (named variable or spill slot).
+    LoadVar {
+        /// Memory address.
+        addr: i64,
+        /// Variable name (assembly comment).
+        name: String,
+        /// Destination register.
+        to: AsmReg,
+    },
+    /// Store to a static address.
+    StoreVar {
+        /// The stored value.
+        value: AsmOperand,
+        /// Memory address.
+        addr: i64,
+        /// Variable name (assembly comment).
+        name: String,
+    },
+    /// Load from a register-held address.
+    LoadDyn {
+        /// Address register.
+        addr: AsmReg,
+        /// Destination register.
+        to: AsmReg,
+    },
+    /// Store to a register-held address.
+    StoreDyn {
+        /// Address register.
+        addr: AsmReg,
+        /// Value register.
+        value: AsmReg,
+    },
+}
+
+/// A control field (at most one per instruction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmControl {
+    /// Unconditional jump to an instruction index.
+    Jump(usize),
+    /// Branch to an instruction index when the condition is nonzero.
+    BranchNz {
+        /// The condition.
+        cond: AsmOperand,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Return, optionally with a value.
+    Return(Option<AsmOperand>),
+}
+
+/// One parsed VLIW instruction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AsmInstruction {
+    /// Unit slots, in textual order (ascending unit index as emitted).
+    pub slots: Vec<AsmSlot>,
+    /// Bus transfer fields.
+    pub xfers: Vec<AsmXfer>,
+    /// Control field.
+    pub control: Option<AsmControl>,
+}
+
+/// A parsed VLIW program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmProgram {
+    /// Machine name from the `; machine` header.
+    pub machine_name: String,
+    /// The instructions, in order (indices are positions).
+    pub instructions: Vec<AsmInstruction>,
+    /// Block labels as `(block index, instruction index)`, in textual
+    /// order. Only the first block at a shared start carries a label,
+    /// exactly as the emitter prints them.
+    pub labels: Vec<(usize, usize)>,
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+fn parse_reg(s: &str) -> Result<AsmReg, String> {
+    let body = s
+        .strip_prefix('r')
+        .ok_or_else(|| format!("expected register, got `{s}`"))?;
+    let (bank, index) = body
+        .split_once('.')
+        .ok_or_else(|| format!("expected register `r<bank>.<index>`, got `{s}`"))?;
+    Ok(AsmReg {
+        bank: bank.parse().map_err(|_| format!("bad bank in `{s}`"))?,
+        index: index.parse().map_err(|_| format!("bad index in `{s}`"))?,
+    })
+}
+
+fn parse_operand(s: &str) -> Result<AsmOperand, String> {
+    if let Some(v) = s.strip_prefix('#') {
+        Ok(AsmOperand::Imm(
+            v.parse().map_err(|_| format!("bad immediate `{s}`"))?,
+        ))
+    } else {
+        parse_reg(s).map(AsmOperand::Reg)
+    }
+}
+
+/// Resolve a slot mnemonic. Basic mnemonics win over complex names, so
+/// the resolution is total and deterministic; the two only collide when
+/// a machine names a complex after a basic op, in which case congruence
+/// still holds whenever the pattern matches the op (e.g. `mac`).
+fn resolve_opname(machine: &Machine, name: &str) -> Option<AsmOpcode> {
+    if let Some(op) = Op::from_mnemonic(name) {
+        if !op.is_leaf() && !op.is_store() && op != Op::Load {
+            return Some(AsmOpcode::Basic(op));
+        }
+    }
+    machine
+        .complexes()
+        .iter()
+        .position(|c| c.name == name)
+        .map(AsmOpcode::Complex)
+}
+
+fn parse_slot(unit: usize, rest: &str, machine: &Machine) -> Result<AsmSlot, String> {
+    let (opname, tail) = rest
+        .split_once(' ')
+        .ok_or_else(|| format!("malformed slot `{rest}`"))?;
+    let mut parts = tail.split(", ");
+    let dst = parse_reg(
+        parts
+            .next()
+            .ok_or_else(|| format!("slot `{rest}` has no destination"))?,
+    )?;
+    let args: Vec<AsmOperand> = parts.map(parse_operand).collect::<Result<_, _>>()?;
+    let opcode =
+        resolve_opname(machine, opname).ok_or_else(|| format!("unknown mnemonic `{opname}`"))?;
+    let want = match opcode {
+        AsmOpcode::Basic(op) => op.arity(),
+        AsmOpcode::Complex(ci) => machine.complexes()[ci].pattern.arg_count(),
+    };
+    if args.len() != want {
+        return Err(format!(
+            "`{opname}` takes {want} operand(s), got {}",
+            args.len()
+        ));
+    }
+    Ok(AsmSlot {
+        unit,
+        opcode,
+        dst,
+        args,
+    })
+}
+
+fn parse_xfer(rest: &str) -> Result<AsmTransfer, String> {
+    if let Some(r) = rest.strip_prefix("mov ") {
+        let (to, from) = r
+            .split_once(" <- ")
+            .ok_or_else(|| format!("malformed move `{rest}`"))?;
+        return Ok(AsmTransfer::Move {
+            from: parse_reg(from)?,
+            to: parse_reg(to)?,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("ld ") {
+        let (to, src) = r
+            .split_once(" <- ")
+            .ok_or_else(|| format!("malformed load `{rest}`"))?;
+        let to = parse_reg(to)?;
+        if let Some((bracketed, name)) = src.split_once("] ;") {
+            let inner = bracketed
+                .strip_prefix('[')
+                .ok_or_else(|| format!("malformed load address `{src}`"))?;
+            return Ok(AsmTransfer::LoadVar {
+                addr: inner
+                    .parse()
+                    .map_err(|_| format!("bad static load address `{inner}`"))?,
+                name: name.to_string(),
+                to,
+            });
+        }
+        let inner = src
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| format!("malformed load address `{src}`"))?;
+        return Ok(AsmTransfer::LoadDyn {
+            addr: parse_reg(inner)?,
+            to,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("st ") {
+        let (dst, val) = r
+            .split_once(" <- ")
+            .ok_or_else(|| format!("malformed store `{rest}`"))?;
+        let inner = dst
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| format!("malformed store address `{dst}`"))?;
+        if let Some((value, name)) = val.split_once(" ;") {
+            return Ok(AsmTransfer::StoreVar {
+                value: parse_operand(value)?,
+                addr: inner
+                    .parse()
+                    .map_err(|_| format!("bad static store address `{inner}`"))?,
+                name: name.to_string(),
+            });
+        }
+        return Ok(AsmTransfer::StoreDyn {
+            addr: parse_reg(inner)?,
+            value: parse_reg(val)?,
+        });
+    }
+    Err(format!("unknown transfer `{rest}`"))
+}
+
+fn parse_control(rest: &str) -> Result<AsmControl, String> {
+    if let Some(t) = rest.strip_prefix("jmp @") {
+        return Ok(AsmControl::Jump(
+            t.parse().map_err(|_| format!("bad jump target `{t}`"))?,
+        ));
+    }
+    if let Some(r) = rest.strip_prefix("bnz ") {
+        let (cond, t) = r
+            .split_once(", @")
+            .ok_or_else(|| format!("malformed branch `{rest}`"))?;
+        return Ok(AsmControl::BranchNz {
+            cond: parse_operand(cond)?,
+            target: t.parse().map_err(|_| format!("bad branch target `{t}`"))?,
+        });
+    }
+    if rest == "ret" {
+        return Ok(AsmControl::Return(None));
+    }
+    if let Some(v) = rest.strip_prefix("ret ") {
+        return Ok(AsmControl::Return(Some(parse_operand(v)?)));
+    }
+    Err(format!("unknown control op `{rest}`"))
+}
+
+fn parse_field(field: &str, machine: &Machine, inst: &mut AsmInstruction) -> Result<(), String> {
+    let (head, rest) = field
+        .split_once(": ")
+        .ok_or_else(|| format!("malformed field `{field}`"))?;
+    if head == "CTRL" {
+        if inst.control.is_some() {
+            return Err("more than one control field".to_string());
+        }
+        inst.control = Some(parse_control(rest)?);
+        return Ok(());
+    }
+    if let Some(bus) = machine.bus_by_name(head) {
+        inst.xfers.push(AsmXfer {
+            bus: bus.index(),
+            kind: parse_xfer(rest)?,
+        });
+        return Ok(());
+    }
+    if let Some(unit) = machine.unit_by_name(head) {
+        let slot = parse_slot(unit.index(), rest, machine)?;
+        if inst.slots.iter().any(|s| s.unit == slot.unit) {
+            return Err(format!("unit {head} appears twice in one instruction"));
+        }
+        inst.slots.push(slot);
+        return Ok(());
+    }
+    Err(format!(
+        "unknown field `{head}` (not CTRL, a bus, or a unit of this machine)"
+    ))
+}
+
+/// Parse emitted assembly text back into a structured program.
+///
+/// The accepted grammar is exactly what `VliwProgram::render` prints;
+/// [`render_asm`] inverts this parse byte-identically.
+///
+/// # Errors
+///
+/// Returns a single `T001` diagnostic naming the offending line on any
+/// deviation from the emitted grammar.
+pub fn parse_asm(asm: &str, machine: &Machine) -> Result<AsmProgram, Diagnostic> {
+    let mut machine_name: Option<String> = None;
+    let mut instructions: Vec<AsmInstruction> = Vec::new();
+    let mut labels: Vec<(usize, usize)> = Vec::new();
+    for (ln, line) in asm.lines().enumerate() {
+        let fail = |msg: String| Diagnostic::new(Code::T001, format!("line {}", ln + 1), msg);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("; machine ") {
+            if machine_name.is_some() {
+                return Err(fail("duplicate machine header".to_string()));
+            }
+            machine_name = Some(rest.to_string());
+            continue;
+        }
+        if line.starts_with(';') {
+            continue;
+        }
+        if let Some(body) = line.strip_prefix("bb") {
+            if let Some(b) = body.strip_suffix(':') {
+                let b: usize = b
+                    .parse()
+                    .map_err(|_| fail(format!("bad block label `{line}`")))?;
+                labels.push((b, instructions.len()));
+                continue;
+            }
+            return Err(fail(format!("malformed label `{line}`")));
+        }
+        let trimmed = line.trim_start();
+        let (idx, rest) = trimmed
+            .split_once(": ")
+            .ok_or_else(|| fail(format!("malformed instruction line `{line}`")))?;
+        let idx: usize = idx
+            .parse()
+            .map_err(|_| fail(format!("bad instruction index `{idx}`")))?;
+        if idx != instructions.len() {
+            return Err(fail(format!(
+                "instruction index {idx} out of sequence (expected {})",
+                instructions.len()
+            )));
+        }
+        let inner = rest
+            .strip_prefix("{ ")
+            .and_then(|r| r.strip_suffix(" }"))
+            .ok_or_else(|| fail(format!("malformed instruction body `{rest}`")))?;
+        let mut inst = AsmInstruction::default();
+        if inner != "nop" {
+            for field in inner.split(" | ") {
+                parse_field(field, machine, &mut inst).map_err(&fail)?;
+            }
+        }
+        instructions.push(inst);
+    }
+    let machine_name = machine_name
+        .ok_or_else(|| Diagnostic::new(Code::T001, "line 1", "missing `; machine` header"))?;
+    Ok(AsmProgram {
+        machine_name,
+        instructions,
+        labels,
+    })
+}
+
+/// Re-render a parsed program in the emitter's grammar.
+///
+/// For any text produced by `VliwProgram::render`,
+/// `render_asm(parse_asm(text)) == text` byte for byte — the pin that
+/// locks the grammar the validator depends on.
+pub fn render_asm(prog: &AsmProgram, machine: &Machine) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; machine {}", prog.machine_name);
+    let mut li = 0usize;
+    for (i, inst) in prog.instructions.iter().enumerate() {
+        if li < prog.labels.len() && prog.labels[li].1 == i {
+            let _ = writeln!(out, "bb{}:", prog.labels[li].0);
+            li += 1;
+        }
+        let mut fields: Vec<String> = Vec::new();
+        for s in &inst.slots {
+            let opname = match s.opcode {
+                AsmOpcode::Basic(op) => op.mnemonic().to_string(),
+                AsmOpcode::Complex(ci) => machine.complexes()[ci].name.clone(),
+            };
+            let args: Vec<String> = s.args.iter().map(ToString::to_string).collect();
+            fields.push(format!(
+                "{}: {} {}, {}",
+                machine.units()[s.unit].name,
+                opname,
+                s.dst,
+                args.join(", ")
+            ));
+        }
+        for x in &inst.xfers {
+            let bus = &machine.buses()[x.bus].name;
+            let desc = match &x.kind {
+                AsmTransfer::Move { from, to } => format!("mov {to} <- {from}"),
+                AsmTransfer::LoadVar { addr, name, to } => {
+                    format!("ld {to} <- [{addr}] ;{name}")
+                }
+                AsmTransfer::StoreVar { value, addr, name } => {
+                    format!("st [{addr}] <- {value} ;{name}")
+                }
+                AsmTransfer::LoadDyn { addr, to } => format!("ld {to} <- [{addr}]"),
+                AsmTransfer::StoreDyn { addr, value } => format!("st [{addr}] <- {value}"),
+            };
+            fields.push(format!("{bus}: {desc}"));
+        }
+        if let Some(c) = &inst.control {
+            let desc = match c {
+                AsmControl::Jump(t) => format!("jmp @{t}"),
+                AsmControl::BranchNz { cond, target } => format!("bnz {cond}, @{target}"),
+                AsmControl::Return(Some(v)) => format!("ret {v}"),
+                AsmControl::Return(None) => "ret".to_string(),
+            };
+            fields.push(format!("CTRL: {desc}"));
+        }
+        if fields.is_empty() {
+            fields.push("nop".to_string());
+        }
+        let _ = writeln!(out, "  {i:4}: {{ {} }}", fields.join(" | "));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Hash-consed term graph
+// ---------------------------------------------------------------------
+
+type TermId = u32;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Term {
+    /// A literal constant.
+    Const(i64),
+    /// Block-entry content of the static memory cell at this address.
+    Cell(i64),
+    /// Block-entry dynamic memory (the root McCarthy array).
+    Mem0,
+    /// Block-entry register content — undefined by the inter-block value
+    /// model, so congruent to nothing but itself.
+    EntryReg(u32, u32),
+    /// An operation applied to argument terms.
+    App(Op, Vec<TermId>),
+    /// `select(mem, addr)`.
+    Select(TermId, TermId),
+    /// `store(mem, addr, value)`.
+    Store(TermId, TermId, TermId),
+}
+
+#[derive(Default)]
+struct Terms {
+    nodes: Vec<Term>,
+    map: HashMap<Term, TermId>,
+}
+
+impl Terms {
+    fn intern(&mut self, t: Term) -> TermId {
+        if let Some(&id) = self.map.get(&t) {
+            return id;
+        }
+        let id = u32::try_from(self.nodes.len()).expect("term graph exceeds u32 ids");
+        self.nodes.push(t.clone());
+        self.map.insert(t, id);
+        id
+    }
+
+    fn konst(&mut self, v: i64) -> TermId {
+        self.intern(Term::Const(v))
+    }
+
+    fn cell(&mut self, addr: i64) -> TermId {
+        self.intern(Term::Cell(addr))
+    }
+
+    /// Apply an operation with normalization: `mac` expands to
+    /// `add(mul(a, b), c)` and commutative operations sort their first
+    /// two operands, so semantically interchangeable covers land on the
+    /// same term.
+    fn app(&mut self, op: Op, mut args: Vec<TermId>) -> TermId {
+        if op == Op::Mac && args.len() == 3 {
+            let m = self.app(Op::Mul, vec![args[0], args[1]]);
+            return self.app(Op::Add, vec![m, args[2]]);
+        }
+        if op.is_commutative() && args.len() >= 2 && args[0] > args[1] {
+            args.swap(0, 1);
+        }
+        self.intern(Term::App(op, args))
+    }
+
+    /// `select` with the select-of-store simplification: a load of the
+    /// exact address just stored yields the stored value, and constant
+    /// addresses that provably differ skip past the store.
+    fn select(&mut self, mem: TermId, addr: TermId) -> TermId {
+        if let Term::Store(m, a, v) = &self.nodes[mem as usize] {
+            let (m, a, v) = (*m, *a, *v);
+            if a == addr {
+                return v;
+            }
+            if let (Term::Const(x), Term::Const(y)) =
+                (&self.nodes[a as usize], &self.nodes[addr as usize])
+            {
+                if x != y {
+                    return self.select(m, addr);
+                }
+            }
+        }
+        self.intern(Term::Select(mem, addr))
+    }
+
+    fn store(&mut self, mem: TermId, addr: TermId, value: TermId) -> TermId {
+        self.intern(Term::Store(mem, addr, value))
+    }
+}
+
+fn expand_pattern(terms: &mut Terms, pat: &PatTree, args: &[TermId]) -> TermId {
+    match pat {
+        PatTree::Arg(i) => args[*i],
+        PatTree::Op(op, subs) => {
+            let sub: Vec<TermId> = subs
+                .iter()
+                .map(|p| expand_pattern(terms, p, args))
+                .collect();
+            terms.app(*op, sub)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Source-side symbolic evaluation (mirrors the reference interpreter's
+// three-pass block semantics: Input snapshot, id-order evaluation with
+// immediate dynamic stores, deferred StoreVar write-backs).
+// ---------------------------------------------------------------------
+
+struct SrcExit {
+    /// Symbolic value of every DAG node (stores hold a dummy).
+    values: Vec<TermId>,
+    /// Block-exit static cells, only the written ones.
+    cells: HashMap<i64, TermId>,
+    /// Block-exit dynamic memory term.
+    mem: TermId,
+}
+
+fn eval_source_block(terms: &mut Terms, dag: &aviv_ir::BlockDag, layout: &MemLayout) -> SrcExit {
+    let dummy = terms.konst(0);
+    let mut values: Vec<TermId> = vec![dummy; dag.len()];
+    let mut mem = terms.intern(Term::Mem0);
+    let mut pending: Vec<(i64, TermId)> = Vec::new();
+    for (id, node) in dag.iter() {
+        let v = match node.op {
+            Op::Input => node.sym.map_or(dummy, |s| terms.cell(layout.addr(s))),
+            Op::Const => node.imm.map_or(dummy, |v| terms.konst(v)),
+            Op::Load => {
+                let a = values[node.args[0].index()];
+                terms.select(mem, a)
+            }
+            Op::Store => {
+                let a = values[node.args[0].index()];
+                let v = values[node.args[1].index()];
+                mem = terms.store(mem, a, v);
+                dummy
+            }
+            Op::StoreVar => {
+                if let Some(s) = node.sym {
+                    pending.push((layout.addr(s), values[node.args[0].index()]));
+                }
+                dummy
+            }
+            op => {
+                let args: Vec<TermId> = node.args.iter().map(|a| values[a.index()]).collect();
+                terms.app(op, args)
+            }
+        };
+        values[id.index()] = v;
+    }
+    let mut cells = HashMap::new();
+    for (a, v) in pending {
+        cells.insert(a, v);
+    }
+    SrcExit { values, cells, mem }
+}
+
+// ---------------------------------------------------------------------
+// Assembly-side symbolic evaluation (two-phase packet semantics: latch
+// every read before any write commits, exactly like the simulator).
+// ---------------------------------------------------------------------
+
+struct CellState {
+    term: TermId,
+    written: Option<usize>,
+}
+
+enum CtrlEval {
+    Jump(usize),
+    Bnz { cond: TermId, target: usize },
+    Ret(Option<TermId>),
+}
+
+struct AsmEval<'a> {
+    terms: &'a mut Terms,
+    machine: &'a Machine,
+    block: usize,
+    regs: HashMap<(u32, u32), TermId>,
+    cells: HashMap<i64, CellState>,
+    mem: TermId,
+    mem_written: Option<usize>,
+    controls: Vec<(usize, CtrlEval)>,
+    diags: Vec<Diagnostic>,
+}
+
+impl<'a> AsmEval<'a> {
+    fn new(terms: &'a mut Terms, machine: &'a Machine, block: usize) -> Self {
+        let mem = terms.intern(Term::Mem0);
+        AsmEval {
+            terms,
+            machine,
+            block,
+            regs: HashMap::new(),
+            cells: HashMap::new(),
+            mem,
+            mem_written: None,
+            controls: Vec::new(),
+            diags: Vec::new(),
+        }
+    }
+
+    fn read_reg(&mut self, r: AsmReg, pc: usize) -> TermId {
+        let key = (r.bank, r.index);
+        if let Some(&t) = self.regs.get(&key) {
+            return t;
+        }
+        // Block-entry register contents are undefined: values cross
+        // blocks only through memory, so this is always a defect.
+        self.diags.push(Diagnostic::new(
+            Code::T006,
+            format!("bb{}, packet {pc}", self.block),
+            format!("read of {r} before any write in this block"),
+        ));
+        let t = self.terms.intern(Term::EntryReg(r.bank, r.index));
+        self.regs.insert(key, t);
+        t
+    }
+
+    fn read_operand(&mut self, a: AsmOperand, pc: usize) -> TermId {
+        match a {
+            AsmOperand::Reg(r) => self.read_reg(r, pc),
+            AsmOperand::Imm(v) => self.terms.konst(v),
+        }
+    }
+
+    fn read_cell(&mut self, addr: i64) -> TermId {
+        if let Some(c) = self.cells.get(&addr) {
+            return c.term;
+        }
+        let t = self.terms.cell(addr);
+        self.cells.insert(
+            addr,
+            CellState {
+                term: t,
+                written: None,
+            },
+        );
+        t
+    }
+
+    fn step(&mut self, pc: usize, inst: &AsmInstruction) {
+        let mut reg_writes: Vec<((u32, u32), TermId)> = Vec::new();
+        let mut cell_writes: Vec<(i64, TermId)> = Vec::new();
+        let mut mem_writes: Vec<(TermId, TermId)> = Vec::new();
+        for slot in &inst.slots {
+            let args: Vec<TermId> = slot
+                .args
+                .iter()
+                .map(|&a| self.read_operand(a, pc))
+                .collect();
+            let v = match slot.opcode {
+                AsmOpcode::Basic(op) => self.terms.app(op, args),
+                AsmOpcode::Complex(ci) => {
+                    expand_pattern(self.terms, &self.machine.complexes()[ci].pattern, &args)
+                }
+            };
+            reg_writes.push(((slot.dst.bank, slot.dst.index), v));
+        }
+        for x in &inst.xfers {
+            match &x.kind {
+                AsmTransfer::Move { from, to } => {
+                    let v = self.read_reg(*from, pc);
+                    reg_writes.push(((to.bank, to.index), v));
+                }
+                AsmTransfer::LoadVar { addr, to, .. } => {
+                    let v = self.read_cell(*addr);
+                    reg_writes.push(((to.bank, to.index), v));
+                }
+                AsmTransfer::StoreVar { value, addr, .. } => {
+                    let v = self.read_operand(*value, pc);
+                    cell_writes.push((*addr, v));
+                }
+                AsmTransfer::LoadDyn { addr, to } => {
+                    let a = self.read_reg(*addr, pc);
+                    let v = self.terms.select(self.mem, a);
+                    reg_writes.push(((to.bank, to.index), v));
+                }
+                AsmTransfer::StoreDyn { addr, value } => {
+                    let a = self.read_reg(*addr, pc);
+                    let v = self.read_reg(*value, pc);
+                    mem_writes.push((a, v));
+                }
+            }
+        }
+        if let Some(c) = &inst.control {
+            let ev = match c {
+                AsmControl::Jump(t) => CtrlEval::Jump(*t),
+                AsmControl::BranchNz { cond, target } => CtrlEval::Bnz {
+                    cond: self.read_operand(*cond, pc),
+                    target: *target,
+                },
+                AsmControl::Return(v) => CtrlEval::Ret(v.map(|o| self.read_operand(o, pc))),
+            };
+            self.controls.push((pc, ev));
+        }
+        for (k, v) in reg_writes {
+            self.regs.insert(k, v);
+        }
+        for (a, v) in cell_writes {
+            self.cells.insert(
+                a,
+                CellState {
+                    term: v,
+                    written: Some(pc),
+                },
+            );
+        }
+        for (a, v) in mem_writes {
+            self.mem = self.terms.store(self.mem, a, v);
+            self.mem_written = Some(pc);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validation driver
+// ---------------------------------------------------------------------
+
+/// The outcome of validating one emitted program against its source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TvReport {
+    /// Findings; empty means every obligation discharged.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of blocks checked.
+    pub blocks: usize,
+    /// Number of congruence obligations discharged or refuted.
+    pub obligations: usize,
+}
+
+impl TvReport {
+    /// True when the program validated clean.
+    pub fn ok(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Reconstruct every block's first instruction index from the printed
+/// labels: the emitter labels only the first block at a shared start,
+/// so an unlabeled block inherits its predecessor's start (it emitted
+/// nothing and falls through).
+fn block_starts(prog: &AsmProgram, n_blocks: usize) -> Result<Vec<usize>, Diagnostic> {
+    let n_inst = prog.instructions.len();
+    if n_inst == 0 {
+        return Err(Diagnostic::new(
+            Code::T002,
+            "program",
+            "emitted program has no instructions",
+        ));
+    }
+    let mut prev: Option<(usize, usize)> = None;
+    for &(b, i) in &prog.labels {
+        if b >= n_blocks {
+            return Err(Diagnostic::new(
+                Code::T002,
+                format!("bb{b}"),
+                format!("label outside the source function ({n_blocks} blocks)"),
+            ));
+        }
+        if i >= n_inst {
+            return Err(Diagnostic::new(
+                Code::T002,
+                format!("bb{b}"),
+                "label beyond the last instruction",
+            ));
+        }
+        if let Some((pb, pi)) = prev {
+            if b <= pb || i <= pi {
+                return Err(Diagnostic::new(
+                    Code::T002,
+                    format!("bb{b}"),
+                    format!("labels out of order (after bb{pb})"),
+                ));
+            }
+        }
+        prev = Some((b, i));
+    }
+    let labeled: HashMap<usize, usize> = prog.labels.iter().copied().collect();
+    if labeled.get(&0) != Some(&0) {
+        return Err(Diagnostic::new(
+            Code::T002,
+            "bb0",
+            "entry block must be labeled at instruction 0",
+        ));
+    }
+    let mut starts = vec![0usize; n_blocks];
+    for b in 1..n_blocks {
+        starts[b] = labeled.get(&b).copied().unwrap_or(starts[b - 1]);
+    }
+    Ok(starts)
+}
+
+/// Validate emitted assembly against its source function, statically.
+///
+/// Re-parses `asm`, replays dead-code elimination on a clone of `f`
+/// (mirroring the compile pipeline's default liveness preamble), then
+/// symbolically executes both sides block by block and reports every
+/// refuted congruence obligation as a `T`-coded [`Diagnostic`].
+///
+/// An empty `diagnostics` list is a proof — covering every named
+/// variable, the dynamic-memory state, every branch condition and
+/// return value, and the control structure of every block — that the
+/// emitted program computes what the source computes under the
+/// inter-block value model.
+pub fn validate_asm(f: &Function, asm: &str, machine: &Machine) -> TvReport {
+    let mut report = TvReport {
+        diagnostics: Vec::new(),
+        blocks: 0,
+        obligations: 0,
+    };
+    let prog = match parse_asm(asm, machine) {
+        Ok(p) => p,
+        Err(d) => {
+            report.diagnostics.push(d);
+            return report;
+        }
+    };
+    if prog.machine_name != machine.name {
+        report.diagnostics.push(Diagnostic::new(
+            Code::T001,
+            "header",
+            format!(
+                "assembly targets machine `{}`, expected `{}`",
+                prog.machine_name, machine.name
+            ),
+        ));
+        return report;
+    }
+    // The compiled artifact corresponds to the post-DCE source: replay
+    // the pipeline's liveness preamble (every named variable observable).
+    let mut src = f.clone();
+    let observable: Vec<Sym> = src.syms.iter().map(|(s, _)| s).collect();
+    let _ = eliminate_dead_code(&mut src, &observable);
+    let layout = MemLayout::for_function(&src);
+    let starts = match block_starts(&prog, src.blocks.len()) {
+        Ok(s) => s,
+        Err(d) => {
+            report.diagnostics.push(d);
+            return report;
+        }
+    };
+    let mut terms = Terms::default();
+    for b in 0..src.blocks.len() {
+        let end = if b + 1 < src.blocks.len() {
+            starts[b + 1]
+        } else {
+            prog.instructions.len()
+        };
+        validate_block(
+            &mut terms,
+            machine,
+            &src,
+            b,
+            &layout,
+            &prog,
+            &starts,
+            starts[b]..end,
+            &mut report,
+        );
+        report.blocks += 1;
+    }
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn validate_block(
+    terms: &mut Terms,
+    machine: &Machine,
+    src: &Function,
+    b: usize,
+    layout: &MemLayout,
+    prog: &AsmProgram,
+    starts: &[usize],
+    range: std::ops::Range<usize>,
+    report: &mut TvReport,
+) {
+    let block = &src.blocks[b];
+    let src_exit = eval_source_block(terms, &block.dag, layout);
+    let mut eval = AsmEval::new(terms, machine, b);
+    for pc in range.clone() {
+        eval.step(pc, &prog.instructions[pc]);
+    }
+    let AsmEval {
+        cells: asm_cells,
+        mem: asm_mem,
+        mem_written,
+        controls,
+        diags,
+        ..
+    } = eval;
+    report.diagnostics.extend(diags);
+
+    // Control structure and control-operand congruence.
+    let end = range.end;
+    match &block.term {
+        Terminator::Jump(t) => {
+            let ti = t.index();
+            if ti == b + 1 {
+                if !controls.is_empty() {
+                    report.diagnostics.push(Diagnostic::new(
+                        Code::T002,
+                        format!("bb{b}"),
+                        "fall-through block must not emit a control op",
+                    ));
+                }
+            } else {
+                let want = starts[ti];
+                match controls.as_slice() {
+                    [(pc, CtrlEval::Jump(tgt))] if pc + 1 == end && *tgt == want => {}
+                    _ => report.diagnostics.push(Diagnostic::new(
+                        Code::T002,
+                        format!("bb{b}"),
+                        format!("expected a final `jmp @{want}` (to bb{ti})"),
+                    )),
+                }
+            }
+        }
+        Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            let want_t = starts[if_true.index()];
+            let shape_ok = if if_false.index() == b + 1 {
+                matches!(controls.as_slice(),
+                    [(pc, CtrlEval::Bnz { target, .. })] if pc + 1 == end && *target == want_t)
+            } else {
+                let want_f = starts[if_false.index()];
+                matches!(controls.as_slice(),
+                    [(p1, CtrlEval::Bnz { target, .. }), (p2, CtrlEval::Jump(t2))]
+                        if p1 + 2 == end && p2 + 1 == end && *target == want_t && *t2 == want_f)
+            };
+            if shape_ok {
+                if let Some((pc, CtrlEval::Bnz { cond: asm_c, .. })) = controls.first() {
+                    report.obligations += 1;
+                    if src_exit.values[cond.index()] != *asm_c {
+                        report.diagnostics.push(Diagnostic::new(
+                            Code::T005,
+                            format!("bb{b}, packet {pc}"),
+                            "branch condition diverges from its source term",
+                        ));
+                    }
+                }
+            } else {
+                report.diagnostics.push(Diagnostic::new(
+                    Code::T002,
+                    format!("bb{b}"),
+                    format!(
+                        "expected `bnz .., @{want_t}` (to bb{}) closing the block",
+                        if_true.index()
+                    ),
+                ));
+            }
+        }
+        Terminator::Return(v) => match (controls.as_slice(), v) {
+            ([(pc, CtrlEval::Ret(av))], sv) if pc + 1 == end => match (sv, av) {
+                (None, None) => {}
+                (Some(n), Some(a)) => {
+                    report.obligations += 1;
+                    if src_exit.values[n.index()] != *a {
+                        report.diagnostics.push(Diagnostic::new(
+                            Code::T005,
+                            format!("bb{b}, packet {pc}"),
+                            "return value diverges from its source term",
+                        ));
+                    }
+                }
+                _ => report.diagnostics.push(Diagnostic::new(
+                    Code::T002,
+                    format!("bb{b}"),
+                    "return operand presence differs from the source",
+                )),
+            },
+            _ => report.diagnostics.push(Diagnostic::new(
+                Code::T002,
+                format!("bb{b}"),
+                "expected a final `ret` closing the block",
+            )),
+        },
+    }
+
+    // Named-variable obligations: every non-internal variable's
+    // block-exit cell must be congruent. Spill slots (`__` names) are
+    // compiler-internal and unobservable.
+    for (sym, name) in src.syms.iter() {
+        if name.starts_with("__") {
+            continue;
+        }
+        let addr = layout.addr(sym);
+        let s = src_exit
+            .cells
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| terms.cell(addr));
+        let (a, wpc) = asm_cells
+            .get(&addr)
+            .map_or_else(|| (terms.cell(addr), None), |c| (c.term, c.written));
+        report.obligations += 1;
+        if s != a {
+            let at = wpc.map_or_else(
+                || "never stored by the emitted code".to_string(),
+                |pc| format!("first divergent packet {pc}"),
+            );
+            report.diagnostics.push(Diagnostic::new(
+                Code::T003,
+                format!("bb{b}, variable {name}"),
+                format!("block-exit value diverges from its source term ({at})"),
+            ));
+        }
+    }
+
+    // Dynamic-memory obligation.
+    report.obligations += 1;
+    if src_exit.mem != asm_mem {
+        let at = mem_written.map_or_else(
+            || "no dynamic store emitted".to_string(),
+            |pc| format!("first divergent packet {pc}"),
+        );
+        report.diagnostics.push(Diagnostic::new(
+            Code::T004,
+            format!("bb{b}"),
+            format!("dynamic-memory state diverges from its source term ({at})"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aviv_ir::parse_function;
+    use aviv_isdl::MachineBuilder;
+
+    fn tiny_machine() -> Machine {
+        let mut mb = MachineBuilder::new("M");
+        let u1 = mb.unit("U1", &[Op::Add, Op::Sub, Op::Mul, Op::CmpGt], 4);
+        mb.bus("DB", &[u1], true, 1);
+        mb.build().unwrap()
+    }
+
+    const TINY_ASM: &str = "; machine M\n\
+bb0:\n\
+\x20    0: { DB: ld r0.0 <- [0] ;a }\n\
+\x20    1: { DB: ld r0.1 <- [1] ;b }\n\
+\x20    2: { U1: mul r0.2, r0.0, r0.1 }\n\
+\x20    3: { DB: st [3] <- r0.2 ;x }\n\
+\x20    4: { CTRL: ret r0.2 }\n";
+
+    fn tiny_function() -> Function {
+        parse_function("func f(a, b) { x = a * b; return x; }").unwrap()
+    }
+
+    #[test]
+    fn handwritten_program_validates() {
+        let m = tiny_machine();
+        let r = validate_asm(&tiny_function(), TINY_ASM, &m);
+        assert!(r.ok(), "{:?}", r.diagnostics);
+        assert_eq!(r.blocks, 1);
+        assert!(r.obligations >= 4); // x, a, b, mem, ret
+    }
+
+    #[test]
+    fn parse_render_round_trips_bytes() {
+        let m = tiny_machine();
+        let p = parse_asm(TINY_ASM, &m).unwrap();
+        assert_eq!(render_asm(&p, &m), TINY_ASM);
+    }
+
+    #[test]
+    fn swapped_noncommutative_operands_are_caught() {
+        let m = tiny_machine();
+        let f = parse_function("func f(a, b) { x = a - b; return x; }").unwrap();
+        let asm = TINY_ASM.replace("mul r0.2, r0.0, r0.1", "sub r0.2, r0.1, r0.0");
+        let r = validate_asm(&f, &asm, &m);
+        assert!(
+            r.diagnostics.iter().any(|d| d.code == Code::T003),
+            "{:?}",
+            r.diagnostics
+        );
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::T005));
+    }
+
+    #[test]
+    fn commutative_operand_swap_is_congruent() {
+        let m = tiny_machine();
+        let asm = TINY_ASM.replace("mul r0.2, r0.0, r0.1", "mul r0.2, r0.1, r0.0");
+        let r = validate_asm(&tiny_function(), &asm, &m);
+        assert!(r.ok(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn dropped_transfer_is_caught() {
+        let m = tiny_machine();
+        let asm = TINY_ASM.replace("{ DB: st [3] <- r0.2 ;x }", "{ nop }");
+        let r = validate_asm(&tiny_function(), &asm, &m);
+        assert!(
+            r.diagnostics.iter().any(|d| d.code == Code::T003),
+            "{:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn uninitialized_register_read_is_caught() {
+        let m = tiny_machine();
+        let asm = TINY_ASM.replace("CTRL: ret r0.2", "CTRL: ret r0.3");
+        let r = validate_asm(&tiny_function(), &asm, &m);
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::T006));
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::T005));
+    }
+
+    #[test]
+    fn garbage_fails_to_parse_with_t001() {
+        let m = tiny_machine();
+        let r = validate_asm(&tiny_function(), "; machine M\n     0: { XX: frob }\n", &m);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].code, Code::T001);
+    }
+
+    #[test]
+    fn mac_normalizes_to_add_mul() {
+        let mut t = Terms::default();
+        let (a, b, c) = (t.konst(1), t.konst(2), t.konst(3));
+        let mac = t.app(Op::Mac, vec![a, b, c]);
+        let mul = t.app(Op::Mul, vec![a, b]);
+        let add = t.app(Op::Add, vec![mul, c]);
+        assert_eq!(mac, add);
+    }
+
+    #[test]
+    fn select_of_store_simplifies() {
+        let mut t = Terms::default();
+        let m0 = t.intern(Term::Mem0);
+        let (a, v) = (t.konst(2000), t.konst(7));
+        let m1 = t.store(m0, a, v);
+        assert_eq!(t.select(m1, a), v);
+        let b = t.konst(3000);
+        let through = t.select(m1, b);
+        assert_eq!(through, t.select(m0, b));
+    }
+}

@@ -10,6 +10,7 @@
 //! failure (rather than silently-wrong code) when the verifier audits
 //! each stage boundary.
 
+use aviv::verify::{validate_asm, Code};
 use aviv::{
     CodeGenerator, CodegenError, CodegenOptions, CoverMode, Exhaustion, FaultConfig, FaultKind,
     Stage, INJECTED_PANIC,
@@ -188,8 +189,23 @@ proptest! {
         let options = CodegenOptions::heuristics_on()
             .with_verify(true)
             .with_fuel(Some(fuel));
-        check_function(&f, pick_arch(arch_pick), options, &[a0, a1, a2], &[])
+        check_function(&f, pick_arch(arch_pick), options.clone(), &[a0, a1, a2], &[])
             .map_err(|e| TestCaseError::fail(format!("fuel {fuel}: {e}")))?;
+
+        // Degraded-ladder outputs must also pass static translation
+        // validation, not just the dynamic oracle.
+        let machine = pick_arch(arch_pick);
+        let gen = CodeGenerator::new(machine.clone()).options(options);
+        let (program, _) = gen
+            .compile_function(&f)
+            .map_err(|e| TestCaseError::fail(format!("fuel {fuel}: compile: {e}")))?;
+        let tv = validate_asm(&f, &program.render(gen.target()), &machine);
+        prop_assert!(
+            tv.ok(),
+            "fuel {}: degraded output failed translation validation: {:?}",
+            fuel,
+            tv.diagnostics
+        );
     }
 }
 
@@ -213,12 +229,27 @@ proptest! {
         match check_function(
             &f,
             archs::example_arch(4),
-            faulty_options(faults),
+            faulty_options(faults.clone()),
             &[a0, a1, 7],
             &[],
         ) {
             Ok(()) | Err(DiffError::Compile(_)) => {}
             Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+        }
+
+        // Same invariant, statically: any compile that reports success
+        // under injection must pass translation validation.
+        let machine = archs::example_arch(4);
+        let gen = CodeGenerator::new(machine.clone()).options(faulty_options(faults));
+        if let Ok((program, _)) = catch_unwind(AssertUnwindSafe(|| gen.compile_function(&f)))
+            .expect("no panic may escape compile_function")
+        {
+            let tv = validate_asm(&f, &program.render(gen.target()), &machine);
+            prop_assert!(
+                tv.ok(),
+                "faulty compile reported success but failed validation: {:?}",
+                tv.diagnostics
+            );
         }
     }
 }
@@ -320,6 +351,25 @@ fn exhaustion_at_emission_is_a_budget_error() {
         matches!(result, Err(CodegenError::Budget(Exhaustion::Injected))),
         "{result:?}"
     );
+}
+
+#[test]
+fn malformed_allocation_at_emission_is_a_structured_c006() {
+    // Emission-stage corruption strikes after planning, where no ladder
+    // rung can retry: the hardened emitter must refuse the malformed
+    // allocation with a C006 diagnostic instead of panicking.
+    let faults = FaultConfig::seeded(0)
+        .every(1)
+        .at_stage(Stage::Emit)
+        .of_kind(FaultKind::Malform);
+    let result = compile_isolated(&branchy(), archs::example_arch(4), faulty_options(faults));
+    match result {
+        Err(CodegenError::Internal(d)) => {
+            assert_eq!(d.code, Code::C006, "{d:?}");
+            assert!(d.message.contains("no allocated register"), "{d:?}");
+        }
+        other => panic!("expected Internal(C006) at emission, got {other:?}"),
+    }
 }
 
 #[test]

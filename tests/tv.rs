@@ -1,0 +1,331 @@
+//! Translation-validation capstone: for every bundled machine×program
+//! pair — and for random functions on every bundled machine — the
+//! emitted assembly must (1) survive a byte-identical parse→re-emit
+//! round trip and (2) be statically proven congruent to its source by
+//! `aviv_verify::tv`, at every worker count, cold and cache-warm, and
+//! under spill-all starvation budgets. Seeded bad mutations of real
+//! output must each be caught with their pinned `T` code.
+
+use aviv::verify::{parse_asm, render_asm, validate_asm, Code, TvReport};
+use aviv::{CodeGenerator, CodegenOptions, PlanCache};
+use aviv_ir::randdag::{random_function, RandDagConfig};
+use aviv_ir::{parse_function, Function, Op};
+use aviv_isdl::{parse_machine, Machine};
+use aviv_vm::check_function;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn asset(name: &str) -> String {
+    std::fs::read_to_string(format!("{}/assets/{name}", env!("CARGO_MANIFEST_DIR")))
+        .unwrap_or_else(|e| panic!("cannot read bundled asset {name}: {e}"))
+}
+
+fn bundled_machines() -> Vec<(&'static str, Machine)> {
+    ["fig3.isdl", "archII.isdl", "dsp_mac.isdl"]
+        .into_iter()
+        .map(|n| (n, parse_machine(&asset(n)).expect("bundled machine parses")))
+        .collect()
+}
+
+fn bundled_programs() -> Vec<(&'static str, Function)> {
+    ["dot4.av", "sum_loop.av"]
+        .into_iter()
+        .map(|n| {
+            (
+                n,
+                parse_function(&asset(n)).expect("bundled program parses"),
+            )
+        })
+        .collect()
+}
+
+/// Compile `f` and return the rendered assembly.
+fn compile(f: &Function, machine: Machine, options: CodegenOptions) -> String {
+    let generator = CodeGenerator::new(machine).options(options);
+    let (program, _) = generator
+        .compile_function(f)
+        .expect("bundled pair compiles");
+    program.render(generator.target())
+}
+
+fn assert_clean(report: &TvReport, context: &str) {
+    assert!(
+        report.ok(),
+        "{context}: validation failed:\n{:?}",
+        report.diagnostics
+    );
+    assert!(report.blocks > 0, "{context}: no blocks checked");
+    assert!(
+        report.obligations > 0,
+        "{context}: no obligations discharged"
+    );
+}
+
+#[test]
+fn bundled_pairs_round_trip_and_validate_at_every_worker_count() {
+    for (mn, machine) in bundled_machines() {
+        for (pn, f) in bundled_programs() {
+            for jobs in [1usize, 4, 0] {
+                let options = CodegenOptions::heuristics_on().with_jobs(jobs);
+                let asm = compile(&f, machine.clone(), options);
+                let context = format!("{mn}×{pn} jobs={jobs}");
+
+                // Satellite pin: the emitted grammar is exactly what the
+                // parser understands — parse-then-re-emit is the identity
+                // on bytes.
+                let parsed = parse_asm(&asm, &machine)
+                    .unwrap_or_else(|d| panic!("{context}: parse failed: {d:?}"));
+                assert_eq!(render_asm(&parsed, &machine), asm, "{context}: round trip");
+
+                assert_clean(&validate_asm(&f, &asm, &machine), &context);
+            }
+        }
+    }
+}
+
+#[test]
+fn spill_all_degraded_compiles_still_validate() {
+    for (mn, machine) in bundled_machines() {
+        for (pn, f) in bundled_programs() {
+            let options = CodegenOptions::heuristics_on().with_fuel(Some(1));
+            let asm = compile(&f, machine.clone(), options);
+            let context = format!("{mn}×{pn} fuel=1");
+            let parsed = parse_asm(&asm, &machine)
+                .unwrap_or_else(|d| panic!("{context}: parse failed: {d:?}"));
+            assert_eq!(render_asm(&parsed, &machine), asm, "{context}: round trip");
+            assert_clean(&validate_asm(&f, &asm, &machine), &context);
+        }
+    }
+}
+
+#[test]
+fn cache_warm_compiles_validate_identically() {
+    let cache = Arc::new(PlanCache::new(256));
+    for (mn, machine) in bundled_machines() {
+        for (pn, f) in bundled_programs() {
+            let context = format!("{mn}×{pn}");
+            let mut rendered = Vec::new();
+            for round in ["cold", "warm"] {
+                let generator = CodeGenerator::new(machine.clone())
+                    .options(CodegenOptions::heuristics_on())
+                    .with_cache(Arc::clone(&cache));
+                let (program, report) = generator
+                    .compile_function(&f)
+                    .expect("bundled pair compiles");
+                if round == "warm" {
+                    assert!(
+                        report.cache_hits > 0,
+                        "{context}: warm run missed the cache"
+                    );
+                }
+                let asm = program.render(generator.target());
+                assert_clean(
+                    &validate_asm(&f, &asm, &machine),
+                    &format!("{context} {round}"),
+                );
+                rendered.push(asm);
+            }
+            assert_eq!(
+                rendered[0], rendered[1],
+                "{context}: cache changed the bytes"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded bad-mutation corpus: each mutation of real emitted output must
+// be caught with its pinned `T` code.
+// ---------------------------------------------------------------------
+
+fn fig3() -> Machine {
+    parse_machine(&asset("fig3.isdl")).unwrap()
+}
+
+fn compiled_pair(program: &str) -> (Function, String) {
+    let f = parse_function(&asset(program)).unwrap();
+    let asm = compile(&f, fig3(), CodegenOptions::heuristics_on());
+    (f, asm)
+}
+
+/// Swap the `{ ... }` bodies of instructions `i` and `j` (the printed
+/// indices stay in place, so the mutation reorders the packets' work).
+fn swap_bodies(asm: &str, i: usize, j: usize) -> String {
+    let body_of = |line: &str| line.split_once(": {").map(|(_, b)| format!("{{{b}"));
+    let mut lines: Vec<String> = asm.lines().map(str::to_string).collect();
+    let (mut bi, mut bj) = (None, None);
+    for (li, line) in lines.iter().enumerate() {
+        if line.trim_start().starts_with(&format!("{i}: {{")) {
+            bi = Some(li);
+        }
+        if line.trim_start().starts_with(&format!("{j}: {{")) {
+            bj = Some(li);
+        }
+    }
+    let (bi, bj) = (
+        bi.expect("instruction i present"),
+        bj.expect("instruction j present"),
+    );
+    let body_i = body_of(&lines[bi]).unwrap();
+    let body_j = body_of(&lines[bj]).unwrap();
+    lines[bi] = format!("  {i:4}: {body_j}");
+    lines[bj] = format!("  {j:4}: {body_i}");
+    lines.join("\n") + "\n"
+}
+
+fn codes(report: &TvReport) -> Vec<Code> {
+    report.diagnostics.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn swapped_branch_condition_operands_are_caught() {
+    // sum_loop's loop test is `cmpge i, n`; swapping the operands of a
+    // non-commutative comparison changes the branch condition.
+    let (f, asm) = compiled_pair("sum_loop.av");
+    let line = asm
+        .lines()
+        .find(|l| l.contains("cmpge "))
+        .expect("sum_loop compiles to a cmpge");
+    let (head, args) = line.split_once("cmpge ").unwrap();
+    let parts: Vec<&str> = args.trim_end_matches(" }").split(", ").collect();
+    assert_eq!(parts.len(), 3, "{line}");
+    let swapped = format!("{head}cmpge {}, {}, {} }}", parts[0], parts[2], parts[1]);
+    let mutated = asm.replace(line, &swapped);
+    assert_ne!(mutated, asm);
+    let report = validate_asm(&f, &mutated, &fig3());
+    assert!(
+        codes(&report).contains(&Code::T005),
+        "expected T005 (branch-condition divergence), got {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn dropped_store_transfer_is_caught() {
+    // Erase the packet that stores `acc` back to memory: the exit-live
+    // variable is never written by the emitted code.
+    let (f, asm) = compiled_pair("dot4.av");
+    let line = asm
+        .lines()
+        .find(|l| l.contains(";acc"))
+        .expect("dot4 stores acc");
+    let (head, _) = line.split_once('{').unwrap();
+    let mutated = asm.replace(line, &format!("{head}{{ nop }}"));
+    let report = validate_asm(&f, &mutated, &fig3());
+    assert!(
+        codes(&report).contains(&Code::T003),
+        "expected T003 (named-variable divergence), got {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn reordered_packets_are_caught() {
+    // Swapping two dependent packets changes the dataflow: a value is
+    // consumed before the packet that produces it has run.
+    let (f, asm) = compiled_pair("dot4.av");
+    let mutated = swap_bodies(&asm, 1, 2);
+    let report = validate_asm(&f, &mutated, &fig3());
+    assert!(
+        !report.ok(),
+        "reordered packets validated clean:\n{mutated}"
+    );
+    let got = codes(&report);
+    assert!(
+        got.contains(&Code::T006) || got.contains(&Code::T003) || got.contains(&Code::T005),
+        "expected a dataflow divergence, got {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn retargeted_jump_is_caught_as_control_mismatch() {
+    let (f, asm) = compiled_pair("sum_loop.av");
+    assert!(asm.contains("jmp @2"), "{asm}");
+    let mutated = asm.replace("jmp @2", "jmp @3");
+    let report = validate_asm(&f, &mutated, &fig3());
+    assert!(
+        codes(&report).contains(&Code::T002),
+        "expected T002 (control-structure mismatch), got {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn garbage_assembly_is_a_parse_error() {
+    let (f, asm) = compiled_pair("dot4.av");
+    let mutated = asm.replace("mul", "frobnicate");
+    let report = validate_asm(&f, &mutated, &fig3());
+    assert!(
+        codes(&report).contains(&Code::T001),
+        "expected T001 (parse error), got {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn wrong_machine_header_is_rejected() {
+    let (f, asm) = compiled_pair("dot4.av");
+    let mutated = asm.replace("; machine Example", "; machine Elsewhere");
+    let report = validate_asm(&f, &mutated, &fig3());
+    assert!(
+        codes(&report).contains(&Code::T001),
+        "expected T001 (machine-name mismatch), got {:?}",
+        report.diagnostics
+    );
+}
+
+// ---------------------------------------------------------------------
+// Validator-vs-oracle agreement: on random functions across every
+// bundled machine and worker count, the static verdict must agree with
+// the VM differential oracle.
+// ---------------------------------------------------------------------
+
+fn rand_cfg(n_ops: usize) -> RandDagConfig {
+    RandDagConfig {
+        n_ops,
+        n_inputs: 3,
+        ops: vec![Op::Add, Op::Sub, Op::Mul, Op::Add],
+        n_outputs: 2,
+        locality: 0.5,
+        const_prob: 0.2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn validator_agrees_with_vm_oracle_on_random_functions(
+        seed in 0u64..100_000,
+        n_blocks in 1usize..5,
+        n_ops in 2usize..10,
+        machine_pick in 0usize..3,
+        jobs_pick in 0usize..3,
+        a0 in -1000i64..1000,
+        a1 in -1000i64..1000,
+        a2 in -1000i64..1000,
+    ) {
+        let (name, machine) = bundled_machines().swap_remove(machine_pick);
+        let jobs = [1usize, 4, 0][jobs_pick];
+        let f = random_function(&rand_cfg(n_ops), n_blocks, seed);
+        let options = CodegenOptions::heuristics_on().with_jobs(jobs);
+
+        // Static verdict: the emitted assembly is congruent to the source.
+        let generator = CodeGenerator::new(machine.clone()).options(options.clone());
+        let (program, _) = generator
+            .compile_function(&f)
+            .map_err(|e| TestCaseError::fail(format!("{name}: compile: {e}")))?;
+        let asm = program.render(generator.target());
+        let tv = validate_asm(&f, &asm, &machine);
+        prop_assert!(
+            tv.ok(),
+            "{}: validator refuted a compile the generator claims correct: {:?}",
+            name,
+            tv.diagnostics
+        );
+
+        // Dynamic verdict: the VM differential oracle must agree.
+        check_function(&f, machine, options, &[a0, a1, a2], &[])
+            .map_err(|e| TestCaseError::fail(format!("{name}: oracle disagrees: {e}")))?;
+    }
+}
