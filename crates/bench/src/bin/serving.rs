@@ -7,14 +7,20 @@
 //! block answered from cache), asserting along the way that the warm
 //! bytes are identical to the cold bytes.
 //!
+//! A third temperature, *restart*, measures the crash-safe persistence
+//! path: the primed cache is snapshotted to disk once, and each
+//! measured compile pays a fresh cache + [`aviv::load_snapshot`] +
+//! compile — the cost of an `avivd --persist` restart's first request.
+//!
 //! Flags: `--json [dir]` additionally writes a `BENCH_serving.json`
-//! snapshot (two rows per pair, `<program>:cold` and `<program>:warm`,
-//! with `cache_hits`/`cache_misses` recorded per row); `--check`
-//! enforces the serving acceptance gate — warm passes are 100% cache
-//! hits and at least [`REQUIRED_SPEEDUP`]× faster than cold — and
-//! exits nonzero otherwise.
+//! snapshot (three rows per pair — `<program>:cold`, `<program>:warm`,
+//! `<program>:restart` — with `cache_hits`/`cache_misses` recorded per
+//! row); `--check` enforces the serving acceptance gates — warm and
+//! restart passes are 100% cache hits, warm is at least
+//! [`REQUIRED_SPEEDUP`]× faster than cold, restart at least
+//! [`REQUIRED_RESTART_SPEEDUP`]× — and exits nonzero otherwise.
 
-use aviv::{CodeGenerator, CodegenOptions, PlanCache};
+use aviv::{load_snapshot, save_snapshot, CodeGenerator, CodegenOptions, LoadOutcome, PlanCache};
 use aviv_ir::parse_function;
 use aviv_isdl::parse_machine;
 use std::fmt::Write as _;
@@ -30,6 +36,10 @@ const ITERATIONS: u32 = 20;
 /// lower than cold.
 const REQUIRED_SPEEDUP: f64 = 5.0;
 
+/// `--check` fails when a restart (snapshot load + all-hits compile) is
+/// not at least this many times faster than a cold compile.
+const REQUIRED_RESTART_SPEEDUP: f64 = 2.0;
+
 struct PairResult {
     program: String,
     machine: String,
@@ -42,6 +52,9 @@ struct PairResult {
     warm_ms: f64,
     warm_hits: usize,
     warm_misses: usize,
+    restart_ms: f64,
+    restart_hits: usize,
+    restart_misses: usize,
     bytes_match: bool,
 }
 
@@ -98,6 +111,37 @@ fn measure_pair(prog_name: &str, machine_name: &str) -> PairResult {
     let warm_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(ITERATIONS);
     let warm_report = warm_report.expect("at least one iteration");
 
+    // Restart: snapshot the primed cache once, then pay snapshot load +
+    // all-hits compile per iteration — a persisted server's first
+    // request after a restart.
+    let snap = std::env::temp_dir().join(format!(
+        "aviv_bench_serving_{}_{prog_name}_{machine_name}.avivcache",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&snap);
+    save_snapshot(&snap, &cache).expect("snapshot saves");
+    let mut restart_asm = Vec::new();
+    let mut restart_report = None;
+    let t0 = Instant::now();
+    for _ in 0..ITERATIONS {
+        let restored = Arc::new(PlanCache::default());
+        match load_snapshot(&snap, &restored).expect("snapshot reads") {
+            LoadOutcome::Loaded { .. } => {}
+            other => panic!("snapshot failed to restore: {other:?}"),
+        }
+        let generator = CodeGenerator::with_shared_target(Arc::clone(&target))
+            .options(options())
+            .with_cache(restored);
+        let (program, r) = generator
+            .compile_function(&function)
+            .expect("restart compile");
+        restart_asm = program.render(generator.target()).into_bytes();
+        restart_report = Some(r);
+    }
+    let restart_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(ITERATIONS);
+    let restart_report = restart_report.expect("at least one iteration");
+    let _ = std::fs::remove_file(&snap);
+
     PairResult {
         program: prog_name.to_string(),
         machine: machine_name.to_string(),
@@ -115,7 +159,10 @@ fn measure_pair(prog_name: &str, machine_name: &str) -> PairResult {
         warm_ms,
         warm_hits: warm_report.cache_hits,
         warm_misses: warm_report.cache_misses,
-        bytes_match: cold_asm == warm_asm,
+        restart_ms,
+        restart_hits: restart_report.cache_hits,
+        restart_misses: restart_report.cache_misses,
+        bytes_match: cold_asm == warm_asm && cold_asm == restart_asm,
     }
 }
 
@@ -137,6 +184,7 @@ fn to_json(results: &[PairResult]) -> String {
         for (temp, wall_ms, hits, misses) in [
             ("cold", r.cold_ms, 0usize, r.blocks),
             ("warm", r.warm_ms, r.warm_hits, r.warm_misses),
+            ("restart", r.restart_ms, r.restart_hits, r.restart_misses),
         ] {
             if !first {
                 out.push(',');
@@ -173,18 +221,19 @@ fn main() {
     let programs = ["sum_loop", "dot4"];
     let mut results = Vec::new();
     println!(
-        "{:22} | {:>9} | {:>9} | {:>8} | {:>10}",
-        "pair", "cold ms", "warm ms", "speedup", "warm cache"
+        "{:22} | {:>9} | {:>9} | {:>10} | {:>8} | {:>10}",
+        "pair", "cold ms", "warm ms", "restart ms", "speedup", "warm cache"
     );
-    println!("{}", "-".repeat(70));
+    println!("{}", "-".repeat(84));
     for m in machines {
         for p in programs {
             let r = measure_pair(p, m);
             println!(
-                "{:22} | {:>9.3} | {:>9.3} | {:>7.1}x | {:>4} hit {:>2} miss",
+                "{:22} | {:>9.3} | {:>9.3} | {:>10.3} | {:>7.1}x | {:>4} hit {:>2} miss",
                 format!("{p}@{m}"),
                 r.cold_ms,
                 r.warm_ms,
+                r.restart_ms,
                 r.cold_ms / r.warm_ms.max(1e-9),
                 r.warm_hits,
                 r.warm_misses,
@@ -194,7 +243,8 @@ fn main() {
     }
     println!(
         "\nmeans over {ITERATIONS} compiles; cold = fresh plan cache per \
-         compile, warm = shared primed cache."
+         compile, warm = shared primed cache, restart = snapshot load + \
+         all-hits compile."
     );
 
     if let Some(dir) = &json_dir {
@@ -230,6 +280,22 @@ fn main() {
                     r.cold_ms, r.warm_ms
                 ));
             }
+            if r.restart_misses != 0 || r.restart_hits != r.blocks {
+                failures.push(format!(
+                    "{pair}: restart pass not 100% cache hits \
+                     ({} hits / {} misses over {} blocks)",
+                    r.restart_hits, r.restart_misses, r.blocks
+                ));
+            }
+            let restart_speedup = r.cold_ms / r.restart_ms.max(1e-9);
+            if restart_speedup < REQUIRED_RESTART_SPEEDUP {
+                failures.push(format!(
+                    "{pair}: restart speedup {restart_speedup:.1}x below the \
+                     {REQUIRED_RESTART_SPEEDUP:.0}x gate (cold {:.3} ms, \
+                     restart {:.3} ms)",
+                    r.cold_ms, r.restart_ms
+                ));
+            }
         }
         if !failures.is_empty() {
             for f in &failures {
@@ -238,7 +304,9 @@ fn main() {
             std::process::exit(1);
         }
         println!(
-            "serving check passed: warm passes are all-hits and ≥{REQUIRED_SPEEDUP:.0}x faster"
+            "serving check passed: warm passes are all-hits and \
+             ≥{REQUIRED_SPEEDUP:.0}x faster; restart passes are all-hits \
+             and ≥{REQUIRED_RESTART_SPEEDUP:.0}x faster"
         );
     }
 }

@@ -35,7 +35,16 @@ fn main() -> ExitCode {
     let stdin = std::io::stdin().lock();
     let stdout = std::io::stdout();
     match server.serve(stdin, stdout) {
-        Ok(_) => ExitCode::SUCCESS,
+        Ok(_) => {
+            // Graceful end of stream (EOF or `shutdown`): snapshot the
+            // plan cache so the next start is warm.
+            if config.persist.is_some() {
+                if let Err(e) = server.persist_now() {
+                    eprintln!("avivd: persist on shutdown failed: {e}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("avivd: {e}");
             ExitCode::FAILURE

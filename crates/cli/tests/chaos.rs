@@ -1,0 +1,517 @@
+//! The server chaos suite (`docs/robustness.md`): concurrent socket
+//! clients, connections killed mid-request, injected panics and budget
+//! exhaustion under load, and corrupted persistence files. The
+//! invariants, in every scenario:
+//!
+//! 1. the server never wedges — every session ends, shutdown always
+//!    completes, the socket file is always removed;
+//! 2. served bytes never differ from a cold single-threaded `avivc`
+//!    compile, no matter which chaos preceded the request;
+//! 3. a restart after corruption quarantines the bad snapshot and
+//!    serves correct results from cold.
+
+#![cfg(unix)]
+
+use aviv::jsonv::{self, Json};
+use aviv_cli::serve::{ServeConfig, Server};
+use aviv_cli::{drive, Options};
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn assets_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("assets")
+}
+
+fn pairs() -> Vec<(String, String, String)> {
+    let dir = assets_dir();
+    let mut out = Vec::new();
+    for m in ["fig3", "archII", "dsp_mac"] {
+        let machine = std::fs::read_to_string(dir.join(format!("{m}.isdl"))).unwrap();
+        for p in ["sum_loop", "dot4"] {
+            let program = std::fs::read_to_string(dir.join(format!("{p}.av"))).unwrap();
+            out.push((format!("{p}@{m}"), machine.clone(), program.clone()));
+        }
+    }
+    out
+}
+
+fn compile_request(id: &str, machine: &str, program: &str) -> String {
+    format!(
+        "{{\"id\":\"{id}\",\"op\":\"compile\",\"machine\":\"{}\",\"program\":\"{}\"}}",
+        jsonv::escape(machine),
+        jsonv::escape(program)
+    )
+}
+
+/// Cold single-threaded `avivc` — the byte oracle for every response.
+fn oneshot_asm(machine: &str, program: &str) -> Vec<u8> {
+    let opts = Options::parse(&["--machine".into(), "m.isdl".into(), "p.av".into()]).unwrap();
+    drive(&opts, machine, program).unwrap().output
+}
+
+/// Connect to `path`, retrying while the listener binds.
+fn connect(path: &Path) -> UnixStream {
+    for _ in 0..200 {
+        if let Ok(s) = UnixStream::connect(path) {
+            return s;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("listener at {} never became connectable", path.display());
+}
+
+/// Send `requests`, half-close the write side, and read responses until
+/// EOF (the server's drain contract answers everything sent).
+fn roundtrip(mut s: UnixStream, requests: &[String]) -> Vec<Json> {
+    let mut reader = BufReader::new(s.try_clone().unwrap());
+    for r in requests {
+        writeln!(s, "{r}").unwrap();
+    }
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut out = Vec::new();
+    let mut line = String::new();
+    while reader.read_line(&mut line).unwrap() > 0 {
+        out.push(jsonv::parse(line.trim_end()).unwrap());
+        line.clear();
+    }
+    out
+}
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("aviv-chaos-{tag}-{}.sock", std::process::id()))
+}
+
+fn shutdown_server(path: &Path) {
+    let responses = roundtrip(connect(path), &["{\"op\":\"shutdown\"}".to_string()]);
+    assert_eq!(
+        responses
+            .last()
+            .and_then(|r| r.get("op"))
+            .and_then(Json::as_str),
+        Some("shutdown")
+    );
+}
+
+/// Tentpole acceptance: N concurrent socket clients, each compiling
+/// every bundled pair, at server workers 1, 4, and 0 — every response
+/// byte-identical to a cold single-threaded one-shot compile.
+#[test]
+fn concurrent_clients_match_cold_oneshot_at_every_worker_count() {
+    let pairs = pairs();
+    let oracles: Vec<Vec<u8>> = pairs.iter().map(|(_, m, p)| oneshot_asm(m, p)).collect();
+    for workers in [1usize, 4, 0] {
+        let path = sock_path(&format!("conc{workers}"));
+        let _ = std::fs::remove_file(&path);
+        let server = Arc::new(Server::new(&ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        }));
+        let listener = {
+            let server = Arc::clone(&server);
+            let path = path.clone();
+            std::thread::spawn(move || server.serve_unix(&path))
+        };
+        // Wait for bind before racing clients at it.
+        drop(connect(&path));
+
+        std::thread::scope(|s| {
+            for client in 0..4 {
+                let pairs = &pairs;
+                let oracles = &oracles;
+                let path = &path;
+                s.spawn(move || {
+                    let requests: Vec<String> = pairs
+                        .iter()
+                        .map(|(label, m, p)| compile_request(&format!("c{client}-{label}"), m, p))
+                        .collect();
+                    let responses = roundtrip(connect(path), &requests);
+                    assert_eq!(
+                        responses.len(),
+                        pairs.len(),
+                        "client {client} workers={workers}: lost responses"
+                    );
+                    for (i, r) in responses.iter().enumerate() {
+                        let label = &pairs[i].0;
+                        // In-order delivery: ids echo back in sequence.
+                        assert_eq!(
+                            r.get("id").and_then(Json::as_str),
+                            Some(format!("c{client}-{label}").as_str())
+                        );
+                        assert_eq!(
+                            r.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "client {client} {label} workers={workers}: {r:?}"
+                        );
+                        assert_eq!(
+                            r.get("asm").and_then(Json::as_str).unwrap().as_bytes(),
+                            &oracles[i][..],
+                            "client {client} {label} workers={workers}: bytes differ from cold"
+                        );
+                    }
+                });
+            }
+        });
+
+        shutdown_server(&path);
+        listener.join().unwrap().unwrap();
+        assert!(!path.exists(), "workers={workers}: socket file not removed");
+    }
+}
+
+/// Kill connections mid-request: clients that write a compile and
+/// vanish without reading must not wedge the server or poison the
+/// cache for the well-behaved client that follows.
+#[test]
+fn dropped_connections_mid_request_leave_the_server_serving() {
+    let (_, machine, program) = pairs().remove(0);
+    let oracle = oneshot_asm(&machine, &program);
+    let path = sock_path("drop");
+    let _ = std::fs::remove_file(&path);
+    let server = Arc::new(Server::new(&ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    }));
+    let listener = {
+        let server = Arc::clone(&server);
+        let path = path.clone();
+        std::thread::spawn(move || server.serve_unix(&path))
+    };
+    drop(connect(&path));
+
+    // A wave of clients that write work and slam the connection shut.
+    for i in 0..8 {
+        let mut s = connect(&path);
+        writeln!(
+            s,
+            "{}",
+            compile_request(&format!("doomed-{i}"), &machine, &program)
+        )
+        .unwrap();
+        // Drop without reading: the response write fails server-side,
+        // which cancels the session's in-flight compiles.
+        drop(s);
+    }
+
+    // The server still answers, and with the cold one-shot bytes.
+    let responses = roundtrip(
+        connect(&path),
+        &[compile_request("survivor", &machine, &program)],
+    );
+    assert_eq!(responses.len(), 1);
+    assert_eq!(responses[0].get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        responses[0]
+            .get("asm")
+            .and_then(Json::as_str)
+            .unwrap()
+            .as_bytes(),
+        &oracle[..],
+        "bytes after connection chaos differ from cold compile"
+    );
+
+    shutdown_server(&path);
+    listener.join().unwrap().unwrap();
+    assert!(!path.exists());
+}
+
+/// Cancellation over the socket: a pre-delivered cancel aborts its
+/// compile without poisoning the cache, and a live cancel for a request
+/// throttled by `timeout_ms` still answers deterministically.
+#[test]
+fn cancelled_requests_abort_without_cache_poisoning() {
+    let (_, machine, program) = pairs().remove(0);
+    let oracle = oneshot_asm(&machine, &program);
+    let path = sock_path("cancel");
+    let _ = std::fs::remove_file(&path);
+    let server = Arc::new(Server::new(&ServeConfig::default()));
+    let listener = {
+        let server = Arc::clone(&server);
+        let path = path.clone();
+        std::thread::spawn(move || server.serve_unix(&path))
+    };
+    drop(connect(&path));
+
+    // Cancel races ahead of its compile (deterministic: same pipelined
+    // stream, cancel first). The compile must answer cancelled.
+    let responses = roundtrip(
+        connect(&path),
+        &[
+            "{\"id\":\"x\",\"op\":\"cancel\"}".to_string(),
+            compile_request("x", &machine, &program),
+        ],
+    );
+    assert_eq!(responses.len(), 2);
+    assert_eq!(
+        responses[0].get("delivered").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(responses[1].get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        responses[1].get("cancelled").and_then(Json::as_bool),
+        Some(true),
+        "{:?}",
+        responses[1]
+    );
+    // The aborted compile cached nothing.
+    assert!(server.cache().is_empty(), "cancelled compile left entries");
+
+    // The same request uncancelled compiles cold and correct.
+    let responses = roundtrip(connect(&path), &[compile_request("y", &machine, &program)]);
+    assert_eq!(
+        responses[0].get("cache_hits").and_then(Json::as_u64),
+        Some(0),
+        "{:?}",
+        responses[0]
+    );
+    assert_eq!(
+        responses[0]
+            .get("asm")
+            .and_then(Json::as_str)
+            .unwrap()
+            .as_bytes(),
+        &oracle[..]
+    );
+    // Stats saw exactly one cancellation served.
+    let stats = roundtrip(connect(&path), &["{\"op\":\"stats\"}".to_string()]);
+    assert_eq!(
+        stats[0].get("cancellations").and_then(Json::as_u64),
+        Some(1)
+    );
+
+    shutdown_server(&path);
+    listener.join().unwrap().unwrap();
+}
+
+/// Injected panics and budget exhaustion under concurrent load: every
+/// request answers (ok or structured error), no fault leaks into the
+/// cache, and clean compiles stay byte-identical throughout.
+#[test]
+fn fault_injection_under_concurrent_load_never_wedges_or_corrupts() {
+    let pairs = pairs();
+    let (_, machine, program) = pairs[0].clone();
+    let oracle = oneshot_asm(&machine, &program);
+    let path = sock_path("faults");
+    let _ = std::fs::remove_file(&path);
+    let server = Arc::new(Server::new(&ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    }));
+    let listener = {
+        let server = Arc::clone(&server);
+        let path = path.clone();
+        std::thread::spawn(move || server.serve_unix(&path))
+    };
+    drop(connect(&path));
+
+    std::thread::scope(|s| {
+        // Chaos clients: seeded fault injection and starvation fuel.
+        for client in 0..3 {
+            let machine = &machine;
+            let program = &program;
+            let path = &path;
+            s.spawn(move || {
+                let requests: Vec<String> = (0..6)
+                    .map(|i| {
+                        let seed = client * 100 + i;
+                        if i % 2 == 0 {
+                            format!(
+                                "{{\"id\":\"f{seed}\",\"op\":\"compile\",\"machine\":\"{}\",\
+                                 \"program\":\"{}\",\"fault_seed\":{seed}}}",
+                                jsonv::escape(machine),
+                                jsonv::escape(program)
+                            )
+                        } else {
+                            format!(
+                                "{{\"id\":\"f{seed}\",\"op\":\"compile\",\"machine\":\"{}\",\
+                                 \"program\":\"{}\",\"fuel\":{}}}",
+                                jsonv::escape(machine),
+                                jsonv::escape(program),
+                                1 + seed
+                            )
+                        }
+                    })
+                    .collect();
+                let responses = roundtrip(connect(path), &requests);
+                assert_eq!(
+                    responses.len(),
+                    requests.len(),
+                    "client {client} lost answers"
+                );
+                for r in &responses {
+                    assert!(r.get("ok").is_some(), "no outcome: {r:?}");
+                }
+            });
+        }
+        // A clean client interleaved with the chaos: its bytes must
+        // match the cold oracle on every iteration.
+        let machine = &machine;
+        let program = &program;
+        let path = &path;
+        let oracle = &oracle;
+        s.spawn(move || {
+            for i in 0..4 {
+                let responses = roundtrip(
+                    connect(path),
+                    &[compile_request(&format!("clean-{i}"), machine, program)],
+                );
+                assert_eq!(
+                    responses[0].get("ok").and_then(Json::as_bool),
+                    Some(true),
+                    "{:?}",
+                    responses[0]
+                );
+                assert_eq!(
+                    responses[0]
+                        .get("asm")
+                        .and_then(Json::as_str)
+                        .unwrap()
+                        .as_bytes(),
+                    &oracle[..],
+                    "clean compile corrupted by concurrent faults (iteration {i})"
+                );
+            }
+        });
+    });
+
+    shutdown_server(&path);
+    listener.join().unwrap().unwrap();
+    assert!(!path.exists());
+}
+
+/// Crash-safe persistence end-to-end: snapshots survive a clean
+/// restart byte-for-byte; truncations, bit flips, and a torn write
+/// (the kill -9 shape) are quarantined on restart and the server
+/// serves correct results from cold.
+#[test]
+fn corrupted_snapshots_are_quarantined_and_restart_serves_cold() {
+    let (_, machine, program) = pairs().remove(0);
+    let oracle = oneshot_asm(&machine, &program);
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("aviv-chaos-snap-{}.avivcache", std::process::id()));
+    let quarantined = snap.with_file_name(format!(
+        "{}.quarantined",
+        snap.file_name().unwrap().to_str().unwrap()
+    ));
+    let _ = std::fs::remove_file(&snap);
+    let _ = std::fs::remove_file(&quarantined);
+    let config = ServeConfig {
+        persist: Some(snap.display().to_string()),
+        validate_on_load: true,
+        ..ServeConfig::default()
+    };
+
+    // Warm a server, persist, keep the good snapshot bytes.
+    let warmup = Server::new(&config);
+    let mut out = Vec::new();
+    warmup
+        .serve(
+            std::io::Cursor::new(format!("{}\n", compile_request("w", &machine, &program))),
+            &mut out,
+        )
+        .unwrap();
+    assert!(warmup.persist_now().unwrap() > 0);
+    let good = std::fs::read(&snap).unwrap();
+    assert!(good.len() > 64);
+
+    // Clean restart: all hits, validated, byte-identical.
+    let restarted = Server::new(&config);
+    let mut out = Vec::new();
+    restarted
+        .serve(
+            std::io::Cursor::new(format!("{}\n", compile_request("r", &machine, &program))),
+            &mut out,
+        )
+        .unwrap();
+    let r = jsonv::parse(String::from_utf8(out).unwrap().trim_end()).unwrap();
+    assert_eq!(r.get("cache_misses").and_then(Json::as_u64), Some(0));
+    assert!(r.get("restored_hits").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(r.get("validated").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        r.get("asm").and_then(Json::as_str).unwrap().as_bytes(),
+        &oracle[..]
+    );
+
+    // Corruption battery: truncations (torn write / kill -9 during
+    // persist), bit flips in header and payload, and garbage.
+    let corruptions: Vec<(String, Vec<u8>)> = vec![
+        ("empty".into(), Vec::new()),
+        ("header-only".into(), good[..20.min(good.len())].to_vec()),
+        ("half".into(), good[..good.len() / 2].to_vec()),
+        ("missing-tail".into(), good[..good.len() - 1].to_vec()),
+        ("magic-flip".into(), {
+            let mut b = good.clone();
+            b[0] ^= 0xff;
+            b
+        }),
+        ("payload-flip".into(), {
+            let mut b = good.clone();
+            let at = b.len() * 3 / 4;
+            b[at] ^= 0x01;
+            b
+        }),
+        ("trailing-garbage".into(), {
+            let mut b = good.clone();
+            b.extend_from_slice(b"torn");
+            b
+        }),
+    ];
+    for (label, bytes) in corruptions {
+        std::fs::write(&snap, &bytes).unwrap();
+        let _ = std::fs::remove_file(&quarantined);
+        let victim = Server::new(&config);
+        assert!(
+            victim.cache().is_empty(),
+            "{label}: corrupt snapshot populated the cache"
+        );
+        assert_eq!(
+            victim.cache().stats().quarantines,
+            1,
+            "{label}: corruption not quarantined"
+        );
+        assert!(
+            quarantined.exists(),
+            "{label}: bad snapshot not moved aside"
+        );
+        assert!(!snap.exists(), "{label}: bad snapshot left in place");
+        // And the restarted server serves correct bytes from cold.
+        let mut out = Vec::new();
+        victim
+            .serve(
+                std::io::Cursor::new(format!("{}\n", compile_request("c", &machine, &program))),
+                &mut out,
+            )
+            .unwrap();
+        let r = jsonv::parse(String::from_utf8(out).unwrap().trim_end()).unwrap();
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{label}");
+        assert_eq!(
+            r.get("cache_hits").and_then(Json::as_u64),
+            Some(0),
+            "{label}"
+        );
+        assert_eq!(
+            r.get("asm").and_then(Json::as_str).unwrap().as_bytes(),
+            &oracle[..],
+            "{label}: post-quarantine bytes differ from cold"
+        );
+    }
+
+    // A leftover temp file from a killed save never shadows the real
+    // snapshot: restore the good bytes, plant a stale temp, restart.
+    std::fs::write(&snap, &good).unwrap();
+    let stale_tmp = snap.with_file_name(format!(
+        ".{}.tmp.99999",
+        snap.file_name().unwrap().to_str().unwrap()
+    ));
+    std::fs::write(&stale_tmp, b"partial write from a killed process").unwrap();
+    let survivor = Server::new(&config);
+    assert!(!survivor.cache().is_empty(), "good snapshot not restored");
+    let _ = std::fs::remove_file(&stale_tmp);
+    let _ = std::fs::remove_file(&snap);
+    let _ = std::fs::remove_file(&quarantined);
+}

@@ -1,0 +1,161 @@
+//! Protocol-level fuzz of the `avivd` request pump: seeded garbage,
+//! truncated requests, and half-valid compile requests stream in over
+//! NDJSON, and the server must answer every nonempty line with exactly
+//! one well-formed JSON response — `"ok":false` for everything
+//! malformed — without panicking, wedging, or breaking response order.
+//!
+//! This is the boundary the chaos suite's byte-level faults ultimately
+//! reach: a client that crashes mid-write leaves exactly these shapes
+//! on the wire.
+
+use aviv::jsonv::{self, Json};
+use aviv_cli::serve::{ServeConfig, Server};
+use std::io::Cursor;
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Request templates a broken client plausibly truncates or corrupts.
+const TEMPLATES: &[&str] = &[
+    r#"{"op":"ping"}"#,
+    r#"{"id":3,"op":"stats"}"#,
+    r#"{"id":4,"op":"cancel"}"#,
+    r#"{"op":"persist"}"#,
+    r#"{"id":5,"op":"compile","machine":"not an isdl machine","program":"not a program"}"#,
+    r#"{"id":6,"op":"compile","machine_path":"/nonexistent/m.isdl","program_path":"/nonexistent/p.av"}"#,
+    r#"{"id":7,"op":"compile"}"#,
+    r#"{"op":"compile","machine":7,"program":true}"#,
+    r#"{"op":"compile","machine":"m","program":"p","qos":"warp"}"#,
+    r#"{"op":"compile","machine":"m","program":"p","jobs":"many"}"#,
+    r#"{"op":"compile","machine":"m","program":"p","fault_seed":-1}"#,
+    r#"{"op":[1,2]}"#,
+    r#"{"op":"wat"}"#,
+    "[]",
+    "null",
+    "@#$%^&*",
+];
+
+fn mutate(rng: &mut Rng, template: &str) -> String {
+    let mut bytes = template.as_bytes().to_vec();
+    match rng.below(4) {
+        // Truncate mid-document.
+        0 => bytes.truncate(rng.below(bytes.len().max(1))),
+        // Flip a byte to printable ASCII.
+        1 if !bytes.is_empty() => {
+            let at = rng.below(bytes.len());
+            bytes[at] = 0x20 + (rng.next() % 0x5f) as u8;
+        }
+        // Duplicate a chunk (broken buffering).
+        2 => {
+            let at = rng.below(bytes.len().max(1));
+            let chunk: Vec<u8> = bytes[at..].to_vec();
+            bytes.extend_from_slice(&chunk);
+        }
+        // Pass through unchanged.
+        _ => {}
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn fuzzed_request_streams_always_answer_and_never_panic() {
+    for workers in [1usize, 3] {
+        for seed in 0..24u64 {
+            let mut rng = Rng::new(seed * 7919 + workers as u64 + 1);
+            let mut lines = Vec::new();
+            for _ in 0..40 {
+                let t = TEMPLATES[rng.below(TEMPLATES.len())];
+                lines.push(mutate(&mut rng, t));
+            }
+            let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+            let nonempty = lines.iter().filter(|l| !l.trim().is_empty()).count();
+
+            let server = Server::new(&ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            });
+            let mut out = Vec::new();
+            let summary = server
+                .serve(Cursor::new(input), &mut out)
+                .expect("fuzzed input is not an I/O error");
+            // No template is a valid shutdown request, so every
+            // nonempty line must be answered (EOF drains the stream).
+            assert_eq!(
+                summary.requests as usize, nonempty,
+                "workers={workers} seed={seed}: lost or duplicated responses"
+            );
+            let text = String::from_utf8(out).expect("responses are UTF-8");
+            let responses: Vec<Json> = text
+                .lines()
+                .map(|l| {
+                    jsonv::parse(l).unwrap_or_else(|e| {
+                        panic!("workers={workers} seed={seed}: malformed response {l:?}: {e}")
+                    })
+                })
+                .collect();
+            assert_eq!(responses.len(), nonempty);
+            for r in &responses {
+                // Every response declares an outcome; garbage in never
+                // yields ok:true with compile payload out of thin air.
+                let ok = r
+                    .get("ok")
+                    .and_then(Json::as_bool)
+                    .unwrap_or_else(|| panic!("response without ok: {r:?}"));
+                if ok {
+                    assert!(
+                        r.get("op").is_some(),
+                        "ok response without an op echo: {r:?}"
+                    );
+                } else {
+                    assert!(r.get("error").is_some(), "failure without error: {r:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn blank_and_whitespace_lines_are_ignored_not_answered() {
+    let server = Server::new(&ServeConfig::default());
+    let mut out = Vec::new();
+    let summary = server
+        .serve(
+            Cursor::new("\n   \n\t\n{\"op\":\"ping\"}\n\n".to_string()),
+            &mut out,
+        )
+        .unwrap();
+    assert_eq!(summary.requests, 1);
+    assert_eq!(String::from_utf8(out).unwrap().lines().count(), 1);
+}
+
+#[test]
+fn shutdown_mid_garbage_still_stops_cleanly() {
+    let server = Server::new(&ServeConfig::default());
+    let mut out = Vec::new();
+    let summary = server
+        .serve(
+            Cursor::new("garbage\n{\"op\":\"shutdown\"}\nnever read\n".to_string()),
+            &mut out,
+        )
+        .unwrap();
+    assert!(summary.shutdown);
+    assert_eq!(summary.requests, 2);
+}

@@ -23,6 +23,8 @@
 
 use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How often (in charged calls) the wall clock is consulted. Reading
@@ -37,6 +39,11 @@ pub enum Exhaustion {
     Fuel,
     /// The wall-clock deadline passed.
     Deadline,
+    /// A [`CancelToken`] attached to the budget was fired. Unlike fuel
+    /// and deadline exhaustion, cancellation does not walk the
+    /// degradation ladder — the whole compile aborts with
+    /// [`crate::CodegenError::Cancelled`].
+    Cancelled,
     /// Exhaustion was injected by the fault harness
     /// ([`crate::faults::FaultConfig`]).
     Injected,
@@ -47,10 +54,70 @@ impl fmt::Display for Exhaustion {
         match self {
             Exhaustion::Fuel => write!(f, "fuel exhausted"),
             Exhaustion::Deadline => write!(f, "deadline exceeded"),
+            Exhaustion::Cancelled => write!(f, "compile cancelled"),
             Exhaustion::Injected => write!(f, "injected budget exhaustion"),
         }
     }
 }
+
+/// A cooperative cancellation handle: a shared flag plus a generation
+/// id identifying which request armed it.
+///
+/// Cloning shares the flag (`Arc<AtomicBool>`); [`cancel`](CancelToken::cancel)
+/// from any thread makes every [`Budget`] carrying a clone report
+/// [`Exhaustion::Cancelled`] at its next check — within one
+/// clock-stride quantum of charges in the hot loops. The generation id
+/// is free-form bookkeeping for registries that map request ids to
+/// tokens: a reused request id gets a new generation, so a stale
+/// cancel can be detected and ignored by the owner of the registry
+/// (the token itself never compares generations).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    generation: u64,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token with generation 0.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A fresh, unfired token carrying `generation`.
+    pub fn with_generation(generation: u64) -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            generation,
+        }
+    }
+
+    /// Fire the token: every budget sharing it observes cancellation at
+    /// its next check. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// The generation id this token was armed with.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// Tokens are equal when they share the same flag allocation (and
+/// generation) — value comparison of an `AtomicBool` snapshot would
+/// make [`crate::CodegenOptions`] equality racy.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag) && self.generation == other.generation
+    }
+}
+
+impl Eq for CancelToken {}
 
 /// A cooperative compile budget: optional node-expansion fuel plus an
 /// optional absolute wall-clock deadline.
@@ -64,12 +131,15 @@ pub struct Budget {
     fuel: Cell<Option<u64>>,
     /// Absolute deadline; `None` means no time limit.
     deadline: Option<Instant>,
-    /// Countdown to the next wall-clock sample.
+    /// Countdown to the next wall-clock/cancellation sample.
     clock_in: Cell<u32>,
     /// Latched exhaustion cause; once set it never clears.
     exhausted: Cell<Option<Exhaustion>>,
     /// Total units charged (for reporting).
     spent: Cell<u64>,
+    /// Cooperative cancellation flag, sampled on the same stride as the
+    /// wall clock; `None` means the budget cannot be cancelled.
+    cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -86,7 +156,19 @@ impl Budget {
             clock_in: Cell::new(0),
             exhausted: Cell::new(None),
             spent: Cell::new(0),
+            cancel: None,
         }
+    }
+
+    /// Attach a [`CancelToken`]: once fired (from any thread), the next
+    /// stride-aligned [`charge`](Budget::charge) or
+    /// [`check`](Budget::check) reports [`Exhaustion::Cancelled`]. The
+    /// countdown starts at zero, so a budget built from an
+    /// already-fired token fails its very first check — before any
+    /// covering expansion.
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Budget {
+        self.cancel = cancel;
+        self
     }
 
     /// A budget with `fuel` units and `deadline_ms` milliseconds from
@@ -136,11 +218,16 @@ impl Budget {
                 return;
             }
         }
-        if let Some(deadline) = self.deadline {
+        if self.deadline.is_some() || self.cancel.is_some() {
             let countdown = self.clock_in.get();
             if countdown == 0 {
                 self.clock_in.set(CLOCK_STRIDE);
-                if Instant::now() >= deadline {
+                // Cancellation outranks the deadline at the same sample:
+                // a cancelled request should report as cancelled, not as
+                // having coincidentally timed out.
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    self.exhausted.set(Some(Exhaustion::Cancelled));
+                } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
                     self.exhausted.set(Some(Exhaustion::Deadline));
                 }
             } else {
@@ -222,6 +309,52 @@ mod tests {
             }
         }
         assert_eq!(out, Err(Exhaustion::Deadline));
+    }
+
+    #[test]
+    fn pre_cancelled_token_fails_the_first_check() {
+        let token = CancelToken::new();
+        token.cancel();
+        let b = Budget::unlimited().with_cancel(Some(token));
+        // The countdown starts at zero: the very first check samples the
+        // token, so a pre-cancelled compile never expands a node.
+        assert_eq!(b.check(), Err(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_lands_within_one_stride() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_cancel(Some(token.clone()));
+        assert!(b.check().is_ok());
+        token.cancel();
+        let mut out = Ok(());
+        for _ in 0..=CLOCK_STRIDE {
+            out = b.charge(1);
+            if out.is_err() {
+                break;
+            }
+        }
+        assert_eq!(out, Err(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn cancellation_outranks_a_blown_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let b = Budget::new(None, Some(Instant::now() - Duration::from_millis(1)))
+            .with_cancel(Some(token));
+        assert_eq!(b.check(), Err(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn token_equality_is_by_identity() {
+        let a = CancelToken::with_generation(3);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, CancelToken::with_generation(3));
+        a.cancel();
+        assert!(b.is_cancelled(), "clones share the flag");
+        assert_eq!(b.generation(), 3);
     }
 
     #[test]

@@ -74,12 +74,23 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum resident entries.
     pub capacity: usize,
+    /// Snapshots written to disk ([`crate::persist::save_snapshot`]).
+    pub persist_saves: u64,
+    /// Entries absorbed from persisted snapshots
+    /// ([`crate::persist::load_snapshot`]).
+    pub persist_loads: u64,
+    /// Snapshot files found corrupt/truncated/stale and quarantined
+    /// instead of trusted.
+    pub quarantines: u64,
 }
 
 struct CacheEntry {
     plan: BlockPlan,
     /// Logical timestamp of the last hit or insertion.
     last_used: u64,
+    /// Came from a persisted snapshot, not a compile in this process
+    /// (`avivd --validate-on-load` forces validation on such hits).
+    restored: bool,
 }
 
 struct CacheMap {
@@ -98,6 +109,9 @@ pub struct PlanCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    persist_saves: AtomicU64,
+    persist_loads: AtomicU64,
+    quarantines: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -132,6 +146,9 @@ impl PlanCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            persist_saves: AtomicU64::new(0),
+            persist_loads: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
         }
     }
 
@@ -144,6 +161,13 @@ impl PlanCache {
     /// outcome. Returns a clone — plans are mutated during application
     /// (spill-slot rebasing), so the resident copy must stay pristine.
     pub fn lookup(&self, key: &CacheKey) -> Option<BlockPlan> {
+        self.lookup_flagged(key).map(|(plan, _)| plan)
+    }
+
+    /// [`lookup`](PlanCache::lookup), also reporting whether the serving
+    /// entry was restored from a persisted snapshot rather than computed
+    /// in this process.
+    pub fn lookup_flagged(&self, key: &CacheKey) -> Option<(BlockPlan, bool)> {
         let mut map = lock_unpoisoned(&self.map);
         map.tick += 1;
         let tick = map.tick;
@@ -151,7 +175,7 @@ impl PlanCache {
             Some(entry) => {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.plan.clone())
+                Some((entry.plan.clone(), entry.restored))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -186,8 +210,74 @@ impl PlanCache {
             CacheEntry {
                 plan,
                 last_used: tick,
+                restored: false,
             },
         );
+    }
+
+    /// Snapshot the resident entries in LRU order (least recently used
+    /// first), cloning each plan — the input to
+    /// [`crate::persist::save_snapshot`]. Iterating oldest-first means a
+    /// later [`absorb`](PlanCache::absorb) into a smaller cache keeps the
+    /// hottest entries.
+    pub fn snapshot_entries(&self) -> Vec<(CacheKey, BlockPlan)> {
+        let map = lock_unpoisoned(&self.map);
+        let mut entries: Vec<(&CacheKey, &CacheEntry)> = map.entries.iter().collect();
+        entries.sort_by_key(|(_, e)| e.last_used);
+        entries
+            .into_iter()
+            .map(|(k, e)| (*k, e.plan.clone()))
+            .collect()
+    }
+
+    /// Insert entries restored from a persisted snapshot, marking each as
+    /// `restored` (see [`lookup_flagged`](PlanCache::lookup_flagged)) and
+    /// counting them in [`CacheStats::persist_loads`]. Entries beyond
+    /// capacity evict LRU as usual; an entry already resident (computed
+    /// in this process) is *not* overwritten — a live plan is always at
+    /// least as trustworthy as a restored one.
+    pub fn absorb(&self, restored: Vec<(CacheKey, BlockPlan)>) -> usize {
+        let mut absorbed = 0;
+        for (key, plan) in restored {
+            let mut map = lock_unpoisoned(&self.map);
+            map.tick += 1;
+            let tick = map.tick;
+            if map.entries.contains_key(&key) {
+                continue;
+            }
+            if map.entries.len() >= self.capacity {
+                if let Some(&lru) = map
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k)
+                {
+                    map.entries.remove(&lru);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            map.entries.insert(
+                key,
+                CacheEntry {
+                    plan,
+                    last_used: tick,
+                    restored: true,
+                },
+            );
+            absorbed += 1;
+        }
+        self.persist_loads.fetch_add(absorbed, Ordering::Relaxed);
+        absorbed as usize
+    }
+
+    /// Count one snapshot written to disk.
+    pub fn record_save(&self) {
+        self.persist_saves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one snapshot file quarantined as corrupt/truncated/stale.
+    pub fn record_quarantine(&self) {
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Drop every entry matching `predicate`, returning how many were
@@ -218,6 +308,9 @@ impl PlanCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len(),
             capacity: self.capacity,
+            persist_saves: self.persist_saves.load(Ordering::Relaxed),
+            persist_loads: self.persist_loads.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
         }
     }
 }

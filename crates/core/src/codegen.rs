@@ -86,6 +86,13 @@ pub enum CodegenError {
     /// The compile budget ran out and no rung of the degradation ladder
     /// could salvage the block.
     Budget(Exhaustion),
+    /// The compile was cancelled cooperatively (diagnostic code `C007`):
+    /// the [`crate::CancelToken`] in [`CodegenOptions::cancel`] fired and
+    /// the in-flight search aborted at its next budget check. Unlike
+    /// [`CodegenError::Budget`], cancellation never walks the degradation
+    /// ladder or salvages a partial plan — the caller asked for the work
+    /// to stop, not for cheaper code — and nothing is cached or emitted.
+    Cancelled,
 }
 
 impl fmt::Display for CodegenError {
@@ -106,6 +113,7 @@ impl fmt::Display for CodegenError {
                 write!(f, "block {block} failed: {cause}")
             }
             CodegenError::Budget(why) => write!(f, "compile budget ran out: {why}"),
+            CodegenError::Cancelled => write!(f, "compile cancelled (C007)"),
         }
     }
 }
@@ -267,6 +275,11 @@ pub struct BlockReport {
     /// `true` when this block's plan was served from the
     /// [`PlanCache`](crate::PlanCache) instead of being computed.
     pub cached: bool,
+    /// `true` when the cache entry that served this block was restored
+    /// from a persisted snapshot ([`crate::persist`]) rather than computed
+    /// in this process — `avivd --validate-on-load` forces translation
+    /// validation on such compiles.
+    pub restored: bool,
     /// The degradation-ladder rung that produced the block's code.
     pub mode: CoverMode,
     /// Every ladder step the block took, in order.
@@ -327,6 +340,48 @@ impl BlockPlan {
     pub fn appended_syms(&self) -> &[String] {
         &self.appended_syms
     }
+
+    /// Decompose into the parts the snapshot codec ([`crate::persist`])
+    /// writes to disk.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn wire_parts(
+        &self,
+    ) -> (
+        &CoverGraph,
+        &Schedule,
+        &Allocation,
+        &[String],
+        usize,
+        &BlockReport,
+    ) {
+        (
+            &self.graph,
+            &self.schedule,
+            &self.alloc,
+            &self.appended_syms,
+            self.snapshot_len,
+            &self.report,
+        )
+    }
+
+    /// Reassemble from decoded snapshot parts ([`crate::persist`]).
+    pub(crate) fn from_wire_parts(
+        graph: CoverGraph,
+        schedule: Schedule,
+        alloc: Allocation,
+        appended_syms: Vec<String>,
+        snapshot_len: usize,
+        report: BlockReport,
+    ) -> BlockPlan {
+        BlockPlan {
+            graph,
+            schedule,
+            alloc,
+            appended_syms,
+            snapshot_len,
+            report,
+        }
+    }
 }
 
 /// Statistics — and the robustness record — from compiling a whole
@@ -349,6 +404,9 @@ pub struct CompileReport {
     /// Blocks planned from scratch while a cache was attached (0 when no
     /// cache is attached).
     pub cache_misses: usize,
+    /// Cache hits served by entries restored from a persisted snapshot
+    /// (a subset of [`cache_hits`](CompileReport::cache_hits)).
+    pub restored_hits: usize,
 }
 
 impl Default for CompileReport {
@@ -360,6 +418,7 @@ impl Default for CompileReport {
             complete: true,
             cache_hits: 0,
             cache_misses: 0,
+            restored_hits: 0,
         }
     }
 }
@@ -532,9 +591,12 @@ impl CodeGenerator {
         let mut mode = CoverMode::Concurrent;
         loop {
             let rung_budget = if mode == CoverMode::SpillAll {
-                Budget::unlimited()
+                // The last rung is unbudgeted but still cancellable: a
+                // caller that fired the token wants the work to stop even
+                // where fuel and deadlines no longer apply.
+                Budget::unlimited().with_cancel(self.options.cancel.clone())
             } else {
-                Budget::new(self.options.fuel, deadline)
+                Budget::new(self.options.fuel, deadline).with_cancel(self.options.cancel.clone())
             };
             let attempt = catch_unwind(AssertUnwindSafe(|| {
                 self.plan_block_once(dag, snapshot, mode, &rung_budget, &injector)
@@ -548,6 +610,11 @@ impl CodeGenerator {
                         && plan.report.exhausted.is_none();
                     plan.report.downgrades = downgrades;
                     return Ok(plan);
+                }
+                Ok(Err(RungFailure::Budget(Exhaustion::Cancelled))) => {
+                    // Cancellation is not exhaustion: the caller asked for
+                    // the work to stop, so no lower rung may run.
+                    return Err(CodegenError::Cancelled);
                 }
                 Ok(Err(RungFailure::Budget(why))) => match mode.next() {
                     Some(_) => DowngradeReason::Budget(why),
@@ -653,6 +720,9 @@ impl CodeGenerator {
         let mut exhausted: Option<Exhaustion> = None;
         for assignment in &assignments {
             if let (Err(why), Some(_)) = (rung_budget.check(), &best) {
+                if why == Exhaustion::Cancelled {
+                    return Err(RungFailure::Budget(why));
+                }
                 // The budget ran out between assignments but an earlier
                 // one already produced code: salvage it.
                 exhausted = Some(why);
@@ -713,11 +783,11 @@ impl CodeGenerator {
                     }
                 }
                 Err(CoverError::Budget(why)) => match &best {
-                    Some(_) => {
+                    Some(_) if why != Exhaustion::Cancelled => {
                         exhausted = Some(why);
                         break;
                     }
-                    None => return Err(RungFailure::Budget(why)),
+                    _ => return Err(RungFailure::Budget(why)),
                 },
                 Err(e) => last_err = Some(e),
             }
@@ -729,11 +799,12 @@ impl CodeGenerator {
             ))
         })?;
 
-        // A salvaged block finishes its tail stages unbudgeted: the
-        // schedule exists, and allocation for it is cheap and bounded.
+        // A salvaged block finishes its tail stages unbudgeted — but still
+        // cancellable: the schedule exists, and allocation for it is cheap
+        // and bounded.
         let tail;
         let tail_budget: &Budget = if exhausted.is_some() {
-            tail = Budget::unlimited();
+            tail = Budget::unlimited().with_cancel(self.options.cancel.clone());
             &tail
         } else {
             rung_budget
@@ -840,6 +911,7 @@ impl CodeGenerator {
             min_instructions_bound: bounds.0,
             min_pressure_bound: bounds.1,
             cached: false,
+            restored: false,
             mode,
             downgrades: Vec::new(), // filled in by plan_block_at
             exhausted,
@@ -946,6 +1018,16 @@ impl CodeGenerator {
         &self,
         f: &Function,
     ) -> Result<(VliwProgram, CompileReport), CodegenError> {
+        // A pre-cancelled compile does no work at all — not even the
+        // liveness pass or a cache probe.
+        if self
+            .options
+            .cancel
+            .as_ref()
+            .is_some_and(crate::CancelToken::is_cancelled)
+        {
+            return Err(CodegenError::Cancelled);
+        }
         // Exact global liveness: drop stores shadowed on every path (and
         // the nodes only they kept alive) before covering, so dead
         // values never occupy registers. Every named variable is treated
@@ -1109,6 +1191,7 @@ impl CodeGenerator {
         if keys.is_some() {
             report.cache_hits = report.blocks.iter().filter(|b| b.cached).count();
             report.cache_misses = report.blocks.len() - report.cache_hits;
+            report.restored_hits = report.blocks.iter().filter(|b| b.restored).count();
         }
         let var_addrs = syms
             .iter()
@@ -1232,8 +1315,9 @@ impl CodeGenerator {
         let (Some(key), Some(cache)) = (key, self.cache.as_deref()) else {
             return self.plan_block_guarded(dag, snapshot, block, deadline);
         };
-        if let Some(mut plan) = cache.lookup(&key) {
+        if let Some((mut plan, restored)) = cache.lookup_flagged(&key) {
             plan.report.cached = true;
+            plan.report.restored = restored;
             return Ok(plan);
         }
         let plan = self.plan_block_guarded(dag, snapshot, block, deadline)?;

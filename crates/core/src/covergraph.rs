@@ -281,6 +281,55 @@ impl CoverGraph {
         g
     }
 
+    /// Decompose into the essential fields the snapshot codec
+    /// ([`crate::persist`]) writes to disk. The derived indexes (uses,
+    /// reachability, levels) are *not* part of the wire format —
+    /// [`CoverGraph::from_wire_parts`] recomputes them, which keeps the
+    /// format small and makes a decoded graph self-consistent by
+    /// construction.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn wire_parts(
+        &self,
+    ) -> (
+        &[CoverNode],
+        &BitSet,
+        &[Option<CnId>],
+        &[(NodeId, Operand)],
+        &[usize],
+    ) {
+        (
+            &self.nodes,
+            &self.dead,
+            &self.value_of_orig,
+            &self.live_out,
+            &self.bus_usage,
+        )
+    }
+
+    /// Reassemble a graph from decoded snapshot parts, rebuilding every
+    /// derived index. See [`CoverGraph::wire_parts`].
+    pub(crate) fn from_wire_parts(
+        nodes: Vec<CoverNode>,
+        dead: BitSet,
+        value_of_orig: Vec<Option<CnId>>,
+        live_out: Vec<(NodeId, Operand)>,
+        bus_usage: Vec<usize>,
+    ) -> CoverGraph {
+        let mut g = CoverGraph {
+            nodes,
+            dead,
+            value_of_orig,
+            live_out,
+            uses: Vec::new(),
+            desc: BitMatrix::new(0, 0),
+            levels_top: Vec::new(),
+            levels_bottom: Vec::new(),
+            bus_usage,
+        };
+        g.rebuild_indexes();
+        g
+    }
+
     /// All nodes, including dead ones — check [`CoverGraph::is_dead`].
     pub fn nodes(&self) -> &[CoverNode] {
         &self.nodes

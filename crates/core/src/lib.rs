@@ -27,11 +27,13 @@ pub mod jsonv;
 pub mod optimal;
 pub mod options;
 pub mod peephole;
+pub mod persist;
 pub mod regalloc;
 pub mod report;
+pub mod wire;
 
 pub use assign::{explore, Assignment, ExploreResult, ExploreTrace};
-pub use budget::{Budget, Exhaustion};
+pub use budget::{Budget, CancelToken, Exhaustion};
 pub use cache::{CacheKey, CacheStats, PlanCache, DEFAULT_CACHE_CAPACITY};
 pub use codegen::{
     register_outer_pool, BlockPlan, BlockReport, BlockResult, CodeGenerator, CodegenError,
@@ -50,6 +52,7 @@ pub use faults::{FaultConfig, FaultKind, INJECTED_PANIC};
 pub use invariants::{verify_block, verify_program, verify_stage, Stage, StageState};
 pub use optimal::{optimal_block, OptimalConfig, OptimalResult};
 pub use options::CodegenOptions;
+pub use persist::{load_snapshot, save_snapshot, LoadOutcome};
 pub use regalloc::{
     allocate, allocate_budgeted, verify_allocation, AllocFailure, Allocation, Reg, RegAllocError,
 };

@@ -5,6 +5,7 @@
 //! running with every heuristic disabled. Each heuristic is a first-class
 //! toggle here so the ablation benchmarks can flip them independently.
 
+use crate::budget::CancelToken;
 use crate::faults::FaultConfig;
 
 /// Tunable heuristics of the covering engine.
@@ -97,6 +98,16 @@ pub struct CodegenOptions {
     /// and the CI fuzz-smoke job set a seeded config to exercise the
     /// ladder, panic isolation, and structured-error paths.
     pub faults: Option<FaultConfig>,
+    /// Cooperative cancellation handle (see [`CancelToken`]): threaded
+    /// into every per-rung [`crate::Budget`] — including the otherwise
+    /// unbudgeted spill-all rung and salvage tails — so firing it aborts
+    /// the compile with [`crate::CodegenError::Cancelled`] within one
+    /// budget-check quantum. `None` (the default) makes the compile
+    /// uncancellable. Excluded from
+    /// [`planning_fingerprint`](CodegenOptions::planning_fingerprint):
+    /// like budgets, cancellation decides only *whether* a plan is
+    /// produced, never what a complete plan contains.
+    pub cancel: Option<CancelToken>,
 }
 
 impl CodegenOptions {
@@ -119,6 +130,7 @@ impl CodegenOptions {
             fuel: None,
             deadline_ms: None,
             faults: None,
+            cancel: None,
         }
     }
 
@@ -145,6 +157,7 @@ impl CodegenOptions {
             fuel: None,
             deadline_ms: None,
             faults: None,
+            cancel: None,
         }
     }
 
@@ -170,6 +183,7 @@ impl CodegenOptions {
             fuel: None,
             deadline_ms: None,
             faults: None,
+            cancel: None,
         }
     }
 }
@@ -223,6 +237,13 @@ impl CodegenOptions {
         self
     }
 
+    /// Attach a cooperative cancellation token (see
+    /// [`CodegenOptions::cancel`]).
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     /// Stable fingerprint of the options that can change what a *complete*
     /// block plan looks like — the options component of plan-cache keys.
     ///
@@ -242,6 +263,9 @@ impl CodegenOptions {
     /// * [`faults`](CodegenOptions::faults) — fault injection disables
     ///   caching entirely (injections are keyed on block position, not
     ///   content).
+    /// * [`cancel`](CodegenOptions::cancel) — like budgets, cancellation
+    ///   only decides whether a compile finishes; it never changes what a
+    ///   complete plan contains.
     /// * [`analysis_bounds`](CodegenOptions::analysis_bounds) — the
     ///   bound cutoff prunes only candidate rollouts that provably
     ///   cannot change the covering decision, so complete plans are
@@ -305,6 +329,7 @@ mod tests {
             base.clone().with_deadline_ms(Some(5)),
             base.clone().with_exact_liveness(false),
             base.clone().with_analysis_bounds(false),
+            base.clone().with_cancel(Some(CancelToken::new())),
         ] {
             assert_eq!(fp, tweaked.planning_fingerprint());
         }

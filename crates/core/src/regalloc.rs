@@ -63,6 +63,21 @@ impl Allocation {
         self.regs.is_empty()
     }
 
+    /// The full assignment sorted by node id — the deterministic order
+    /// the snapshot codec ([`crate::persist`]) writes to disk.
+    pub(crate) fn entries_sorted(&self) -> Vec<(CnId, Reg)> {
+        let mut entries: Vec<(CnId, Reg)> = self.regs.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort();
+        entries
+    }
+
+    /// Reassemble an allocation from decoded snapshot entries.
+    pub(crate) fn from_entries(entries: Vec<(CnId, Reg)>) -> Allocation {
+        Allocation {
+            regs: entries.into_iter().collect(),
+        }
+    }
+
     /// Delete the assignment with the smallest node id — the fault
     /// harness's "malformed allocation" corruption. Returns the removed
     /// node, or `None` if the allocation was already empty.

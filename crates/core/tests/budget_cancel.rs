@@ -1,0 +1,159 @@
+//! Cancellation and deadline granularity of the cooperative [`Budget`].
+//!
+//! The serving layer's cancellation story rests on two properties of the
+//! core compiler: a compile whose [`CancelToken`] is already fired (or
+//! whose deadline has already passed) aborts *before* expanding any
+//! covering state, and an abort never leaves a partial plan in the
+//! shared cache. Both must hold at every `--jobs` setting, because the
+//! per-block worker pool hands each block its own budget clone.
+
+use aviv::{
+    Budget, CancelToken, CodeGenerator, CodegenError, CodegenOptions, Exhaustion, PlanCache,
+};
+use aviv_ir::parse_function;
+use aviv_isdl::parse_machine;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MACHINE: &str = "machine M {
+    unit U1 { ops { add, sub, compl, cmpgt } regfile R1[4]; }
+    unit U2 { ops { add, mul } regfile R2[4]; }
+    memory DM;
+    bus DB capacity 1 connects { R1, R2, DM };
+}";
+
+const PROGRAM: &str = "func f(a, b) {
+    x = a * b + a;
+    y = x - b;
+    if (y > 0) goto big;
+    return y;
+big:
+    t = x + 1;
+    r = t * 2;
+    return r;
+}";
+
+fn compile_with(options: CodegenOptions, cache: &Arc<PlanCache>) -> Result<(), CodegenError> {
+    let machine = parse_machine(MACHINE).unwrap();
+    let function = parse_function(PROGRAM).unwrap();
+    let generator = CodeGenerator::new(machine)
+        .options(options)
+        .with_cache(Arc::clone(cache));
+    generator.compile_function(&function).map(|_| ())
+}
+
+#[test]
+fn precancelled_token_aborts_before_any_work_at_every_job_count() {
+    for jobs in [1, 4, 0] {
+        let token = CancelToken::new();
+        token.cancel();
+        let cache = Arc::new(PlanCache::new(64));
+        let started = Instant::now();
+        let err = compile_with(
+            CodegenOptions::default()
+                .with_jobs(jobs)
+                .with_cancel(Some(token)),
+            &cache,
+        )
+        .expect_err("pre-cancelled compile must not succeed");
+        assert!(
+            matches!(err, CodegenError::Cancelled),
+            "jobs={jobs}: expected Cancelled, got {err}"
+        );
+        // Nothing may be cached by an aborted compile — a later compile
+        // must start cold (no partial/poisoned entries).
+        assert!(cache.is_empty(), "jobs={jobs}: abort left cache entries");
+        assert_eq!(cache.stats().misses, 0, "jobs={jobs}: covering ran");
+        // "Before any expansion" in wall-clock terms: the abort happens
+        // at the entry check, not after a covering pass.
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "jobs={jobs}: abort took {:?}",
+            started.elapsed()
+        );
+    }
+}
+
+#[test]
+fn cancel_after_abort_leaves_cache_usable_for_clean_compile() {
+    let cache = Arc::new(PlanCache::new(64));
+    let token = CancelToken::new();
+    token.cancel();
+    let err = compile_with(CodegenOptions::default().with_cancel(Some(token)), &cache).unwrap_err();
+    assert!(matches!(err, CodegenError::Cancelled));
+    // A fresh compile against the same cache succeeds and caches its
+    // blocks normally.
+    compile_with(CodegenOptions::default(), &cache).expect("clean compile succeeds");
+    assert!(!cache.is_empty());
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 0);
+    assert!(stats.misses > 0);
+}
+
+#[test]
+fn already_expired_deadline_exhausts_on_first_sample_at_every_job_count() {
+    for jobs in [1, 4, 0] {
+        let cache = Arc::new(PlanCache::new(64));
+        let result = compile_with(
+            CodegenOptions::default()
+                .with_jobs(jobs)
+                .with_deadline_ms(Some(0)),
+            &cache,
+        );
+        // An expired deadline is a *degradation*, not an abort: the
+        // ladder walks down to SpillAll and still answers — but the
+        // degraded plans must not be cached as if complete.
+        result.unwrap_or_else(|e| panic!("jobs={jobs}: deadline degraded into error {e}"));
+        assert!(
+            cache.is_empty(),
+            "jobs={jobs}: budget-degraded plans must not be cached"
+        );
+    }
+}
+
+#[test]
+fn budget_reports_cancellation_within_one_clock_stride() {
+    // The countdown starts at zero, so the very first `note()` samples
+    // the token: a token fired before any work is observed immediately.
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = Budget::unlimited().with_cancel(Some(token));
+    assert_eq!(budget.charge(1), Err(Exhaustion::Cancelled));
+}
+
+#[test]
+fn cancellation_outranks_deadline_and_skips_the_ladder() {
+    // When both the deadline has passed and the token has fired, the
+    // compile must surface Cancelled (an abort), not walk the
+    // degradation ladder to a SpillAll answer.
+    let token = CancelToken::new();
+    token.cancel();
+    let cache = Arc::new(PlanCache::new(64));
+    let err = compile_with(
+        CodegenOptions::default()
+            .with_deadline_ms(Some(0))
+            .with_cancel(Some(token)),
+        &cache,
+    )
+    .unwrap_err();
+    assert!(matches!(err, CodegenError::Cancelled), "got {err}");
+    assert!(cache.is_empty());
+}
+
+#[test]
+fn unfired_token_is_free() {
+    // A live-but-unfired token must not change behavior or output.
+    let cache_plain = Arc::new(PlanCache::new(64));
+    let cache_token = Arc::new(PlanCache::new(64));
+    compile_with(CodegenOptions::default(), &cache_plain).unwrap();
+    compile_with(
+        CodegenOptions::default().with_cancel(Some(CancelToken::new())),
+        &cache_token,
+    )
+    .unwrap();
+    assert_eq!(
+        cache_plain.stats().misses,
+        cache_token.stats().misses,
+        "token changed planning behavior"
+    );
+}

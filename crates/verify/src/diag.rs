@@ -139,6 +139,11 @@ pub enum Code {
     /// earlier packet of the block wrote (block-entry register contents
     /// are undefined; values cross blocks only through memory).
     T006,
+    /// The compile was cancelled cooperatively: a `CancelToken` threaded
+    /// through the compile budget was fired (by a client request, a
+    /// dropped connection, or a server shutdown) and the in-flight
+    /// search aborted at its next budget check.
+    C007,
 }
 
 impl Code {
@@ -182,6 +187,7 @@ impl Code {
             Code::T004 => "T004",
             Code::T005 => "T005",
             Code::T006 => "T006",
+            Code::C007 => "C007",
         }
     }
 
@@ -244,6 +250,7 @@ impl Code {
             Code::T004 => "the dynamic-memory state at block exit in the emitted code must be congruent to its source term",
             Code::T005 => "every branch condition and return value in the emitted code must be congruent to its source term",
             Code::T006 => "emitted code must write a register before reading it within the block; block-entry register contents are undefined",
+            Code::C007 => "a cancelled compile must abort at its next budget check without caching or emitting anything",
         }
     }
 }

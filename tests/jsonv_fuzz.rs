@@ -1,0 +1,155 @@
+//! Malformed-input fuzz for the `jsonv` parser — the front door of the
+//! `avivd` NDJSON protocol. Every byte of a request line flows through
+//! [`aviv::jsonv::parse`] before anything else looks at it, so the
+//! parser's contract under hostile input is the server's first line of
+//! defense: parse or return a structured [`JsonError`], never panic,
+//! never hang, never allocate unboundedly.
+//!
+//! The generator is a seeded xorshift so failures replay exactly; the
+//! inputs are the shapes a chaotic client actually produces — truncated
+//! valid documents, bit-flipped valid documents, random garbage, and
+//! adversarial nesting.
+
+use aviv::jsonv::{self, Json};
+
+/// Deterministic xorshift64* — no dependency, stable across platforms,
+/// failures reproduce from the printed seed.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A pool of valid protocol-shaped documents to mutate.
+fn valid_documents() -> Vec<String> {
+    vec![
+        r#"{"op":"ping"}"#.into(),
+        r#"{"id":7,"op":"stats"}"#.into(),
+        r#"{"id":"req-a","op":"cancel"}"#.into(),
+        r#"{"id":1,"op":"compile","machine":"machine M { }","program":"func f(a) { return a; }","jobs":4,"fuel":100,"validate":true}"#.into(),
+        r#"{"nested":{"a":[1,2,3],"b":{"c":null,"d":false}},"num":-1.5e3,"esc":"a\"b\\c\ndA"}"#.into(),
+        "[]".into(),
+        "{}".into(),
+        "null".into(),
+        "-0.0".into(),
+        r#""just a string""#.into(),
+    ]
+}
+
+/// The property under test: parsing terminates with Ok or a located
+/// error and a second parse of the same input agrees (determinism).
+fn parse_is_total(input: &str) {
+    let first = jsonv::parse(input);
+    let second = jsonv::parse(input);
+    match (&first, &second) {
+        (Ok(a), Ok(b)) => assert_eq!(a, b, "nondeterministic parse of {input:?}"),
+        (Err(a), Err(b)) => {
+            assert_eq!((a.at, &a.message), (b.at, &b.message));
+            assert!(a.at <= input.len(), "error offset out of range");
+        }
+        _ => panic!("parse of {input:?} is nondeterministic (Ok vs Err)"),
+    }
+}
+
+#[test]
+fn truncations_of_valid_documents_never_panic() {
+    for doc in valid_documents() {
+        for cut in 0..doc.len() {
+            if doc.is_char_boundary(cut) {
+                parse_is_total(&doc[..cut]);
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_byte_mutations_never_panic() {
+    let docs = valid_documents();
+    for seed in 0..64u64 {
+        let mut rng = Rng::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) + 1);
+        for _ in 0..200 {
+            let mut bytes = docs[rng.below(docs.len())].clone().into_bytes();
+            for _ in 0..=rng.below(4) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let at = rng.below(bytes.len());
+                match rng.below(3) {
+                    0 => bytes[at] = (rng.next() & 0x7f) as u8, // flip to random ASCII
+                    1 => {
+                        bytes.remove(at);
+                    }
+                    _ => bytes.insert(at, b"{}[],:\"0 \\x"[rng.below(11)]),
+                }
+            }
+            // Mutations may break UTF-8; the protocol reads lines as
+            // &str, so only valid-UTF-8 mutants reach the parser.
+            if let Ok(s) = String::from_utf8(bytes) {
+                parse_is_total(&s);
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_garbage_never_panics() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed + 1);
+        for _ in 0..100 {
+            let len = rng.below(64);
+            let s: String = (0..len)
+                .map(|_| char::from_u32((rng.next() % 0xff) as u32).unwrap_or('?'))
+                .collect();
+            parse_is_total(&s);
+        }
+    }
+}
+
+#[test]
+fn adversarial_nesting_errors_instead_of_overflowing_the_stack() {
+    // A recursive-descent parser with no depth bound dies by stack
+    // overflow (an abort — not catchable) on inputs like this. The
+    // parser must answer with a structured error instead.
+    for open in ["[", "{\"k\":"] {
+        let deep: String = open.repeat(100_000);
+        let err = jsonv::parse(&deep).expect_err("unterminated nesting cannot parse");
+        assert!(err.message.contains("nesting too deep"), "{}", err.message);
+    }
+    // Properly closed but absurdly deep: same answer.
+    let balanced = format!("{}{}", "[".repeat(100_000), "]".repeat(100_000));
+    assert!(jsonv::parse(&balanced).is_err());
+    // Depth within the bound still parses.
+    let shallow = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+    assert!(jsonv::parse(&shallow).is_ok());
+}
+
+#[test]
+fn escape_round_trips_through_the_parser() {
+    let mut rng = Rng::new(0xfeed);
+    for _ in 0..500 {
+        let len = rng.below(32);
+        let s: String = (0..len)
+            .map(|_| char::from_u32((rng.next() % 0x1_0000) as u32).unwrap_or('\u{fffd}'))
+            .collect();
+        let doc = format!("\"{}\"", jsonv::escape(&s));
+        match jsonv::parse(&doc) {
+            Ok(Json::Str(back)) => assert_eq!(back, s, "escape/parse mismatch"),
+            other => panic!("escaped string failed to parse: {other:?} from {doc:?}"),
+        }
+    }
+}
